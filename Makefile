@@ -1,0 +1,28 @@
+# Convenience targets for the FTMP reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench experiments examples soak clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+experiments:
+	$(PYTHON) -m repro.analysis.cli run all
+
+examples:
+	@for ex in examples/*.py; do echo "== $$ex"; $(PYTHON) $$ex > /dev/null && echo OK; done
+
+soak:
+	$(PYTHON) -m pytest tests/integration/test_soak.py -v
+
+clean:
+	rm -rf .pytest_cache .hypothesis benchmarks/results/*.txt \
+	       test_output.txt bench_output.txt
+	find . -name __pycache__ -type d -exec rm -rf {} +

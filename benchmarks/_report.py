@@ -1,0 +1,20 @@
+"""Shared benchmark reporting: print + persist each regenerated artifact.
+
+Every experiment writes its table/series to ``benchmarks/results/<id>.txt``
+so EXPERIMENTS.md can cite the exact measured output even when pytest
+captures stdout.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(experiment_id: str, text: str) -> None:
+    """Print the artifact and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{experiment_id}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[saved to {path}]")

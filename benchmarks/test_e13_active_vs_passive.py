@@ -1,0 +1,115 @@
+"""E13 (extension) — active vs warm-passive replication over FTMP.
+
+The FT-CORBA lineage descending from this paper supports both styles.
+One experiment, both styles, three axes:
+
+* **execution work**: active executes every request at every replica
+  (R×N executions); passive executes once and publishes state updates;
+* **steady-state latency**: comparable — both ride the same total order
+  (the passive primary's reply does not wait for the state update);
+* **failover**: active's is free (survivors were already executing);
+  passive pays a promotion gap (detect + replay the uncovered suffix).
+"""
+
+from repro.analysis import Table, summarize
+from repro.analysis.workload import RequestReplyDriver
+from repro.core import FTMPConfig, FTMPStack
+from repro.giop import GroupRef
+from repro.orb import ORB, ClientIdentity, FTMPAdapter
+from repro.replication.passive import PassiveReplicaController
+from repro.simnet import Network, lan
+
+from _report import emit
+
+REF = GroupRef("IDL:Counter:1.0", domain=7, object_group=100, object_key=b"ctr")
+N_REQUESTS = 30
+REPLICAS = (1, 2, 3)
+
+
+class Counter:
+    def __init__(self):
+        self.n = 0
+        self.executions = 0
+
+    def incr(self, by):
+        self.n += by
+        self.executions += 1
+        return self.n
+
+    def get_state(self):
+        return self.n
+
+    def set_state(self, s):
+        self.n = s
+
+
+def run_style(passive: bool, crash_at=None, seed=1):
+    net = Network(lan(), seed=seed)
+    cfg = FTMPConfig(heartbeat_interval=0.005, suspect_timeout=0.050)
+    servants = {}
+    for pid in REPLICAS:
+        orb = ORB(pid, net.scheduler)
+        stack = FTMPStack(net.endpoint(pid), cfg)
+        adapter = FTMPAdapter(orb, stack)
+        servant = Counter()
+        orb.poa.activate(REF.object_key, servant)
+        adapter.export(REF.domain, REF.object_group, REPLICAS)
+        if passive:
+            PassiveReplicaController(adapter, REF.object_key, REPLICAS)
+        servants[pid] = servant
+    corb = ORB(8, net.scheduler)
+    cstack = FTMPStack(net.endpoint(8), cfg)
+    cadapter = FTMPAdapter(corb, cstack)
+    cadapter.set_client(ClientIdentity(3, 200, (8,)))
+
+    driver = RequestReplyDriver(
+        orb=corb, proxy=corb.proxy(REF), operation="incr",
+        make_args=lambda i: (1,), requests=N_REQUESTS,
+        now_fn=lambda: net.scheduler.now, think_time=0.008,
+    )
+    driver.start()
+    if crash_at is not None:
+        net.scheduler.at(crash_at, net.crash, REPLICAS[0])
+    net.run_for(6.0)
+    assert driver.completed == N_REQUESTS, (passive, crash_at, driver.completed)
+    assert not driver.errors
+    total_execs = sum(s.executions for s in servants.values())
+    return summarize(driver.latencies), total_execs
+
+
+def test_e13_active_vs_passive(benchmark):
+    def sweep():
+        return {
+            ("active", "steady"): run_style(False),
+            ("passive", "steady"): run_style(True),
+            ("active", "crash"): run_style(False, crash_at=0.1),
+            ("passive", "crash"): run_style(True, crash_at=0.1),
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    table = Table(
+        ["style", "scenario", "total executions", "mean latency (ms)",
+         "max latency (ms)"],
+        title=f"E13 — active vs warm-passive replication "
+              f"({len(REPLICAS)} replicas, {N_REQUESTS} requests)",
+    )
+    for (style, scenario), (lat, execs) in results.items():
+        table.add_row(style, scenario, execs, lat.mean * 1e3, lat.maximum * 1e3)
+    emit("E13_active_vs_passive", table.render())
+
+    # execution economics: active pays R executions per request
+    assert results[("active", "steady")][1] == len(REPLICAS) * N_REQUESTS
+    assert results[("passive", "steady")][1] == N_REQUESTS
+    # steady-state latency comparable (within 2x)
+    act = results[("active", "steady")][0].mean
+    pas = results[("passive", "steady")][0].mean
+    assert pas < 2 * act + 0.002
+    # both styles mask the crash completely (no client-visible error,
+    # asserted inside run_style); the failover cost shows in max latency:
+    # a detection+promotion gap exists for both, but passive's includes
+    # the replay and is at least as large as active's
+    act_max = results[("active", "crash")][0].maximum
+    pas_max = results[("passive", "crash")][0].maximum
+    assert act_max > 0.04  # the suspect-timeout gap is visible
+    assert pas_max > 0.9 * act_max

@@ -1,0 +1,116 @@
+"""Protocol-overhead microbenchmarks (hot paths, properly timed).
+
+These characterize the pure-Python implementation — the per-message costs
+a deployment would care about: FTMP framing, GIOP+CDR marshaling,
+fragmentation, and a full simulated three-member ordered multicast.
+"""
+
+from repro.core import (
+    ConnectionId,
+    FTMPConfig,
+    FTMPHeader,
+    FTMPStack,
+    MessageType,
+    RegularMessage,
+    decode,
+    encode,
+)
+from repro.giop import (
+    GIOPHeader,
+    GIOPMessageType,
+    RequestMessage,
+    decode_giop,
+    encode_giop,
+    encode_values,
+)
+from repro.giop.fragmentation import Reassembler, fragment_giop
+from repro.simnet import Network, lan
+
+CID = ConnectionId(3, 200, 7, 100)
+
+
+def _regular(payload: bytes) -> RegularMessage:
+    return RegularMessage(
+        header=FTMPHeader(MessageType.REGULAR, source=1, group=9,
+                          sequence_number=7, timestamp=42, ack_timestamp=40),
+        connection_id=CID,
+        request_num=7,
+        payload=payload,
+    )
+
+
+def test_ftmp_encode_256b(benchmark):
+    msg = _regular(b"x" * 256)
+    raw = benchmark(lambda: encode(msg))
+    assert len(raw) == 40 + 28 + 256
+
+
+def test_ftmp_decode_256b(benchmark):
+    raw = encode(_regular(b"x" * 256))
+    out = benchmark(lambda: decode(raw))
+    assert out.payload == b"x" * 256
+
+
+def test_giop_request_encode(benchmark):
+    req = RequestMessage(
+        header=GIOPHeader(GIOPMessageType.REQUEST),
+        request_id=1,
+        object_key=b"bank",
+        operation="deposit",
+        body=encode_values(["alice", 100]),
+    )
+    raw = benchmark(lambda: encode_giop(req))
+    assert raw[:4] == b"GIOP"
+
+
+def test_giop_request_decode(benchmark):
+    raw = encode_giop(RequestMessage(
+        header=GIOPHeader(GIOPMessageType.REQUEST),
+        request_id=1,
+        object_key=b"bank",
+        operation="deposit",
+        body=encode_values(["alice", 100]),
+    ))
+    out = benchmark(lambda: decode_giop(raw))
+    assert out.operation == "deposit"
+
+
+def test_fragmentation_64k(benchmark):
+    raw = encode_giop(RequestMessage(
+        header=GIOPHeader(GIOPMessageType.REQUEST),
+        request_id=1, object_key=b"k", operation="bulk",
+        body=encode_values([b"z" * 65536]),
+    ))
+
+    def frag_and_reassemble():
+        pieces = fragment_giop(raw, 1400)
+        r = Reassembler()
+        out = None
+        for p in pieces:
+            out = r.push("s", p)
+        return out
+
+    assert benchmark(frag_and_reassemble) == raw
+
+
+def test_three_member_ordered_multicast_round(benchmark):
+    """Full protocol cost: 30 ordered multicasts through 3 stacks."""
+
+    def run():
+        net = Network(lan(), seed=1)
+        stacks = []
+        delivered = []
+        from repro.core import RecordingListener
+
+        for pid in (1, 2, 3):
+            lst = RecordingListener()
+            st = FTMPStack(net.endpoint(pid), FTMPConfig(), lst)
+            st.create_group(1, 5001, (1, 2, 3))
+            stacks.append((st, lst))
+        for i in range(10):
+            for st, _l in stacks:
+                net.scheduler.at(0.001 * i, st.multicast, 1, b"payload-64-bytes" * 4)
+        net.run_for(0.5)
+        return len(stacks[0][1].deliveries)
+
+    assert benchmark(run) == 30

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Fault-injection walk-through of PGMP (§7.2).
+
+Watches the full faulty-processor pipeline on a 5-processor group with a
+message stream running throughout:
+
+  crash -> heartbeat silence -> Suspect messages -> conviction ->
+  Membership exchange (virtual synchrony sync) -> new view -> fault report
+
+and verifies that ordering stalls during the fault and resumes after the
+membership change, with every survivor delivering the identical sequence.
+
+Run:  python examples/fault_injection_demo.py
+"""
+
+from repro.analysis import make_cluster
+from repro.core import FTMPConfig
+from repro.replication import FaultInjector
+
+
+def main() -> None:
+    cfg = FTMPConfig(heartbeat_interval=0.010, suspect_timeout=0.060)
+    cluster = make_cluster((1, 2, 3, 4, 5), config=cfg, seed=3)
+    injector = FaultInjector(cluster.net)
+
+    # a steady message stream from every processor
+    for i in range(60):
+        for pid in (1, 2, 3, 4, 5):
+            cluster.net.scheduler.at(
+                0.005 * i, cluster.stacks[pid].multicast, 1, f"{pid}:{i}".encode()
+            )
+
+    crash_time = 0.100
+    injector.crash_at(crash_time, 5)
+    print(f"processor 5 will crash at t={crash_time:.3f}s "
+          f"(suspect timeout {cfg.suspect_timeout * 1e3:.0f} ms)\n")
+
+    cluster.run_for(2.0)
+
+    survivor = cluster.listeners[1]
+    fault_views = [v for v in survivor.views if v.reason == "fault"]
+    report = survivor.faults[0]
+    print(f"fault report at t={report.reported_at:.3f}s: convicted {report.convicted}")
+    print(f"new membership: {fault_views[0].membership}")
+    print(f"detection+reconfiguration delay: "
+          f"{(report.reported_at - crash_time) * 1e3:.1f} ms\n")
+
+    # ordering stall visible as a delivery gap around the fault window
+    times = [d.delivered_at for d in survivor.deliveries]
+    gaps = [(b - a, a) for a, b in zip(times, times[1:])]
+    worst_gap, at = max(gaps)
+    print(f"largest inter-delivery gap: {worst_gap * 1e3:.1f} ms "
+          f"(starting t={at:.3f}s) — the §7 ordering stall during the fault")
+
+    orders = cluster.orders(1)
+    assert orders[1] == orders[2] == orders[3] == orders[4]
+    suspects_sent = sum(
+        cluster.stacks[p].group(1).pgmp.stats.suspects_sent for p in (1, 2, 3, 4)
+    )
+    membership_sent = sum(
+        cluster.stacks[p].group(1).pgmp.stats.membership_msgs_sent for p in (1, 2, 3, 4)
+    )
+    print(f"\nprotocol traffic: {suspects_sent} Suspect msgs, "
+          f"{membership_sent} Membership msgs")
+    print(f"survivors delivered {len(orders[1])} messages in the identical order")
+    print("virtual synchrony held: all survivors saw the same message set")
+
+
+if __name__ == "__main__":
+    main()

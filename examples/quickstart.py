@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Quickstart: totally-ordered multicast with FTMP in ten lines.
+
+Three processors form a processor group over a simulated LAN, multicast
+concurrently, and all deliver the identical total order — the core
+guarantee of the paper's ROMP layer.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import FTMPConfig, FTMPStack, RecordingListener
+from repro.simnet import Network, lan
+
+
+def main() -> None:
+    net = Network(lan(), seed=42)
+
+    stacks, listeners = {}, {}
+    for pid in (1, 2, 3):
+        listener = RecordingListener()
+        stack = FTMPStack(net.endpoint(pid), FTMPConfig(), listener)
+        stack.create_group(group_id=1, address=5001, membership=(1, 2, 3))
+        stacks[pid], listeners[pid] = stack, listener
+
+    # every processor multicasts concurrently
+    for pid in (1, 2, 3):
+        stacks[pid].multicast(1, f"greetings from processor {pid}".encode())
+
+    net.run_for(0.5)  # advance simulated time
+
+    print("Delivered payloads (identical order at every processor):\n")
+    for pid in (1, 2, 3):
+        order = [p.decode() for p in listeners[pid].payloads(1)]
+        print(f"  processor {pid}: {order}")
+
+    reference = listeners[1].delivery_order(1)
+    assert all(listeners[p].delivery_order(1) == reference for p in (2, 3))
+    print("\ntotal order verified: all members delivered the same sequence")
+    print(f"network: {net.trace.summary()}")
+
+
+if __name__ == "__main__":
+    main()

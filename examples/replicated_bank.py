@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""A fault-tolerant replicated bank over CORBA/FTMP (the paper's use case).
+
+Demonstrates the full Figure 1 stack: a CORBA-style servant actively
+replicated on three processors, invoked through GIOP Requests carried by
+FTMP Regular messages on a logical connection (§4).  Mid-run one replica
+is crashed; PGMP detects, convicts and removes it, and service continues
+uninterrupted with consistent state — then a fresh backup is brought in
+with consistent-cut state transfer.
+
+Run:  python examples/replicated_bank.py
+"""
+
+from repro.core import FTMPConfig
+from repro.giop import UserException
+from repro.replication import ReplicaManager
+from repro.simnet import Network, lan
+
+
+class BankAccount:
+    """The replicated servant: deterministic, with state-transfer hooks."""
+
+    def __init__(self):
+        self.balances = {}
+
+    def open(self, owner):
+        self.balances.setdefault(owner, 0)
+        return True
+
+    def deposit(self, owner, amount):
+        if owner not in self.balances:
+            raise UserException("NoSuchAccount", owner)
+        self.balances[owner] += amount
+        return self.balances[owner]
+
+    def withdraw(self, owner, amount):
+        if self.balances.get(owner, 0) < amount:
+            raise UserException("InsufficientFunds", owner)
+        self.balances[owner] -= amount
+        return self.balances[owner]
+
+    def get_state(self):
+        return dict(self.balances)
+
+    def set_state(self, state):
+        self.balances = dict(state)
+
+
+def main() -> None:
+    net = Network(lan(), seed=7)
+    manager = ReplicaManager(net, config=FTMPConfig())
+
+    ref = manager.create_server_group(
+        domain=7, object_group=100, object_key=b"bank",
+        factory=BankAccount, pids=(1, 2, 3), type_id="IDL:Bank:1.0",
+    )
+    print(f"server object group: {ref.stringify()}")
+
+    client = manager.create_client(8, client_domain=3, client_group=200)
+    proxy = manager.proxy(8, ref)
+    orb = client.orb
+
+    print("\n-- normal operation (3 replicas) --")
+    orb.call(proxy, "open", "alice")
+    print("deposit 100 ->", orb.call(proxy, "deposit", "alice", 100))
+    print("withdraw 30 ->", orb.call(proxy, "withdraw", "alice", 30))
+
+    print("\n-- crashing replica on processor 2 --")
+    net.crash(2)
+    net.run_for(1.0)  # detection + conviction + membership change
+    print("surviving replicas:", sorted(manager.replicas_of(7, 100)))
+    print("deposit 5 (post-crash) ->", orb.call(proxy, "deposit", "alice", 5))
+
+    print("\n-- adding a fresh backup on processor 4 (state transfer) --")
+    manager.add_replica(7, 100, 4)
+    net.run_for(0.5)
+    print("replicas:", sorted(manager.replicas_of(7, 100)))
+    print("replica 4 state:", manager.servant(4, 7, 100).get_state())
+
+    print("\n-- consistency check across replicas --")
+    orb.call(proxy, "deposit", "alice", 25)
+    net.run_for(0.5)
+    states = {p: manager.servant(p, 7, 100).get_state()
+              for p in sorted(manager.replicas_of(7, 100))}
+    for pid, state in states.items():
+        print(f"  replica on processor {pid}: {state}")
+    assert len({tuple(sorted(s.items())) for s in states.values()}) == 1
+    print("\nstrong replica consistency maintained across crash and recovery")
+
+
+if __name__ == "__main__":
+    main()

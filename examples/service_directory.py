@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""A small fault-tolerant deployment: Naming Service + Event Channel + app.
+
+The shape of a real FT-CORBA system built on FTMP:
+
+* a replicated **Naming Service** (the bootstrap object every client
+  resolves everything else through);
+* a replicated **Event Channel** distributing notifications;
+* a replicated **application service** (a sensor registry) found via the
+  naming service;
+* a crash of one processor mid-run that none of the clients notice.
+
+Run:  python examples/service_directory.py
+"""
+
+from repro.giop import GroupRef
+from repro.orb.events import EventChannel
+from repro.orb.naming import NAMING_OBJECT_KEY, NamingClient, NamingContext
+from repro.replication import ReplicaManager
+from repro.simnet import Network, lan
+
+
+class SensorRegistry:
+    """The application servant: tracks sensors and their last reading."""
+
+    def __init__(self):
+        self.readings = {}
+
+    def report(self, sensor, value):
+        self.readings[sensor] = value
+        return len(self.readings)
+
+    def read(self, sensor):
+        return self.readings.get(sensor)
+
+    def get_state(self):
+        return dict(self.readings)
+
+    def set_state(self, s):
+        self.readings = dict(s)
+
+
+def main() -> None:
+    net = Network(lan(), seed=21)
+    mgr = ReplicaManager(net)
+
+    # three replicated services across processors 1-3
+    naming_ref = mgr.create_server_group(
+        domain=7, object_group=100, object_key=NAMING_OBJECT_KEY,
+        factory=NamingContext, pids=(1, 2, 3), type_id="IDL:NamingContext:1.0")
+    channel_ref = mgr.create_server_group(
+        domain=7, object_group=110, object_key=b"events",
+        factory=EventChannel, pids=(1, 2, 3), type_id="IDL:EventChannel:1.0")
+    registry_ref = mgr.create_server_group(
+        domain=7, object_group=120, object_key=b"sensors",
+        factory=SensorRegistry, pids=(1, 2, 3), type_id="IDL:SensorRegistry:1.0")
+
+    client = mgr.create_client(8, client_domain=3, client_group=200)
+    orb = client.orb
+
+    # bootstrap: bind everything in the (replicated) naming service
+    ns = NamingClient(orb, mgr.proxy(8, naming_ref))
+    ns.bind("services/events", channel_ref)
+    ns.bind("services/sensors", registry_ref)
+    print("directory:", ns.list("services"))
+
+    # resolve through the naming service, then use the services
+    sensors = orb.proxy(ns.resolve("services/sensors"))
+    events = orb.proxy(ns.resolve("services/events"))
+    orb.call(events, "connect_consumer", "dashboard")
+
+    print("\n-- normal operation --")
+    for name, value in (("t-kitchen", 21.5), ("t-roof", 14.0)):
+        orb.call(sensors, "report", name, value)
+        orb.call(events, "push", {"sensor": name, "value": value})
+    print("kitchen reads:", orb.call(sensors, "read", "t-kitchen"))
+
+    print("\n-- crashing processor 2 (one replica of every service) --")
+    net.crash(2)
+    net.run_for(1.5)
+    orb.call(sensors, "report", "t-cellar", 12.25)
+    orb.call(events, "push", {"sensor": "t-cellar", "value": 12.25})
+
+    print("directory still answers:", ns.list("services"))
+    print("cellar reads:", orb.call(sensors, "read", "t-cellar"))
+    pulled = orb.call(events, "pull_batch", "dashboard", 10)
+    print(f"dashboard pulled {len(pulled)} events:", pulled)
+
+    net.run_for(0.5)
+    states = [mgr.servant(p, 7, 120).get_state()
+              for p in sorted(mgr.replicas_of(7, 120))]
+    assert all(s == states[0] for s in states)
+    print("\nall surviving registry replicas agree:", states[0])
+
+
+if __name__ == "__main__":
+    main()

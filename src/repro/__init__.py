@@ -1,0 +1,30 @@
+"""Reproduction of "A Group Communication Protocol for CORBA" (ICPP 1999).
+
+Subpackages:
+
+* :mod:`repro.core` — FTMP: the paper's group communication protocol
+  (RMP / ROMP / PGMP), the primary contribution;
+* :mod:`repro.simnet` — simulated IP-Multicast substrate + real-UDP mode;
+* :mod:`repro.giop` — CORBA GIOP messages and CDR marshaling;
+* :mod:`repro.orb` — miniature ORB with IIOP-style and FTMP transports;
+* :mod:`repro.replication` — fault-tolerance infrastructure (object groups,
+  active replication, duplicate suppression, state transfer);
+* :mod:`repro.baselines` — sequencer / token-ring / point-to-point
+  comparators from the paper's related work;
+* :mod:`repro.analysis` — workloads, experiment harness, statistics.
+"""
+
+__version__ = "1.0.0"
+
+from . import analysis, baselines, core, giop, orb, replication, simnet  # noqa: F401
+
+__all__ = [
+    "core",
+    "simnet",
+    "giop",
+    "orb",
+    "replication",
+    "baselines",
+    "analysis",
+    "__version__",
+]

@@ -1,0 +1,20 @@
+"""Experiment support: cluster harness, workloads, statistics, reporting."""
+
+from .harness import Cluster, SendRecord, TimedWorkload, make_cluster
+from .reporting import Table, format_series
+from .stats import LatencySummary, percentile, summarize
+from .workload import PoissonWorkload, RequestReplyDriver
+
+__all__ = [
+    "Cluster",
+    "make_cluster",
+    "TimedWorkload",
+    "SendRecord",
+    "PoissonWorkload",
+    "RequestReplyDriver",
+    "LatencySummary",
+    "summarize",
+    "percentile",
+    "Table",
+    "format_series",
+]

@@ -1,0 +1,148 @@
+"""Experiment harness: build FTMP clusters and drive scenarios.
+
+Used by the test suite, the benchmarks and the examples.  A
+:class:`Cluster` is a simulated network plus one FTMP stack (and one
+recording listener) per processor, all sharing one group by default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core import FTMPConfig, FTMPStack, RecordingListener
+from ..simnet import Network, Topology, lan
+
+__all__ = ["Cluster", "make_cluster", "SendRecord", "TimedWorkload"]
+
+
+@dataclass
+class Cluster:
+    """A simulated network plus one FTMP stack per processor."""
+
+    net: Network
+    stacks: Dict[int, FTMPStack]
+    listeners: Dict[int, RecordingListener]
+    group: int = 1
+
+    def run_for(self, duration: float) -> None:
+        """Advance simulated time."""
+        self.net.run_for(duration)
+
+    def multicast(self, pid: int, group: int, payload: bytes) -> None:
+        self.stacks[pid].multicast(group, payload)
+
+    def orders(self, group: Optional[int] = None):
+        """Per-processor delivered (timestamp, source) sequences."""
+        g = group if group is not None else self.group
+        return {pid: lst.delivery_order(g) for pid, lst in self.listeners.items()}
+
+    def payload_sets(self, group: Optional[int] = None):
+        g = group if group is not None else self.group
+        return {pid: lst.payloads(g) for pid, lst in self.listeners.items()}
+
+    def assert_agreement(self, group: Optional[int] = None) -> None:
+        """Raise if members disagree on the delivery order (test helper)."""
+        orders = list(self.orders(group).values())
+        for other in orders[1:]:
+            if other != orders[0]:
+                raise AssertionError("delivery orders diverge across members")
+
+    def stop(self) -> None:
+        for st in self.stacks.values():
+            st.stop()
+
+
+def make_cluster(
+    pids: Tuple[int, ...],
+    group: int = 1,
+    address: int = 5001,
+    topology: Optional[Topology] = None,
+    config: Optional[FTMPConfig] = None,
+    seed: int = 0,
+    create_group: bool = True,
+) -> Cluster:
+    """Build a cluster of FTMP stacks over a fresh simulated network."""
+    net = Network(topology if topology is not None else lan(), seed=seed)
+    cfg = config if config is not None else FTMPConfig()
+    stacks: Dict[int, FTMPStack] = {}
+    listeners: Dict[int, RecordingListener] = {}
+    for pid in pids:
+        lst = RecordingListener()
+        st = FTMPStack(net.endpoint(pid), cfg, lst)
+        if create_group:
+            st.create_group(group, address, pids)
+        stacks[pid] = st
+        listeners[pid] = lst
+    return Cluster(net=net, stacks=stacks, listeners=listeners, group=group)
+
+
+@dataclass
+class SendRecord:
+    """One workload send, for latency measurement."""
+
+    payload: bytes
+    sender: int
+    sent_at: float
+
+
+@dataclass
+class TimedWorkload:
+    """Schedules sends and computes delivery latencies afterwards.
+
+    Latency of a message = delivery time at a receiver minus send time;
+    :meth:`latencies` pools the latency samples across the given receivers.
+    """
+
+    cluster: Cluster
+    group: int = 1
+    sends: List[SendRecord] = field(default_factory=list)
+    _counter: int = 0
+
+    def send_at(self, time: float, sender: int, size: int = 32) -> None:
+        """Schedule one multicast at absolute simulated ``time``."""
+        tag = f"w{self._counter}:{sender}".encode()
+        self._counter += 1
+        payload = tag + b"." * max(0, size - len(tag))
+
+        def fire() -> None:
+            self.sends.append(
+                SendRecord(payload, sender, self.cluster.net.scheduler.now)
+            )
+            self.cluster.stacks[sender].multicast(self.group, payload)
+
+        self.cluster.net.scheduler.at(time, fire)
+
+    def uniform(self, senders: Tuple[int, ...], start: float, stop: float,
+                interval: float, size: int = 32) -> None:
+        """Each sender multicasts every ``interval`` in [start, stop)."""
+        t = start
+        i = 0
+        while t < stop:
+            for s in senders:
+                self.send_at(t + i * 1e-6, s, size=size)
+                i += 1
+            t += interval
+
+    def latencies(self, receivers: Tuple[int, ...]) -> List[float]:
+        """Pooled send→ordered-delivery latencies at the given receivers."""
+        sent_at = {rec.payload: rec.sent_at for rec in self.sends}
+        out: List[float] = []
+        for pid in receivers:
+            for d in self.cluster.listeners[pid].deliveries:
+                if d.group == self.group and d.payload in sent_at:
+                    out.append(d.delivered_at - sent_at[d.payload])
+        return out
+
+    def delivered_fraction(self, receivers: Tuple[int, ...]) -> float:
+        """Fraction of (send, receiver) pairs that were delivered."""
+        expected = len(self.sends) * len(receivers)
+        if expected == 0:
+            return 1.0
+        got = sum(
+            1
+            for pid in receivers
+            for d in self.cluster.listeners[pid].deliveries
+            if d.group == self.group
+        )
+        return got / expected

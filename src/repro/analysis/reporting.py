@@ -1,0 +1,65 @@
+"""ASCII tables and series for experiment output.
+
+Every benchmark prints its reproduction of a paper artifact through these
+helpers so EXPERIMENTS.md and the bench logs share one format.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["Table", "format_series"]
+
+
+class Table:
+    """Simple aligned ASCII table."""
+
+    def __init__(self, headers: Sequence[str], title: str = ""):
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells) -> None:
+        row = [self._fmt(c) for c in cells]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(row)
+
+    @staticmethod
+    def _fmt(cell) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.4g}"
+        return str(cell)
+
+    def render(self) -> str:
+        widths = [
+            max(len(self.headers[i]), *(len(r[i]) for r in self.rows))
+            if self.rows
+            else len(self.headers[i])
+            for i in range(len(self.headers))
+        ]
+
+        def line(cells: Sequence[str]) -> str:
+            return "  ".join(c.ljust(widths[i]) for i, c in enumerate(cells)).rstrip()
+
+        out = []
+        if self.title:
+            out.append(self.title)
+        out.append(line(self.headers))
+        out.append("  ".join("-" * w for w in widths))
+        out.extend(line(r) for r in self.rows)
+        return "\n".join(out)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def format_series(name: str, xs: Iterable, ys: Iterable, xlabel: str = "x",
+                  ylabel: str = "y") -> str:
+    """One measured series as aligned columns (a 'figure' in text form)."""
+    t = Table([xlabel, ylabel], title=name)
+    for x, y in zip(xs, ys):
+        t.add_row(x, y)
+    return t.render()

@@ -1,0 +1,72 @@
+"""Latency/throughput statistics for experiment reports."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+__all__ = ["LatencySummary", "summarize", "percentile"]
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile (q in [0, 100]) of a sample list."""
+    if not samples:
+        raise ValueError("no samples")
+    xs = sorted(samples)
+    if len(xs) == 1:
+        return xs[0]
+    pos = (len(xs) - 1) * q / 100.0
+    lo = math.floor(pos)
+    hi = math.ceil(pos)
+    if lo == hi:
+        return xs[lo]
+    frac = pos - lo
+    return xs[lo] * (1 - frac) + xs[hi] * frac
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Distribution summary of one latency sample set (seconds)."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    minimum: float
+    maximum: float
+
+    def scaled(self, factor: float) -> "LatencySummary":
+        """Unit-converted copy (e.g. ``scaled(1e3)`` for milliseconds)."""
+        return LatencySummary(
+            count=self.count,
+            mean=self.mean * factor,
+            p50=self.p50 * factor,
+            p95=self.p95 * factor,
+            p99=self.p99 * factor,
+            minimum=self.minimum * factor,
+            maximum=self.maximum * factor,
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.6f} p50={self.p50:.6f} "
+            f"p95={self.p95:.6f} p99={self.p99:.6f} max={self.maximum:.6f}"
+        )
+
+
+def summarize(samples: Sequence[float]) -> LatencySummary:
+    """Compute a :class:`LatencySummary` from raw samples."""
+    if not samples:
+        raise ValueError("cannot summarize an empty sample set")
+    xs: List[float] = sorted(samples)
+    return LatencySummary(
+        count=len(xs),
+        mean=sum(xs) / len(xs),
+        p50=percentile(xs, 50),
+        p95=percentile(xs, 95),
+        p99=percentile(xs, 99),
+        minimum=xs[0],
+        maximum=xs[-1],
+    )

@@ -1,0 +1,88 @@
+"""Workload generators.
+
+* :class:`PoissonWorkload` — open-loop senders with exponential
+  inter-arrival times (group-multicast traffic);
+* :class:`RequestReplyDriver` — closed-loop ORB client issuing the next
+  invocation when the previous reply arrives (E8's workload).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+from ..orb import ORB, Proxy
+from .harness import Cluster, TimedWorkload
+
+__all__ = ["PoissonWorkload", "RequestReplyDriver"]
+
+
+class PoissonWorkload(TimedWorkload):
+    """Open-loop Poisson senders layered on :class:`TimedWorkload`."""
+
+    def poisson(self, senders: Tuple[int, ...], rate_per_sender: float,
+                start: float, stop: float, size: int = 32, seed: int = 0) -> None:
+        """Schedule Poisson arrivals (``rate_per_sender`` msgs/s each)."""
+        rng = random.Random(seed)
+        for s in senders:
+            t = start + rng.expovariate(rate_per_sender)
+            while t < stop:
+                self.send_at(t, s, size=size)
+                t += rng.expovariate(rate_per_sender)
+
+
+@dataclass
+class RequestReplyDriver:
+    """Closed-loop client: invoke, await reply, repeat.
+
+    Drives a proxy (IIOP or FTMP) entirely from scheduler callbacks, so
+    multiple drivers can run concurrently in one simulation.
+    """
+
+    orb: ORB
+    proxy: Proxy
+    operation: str
+    make_args: Callable[[int], Tuple[Any, ...]]
+    requests: int
+    now_fn: Callable[[], float]
+    think_time: float = 0.0
+    latencies: List[float] = field(default_factory=list)
+    results: List[Any] = field(default_factory=list)
+    errors: List[BaseException] = field(default_factory=list)
+    _issued: int = 0
+    on_done: Optional[Callable[["RequestReplyDriver"], None]] = None
+
+    def start(self) -> None:
+        self._issue()
+
+    def _issue(self) -> None:
+        if self._issued >= self.requests:
+            if self.on_done is not None:
+                self.on_done(self)
+            return
+        i = self._issued
+        self._issued += 1
+        started = self.now_fn()
+        fut = getattr(self.proxy, self.operation)(*self.make_args(i))
+
+        def finished(f) -> None:
+            self.latencies.append(self.now_fn() - started)
+            try:
+                self.results.append(f.result())
+            except BaseException as exc:  # noqa: BLE001 - recorded, not raised
+                self.errors.append(exc)
+            self._next()
+
+        fut.add_done_callback(finished)
+
+    def _next(self) -> None:
+        if self.think_time > 0:
+            # schedule the next request after a think pause
+            self.orb._sched.schedule(self.think_time, self._issue)
+        else:
+            self._issue()
+
+    @property
+    def completed(self) -> int:
+        return len(self.latencies)

@@ -1,0 +1,21 @@
+"""Comparator protocols from the paper's related work (section 8)."""
+
+from .base import BaselineDelivery, GroupProtocol, pack_frame, unpack_frame
+from .causal import CausalProtocol
+from .ftmp_wrapper import FTMPProtocol
+from .ptp import PtpMeshProtocol, mesh_address
+from .sequencer import SequencerProtocol
+from .token_ring import TokenRingProtocol
+
+__all__ = [
+    "GroupProtocol",
+    "BaselineDelivery",
+    "pack_frame",
+    "unpack_frame",
+    "CausalProtocol",
+    "SequencerProtocol",
+    "TokenRingProtocol",
+    "PtpMeshProtocol",
+    "mesh_address",
+    "FTMPProtocol",
+]

@@ -1,0 +1,88 @@
+"""Common interface and wire framing for the baseline protocols.
+
+The paper's related-work section (§8) positions FTMP against sequencer
+protocols (Amoeba, Chang–Maxemchuk), token protocols (Totem) and plain
+point-to-point transports.  Each baseline here implements
+:class:`GroupProtocol` over the same simulated multicast substrate FTMP
+uses, so experiment E7 compares ordering disciplines — not substrates.
+
+The baselines assume a lossless network (E7 runs on a clean LAN); they
+tolerate reordering via hold-back queues but do not implement recovery —
+that machinery is FTMP's subject matter, not theirs.
+"""
+
+from __future__ import annotations
+
+import abc
+import struct
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+from ..simnet.transport import Endpoint
+
+__all__ = ["BaselineDelivery", "GroupProtocol", "pack_frame", "unpack_frame"]
+
+_HEADER = struct.Struct("<2sBBIIQ")  # magic, version, type, source, seq, aux
+_MAGIC = b"BL"
+
+
+def pack_frame(ftype: int, source: int, seq: int, aux: int, payload: bytes) -> bytes:
+    """Serialize one baseline frame."""
+    return _HEADER.pack(_MAGIC, 1, ftype, source, seq, aux) + payload
+
+
+def unpack_frame(data: bytes) -> Tuple[int, int, int, int, bytes]:
+    """Parse a baseline frame -> (type, source, seq, aux, payload)."""
+    if len(data) < _HEADER.size or data[:2] != _MAGIC:
+        raise ValueError("not a baseline frame")
+    magic, _ver, ftype, source, seq, aux = _HEADER.unpack_from(data, 0)
+    return ftype, source, seq, aux, data[_HEADER.size :]
+
+
+@dataclass(frozen=True)
+class BaselineDelivery:
+    """One delivery from a baseline protocol."""
+
+    source: int
+    sequence: int  #: position in the delivery order (0 if unordered)
+    payload: bytes
+    delivered_at: float
+
+
+class GroupProtocol(abc.ABC):
+    """A group multicast protocol over a shared endpoint."""
+
+    #: human-readable protocol name used in experiment reports
+    name: str = "abstract"
+
+    def __init__(
+        self,
+        endpoint: Endpoint,
+        group_addr: int,
+        membership: Tuple[int, ...],
+        on_deliver: Callable[[BaselineDelivery], None],
+    ):
+        self.endpoint = endpoint
+        self.group_addr = group_addr
+        self.membership = tuple(sorted(membership))
+        self.on_deliver = on_deliver
+        self.messages_sent = 0
+        self.control_sent = 0
+        endpoint.join(group_addr)
+        endpoint.set_receiver(self._on_datagram)
+
+    @property
+    def pid(self) -> int:
+        return self.endpoint.processor_id
+
+    @abc.abstractmethod
+    def multicast(self, payload: bytes) -> None:
+        """Submit one application payload for (ordered) delivery."""
+
+    @abc.abstractmethod
+    def _on_datagram(self, data: bytes) -> None:
+        """Handle one received frame."""
+
+    def stop(self) -> None:
+        """Cancel timers and detach (default: detach only)."""
+        self.endpoint.close()

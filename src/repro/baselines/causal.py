@@ -1,0 +1,123 @@
+"""Causal-order broadcast (Trans-style, paper §8).
+
+"The Trans/Total system comprises the Trans protocol which provides a
+causal order on messages, and the Total algorithm which converts this
+causal order into a total order."  This baseline is the *Trans half*: it
+delivers messages in causal order only, using the standard vector-clock
+formulation (equivalent to Trans's piggybacked-acknowledgment DAG for
+the purposes of delivery order), with no total order across concurrent
+messages.
+
+Its role in the experiments is the middle rung of the ordering ladder
+(E11): causal delivery needs no information from *other* members about a
+message, so it is faster than total order — but concurrent messages may
+be delivered in different orders at different members, which is exactly
+what active replication cannot tolerate.  FTMP pays the remaining latency
+to close that gap.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Dict, List, Tuple
+
+from ..simnet.transport import Endpoint
+from .base import BaselineDelivery, GroupProtocol, pack_frame, unpack_frame
+
+__all__ = ["CausalProtocol"]
+
+_DATA = 1
+
+
+def _encode_vector(vec: Dict[int, int]) -> bytes:
+    parts = [struct.pack("<H", len(vec))]
+    for pid in sorted(vec):
+        parts.append(struct.pack("<II", pid, vec[pid]))
+    return b"".join(parts)
+
+
+def _decode_vector(data: bytes) -> Tuple[Dict[int, int], bytes]:
+    (n,) = struct.unpack_from("<H", data, 0)
+    vec = {}
+    off = 2
+    for _ in range(n):
+        pid, v = struct.unpack_from("<II", data, off)
+        vec[pid] = v
+        off += 8
+    return vec, data[off:]
+
+
+class CausalProtocol(GroupProtocol):
+    """Vector-clock causal broadcast (reliable network assumed, like the
+    other baselines — loss recovery is FTMP's subject matter)."""
+
+    name = "causal"
+
+    def __init__(
+        self,
+        endpoint: Endpoint,
+        group_addr: int,
+        membership: Tuple[int, ...],
+        on_deliver: Callable[[BaselineDelivery], None],
+    ):
+        super().__init__(endpoint, group_addr, membership, on_deliver)
+        #: messages delivered per source (my delivery vector)
+        self._delivered: Dict[int, int] = {p: 0 for p in self.membership}
+        #: sends I have performed (my own component grows on send)
+        self._sent = 0
+        #: held-back messages awaiting causal predecessors
+        self._held: List[Tuple[int, Dict[int, int], bytes]] = []
+
+    # ------------------------------------------------------------------
+    def multicast(self, payload: bytes) -> None:
+        self._sent += 1
+        vec = dict(self._delivered)
+        vec[self.pid] = self._sent
+        self.messages_sent += 1
+        frame = pack_frame(_DATA, self.pid, self._sent, 0,
+                           _encode_vector(vec) + payload)
+        self.endpoint.multicast(self.group_addr, frame)
+
+    # ------------------------------------------------------------------
+    def _on_datagram(self, data: bytes) -> None:
+        _ftype, source, _seq, _aux, body = unpack_frame(data)
+        vec, payload = _decode_vector(body)
+        self._held.append((source, vec, payload))
+        self._drain()
+
+    def _deliverable(self, source: int, vec: Dict[int, int]) -> bool:
+        """Standard causal-broadcast delivery condition."""
+        if source == self.pid:
+            # own messages: delivered in send order
+            return vec[source] == self._delivered[source] + 1
+        if vec.get(source, 0) != self._delivered[source] + 1:
+            return False
+        return all(
+            vec.get(k, 0) <= self._delivered[k]
+            for k in self.membership
+            if k != source
+        )
+
+    def _drain(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            for i, (source, vec, payload) in enumerate(self._held):
+                if self._deliverable(source, vec):
+                    self._held.pop(i)
+                    self._delivered[source] = vec[source]
+                    self.on_deliver(
+                        BaselineDelivery(
+                            source=source,
+                            sequence=0,  # causal order: no global sequence
+                            payload=payload,
+                            delivered_at=self.endpoint.now,
+                        )
+                    )
+                    progressed = True
+                    break
+
+    # ------------------------------------------------------------------
+    def held_back(self) -> int:
+        """Messages currently awaiting causal predecessors."""
+        return len(self._held)

@@ -1,0 +1,69 @@
+"""FTMP behind the baseline GroupProtocol interface (for E7 comparisons)."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+from ..core import Delivery, FTMPConfig, FTMPStack, Listener
+from ..simnet.transport import Endpoint
+from .base import BaselineDelivery, GroupProtocol
+
+__all__ = ["FTMPProtocol"]
+
+
+class _Relay(Listener):
+    def __init__(self, owner: "FTMPProtocol"):
+        self._owner = owner
+
+    def on_deliver(self, delivery: Delivery) -> None:
+        self._owner._relay(delivery)
+
+
+class FTMPProtocol(GroupProtocol):
+    """The paper's protocol, adapted to the comparison interface."""
+
+    name = "ftmp"
+
+    def __init__(
+        self,
+        endpoint: Endpoint,
+        group_addr: int,
+        membership: Tuple[int, ...],
+        on_deliver: Callable[[BaselineDelivery], None],
+        config: Optional[FTMPConfig] = None,
+    ):
+        # do not call super().__init__: the stack owns the endpoint wiring
+        self.endpoint = endpoint
+        self.group_addr = group_addr
+        self.membership = tuple(sorted(membership))
+        self.on_deliver = on_deliver
+        self.messages_sent = 0
+        self.control_sent = 0
+        self._seq = 0
+        self.stack = FTMPStack(endpoint, config or FTMPConfig(), _Relay(self))
+        self.group = self.stack.create_group(group_addr, group_addr, self.membership)
+
+    @property
+    def pid(self) -> int:
+        return self.endpoint.processor_id
+
+    def multicast(self, payload: bytes) -> None:
+        self.messages_sent += 1
+        self.stack.multicast(self.group_addr, payload)
+
+    def _relay(self, delivery: Delivery) -> None:
+        self._seq += 1
+        self.on_deliver(
+            BaselineDelivery(
+                source=delivery.source,
+                sequence=self._seq,
+                payload=delivery.payload,
+                delivered_at=delivery.delivered_at,
+            )
+        )
+
+    def _on_datagram(self, data: bytes) -> None:  # pragma: no cover
+        raise AssertionError("FTMPProtocol receives through its stack")
+
+    def stop(self) -> None:
+        self.stack.stop()

@@ -1,0 +1,73 @@
+"""Point-to-point mesh (IIOP/TCP-style fan-out, no total order).
+
+The transport CORBA uses natively (§4): a reliable FIFO channel per
+destination.  A "multicast" is N-1 unicast sends; receivers get each
+source's messages in order, but there is no inter-source ordering — this
+is the baseline that shows what FTMP's total order costs and buys.
+
+Unicast over the multicast substrate is modelled with per-destination
+addresses (`mesh base + pid`); FIFO per source is enforced with a
+hold-back queue keyed by per-source sequence numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from ..simnet.transport import Endpoint
+from .base import BaselineDelivery, GroupProtocol, pack_frame, unpack_frame
+
+__all__ = ["PtpMeshProtocol", "mesh_address"]
+
+_DATA = 1
+_MESH_BASE = 0x5000_0000
+
+
+def mesh_address(pid: int) -> int:
+    """The unicast-emulation address owned by processor ``pid``."""
+    return _MESH_BASE + pid
+
+
+class PtpMeshProtocol(GroupProtocol):
+    """Reliable FIFO point-to-point fan-out (source order only)."""
+
+    name = "ptp-mesh"
+
+    def __init__(
+        self,
+        endpoint: Endpoint,
+        group_addr: int,
+        membership: Tuple[int, ...],
+        on_deliver: Callable[[BaselineDelivery], None],
+    ):
+        super().__init__(endpoint, group_addr, membership, on_deliver)
+        # leave the shared group address: this protocol is unicast-only
+        endpoint.leave(group_addr)
+        endpoint.join(mesh_address(self.pid))
+        self._send_seq = 0
+        self._next_from: Dict[int, int] = {}
+        self._held: Dict[Tuple[int, int], bytes] = {}
+
+    # ------------------------------------------------------------------
+    def multicast(self, payload: bytes) -> None:
+        self._send_seq += 1
+        frame = pack_frame(_DATA, self.pid, self._send_seq, 0, payload)
+        for member in self.membership:
+            self.messages_sent += 1
+            self.endpoint.multicast(mesh_address(member), frame)
+
+    # ------------------------------------------------------------------
+    def _on_datagram(self, data: bytes) -> None:
+        _ftype, source, seq, _aux, payload = unpack_frame(data)
+        self._held[(source, seq)] = payload
+        nxt = self._next_from.get(source, 1)
+        while (source, nxt) in self._held:
+            body = self._held.pop((source, nxt))
+            self.on_deliver(
+                BaselineDelivery(
+                    source=source, sequence=0, payload=body,
+                    delivered_at=self.endpoint.now,
+                )
+            )
+            nxt += 1
+        self._next_from[source] = nxt

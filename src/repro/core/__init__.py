@@ -1,0 +1,97 @@
+"""FTMP — the Fault-Tolerant Multicast Protocol (the paper's contribution).
+
+The stack (Figure 1): RMP provides reliable source-ordered multicast over
+(simulated) IP Multicast; ROMP adds causal/total order via Lamport
+timestamps; PGMP provides connections and processor-group membership.
+
+Entry point: :class:`FTMPStack`.
+"""
+
+from .buffers import BufferedMessage, RetransmissionBuffer
+from .config import ClockMode, FTMPConfig
+from .connection import (
+    ConnectionBinding,
+    DuplicateDetector,
+    RequestNumbering,
+    domain_multicast_address,
+)
+from .constants import (
+    HEADER_SIZE,
+    MAGIC,
+    RELIABLE_TYPES,
+    TOTALLY_ORDERED_TYPES,
+    MessageType,
+)
+from .events import (
+    ConnectionEvent,
+    Delivery,
+    FaultReport,
+    Listener,
+    RecordingListener,
+    ViewChange,
+)
+from .lamport import LamportClock, OrderingClock, SynchronizedClock
+from .messages import (
+    AddProcessorMessage,
+    ConnectionId,
+    ConnectMessage,
+    ConnectRequestMessage,
+    FTMPHeader,
+    FTMPMessage,
+    HeartbeatMessage,
+    MembershipMessage,
+    RegularMessage,
+    RemoveProcessorMessage,
+    RetransmitRequestMessage,
+    SuspectMessage,
+    order_key,
+)
+from .stack import FTMPStack, ProcessorGroup
+from .tracing import TraceEvent, Tracer
+from .wire import CodecError, decode, encode, peek_header
+
+__all__ = [
+    "FTMPStack",
+    "ProcessorGroup",
+    "Tracer",
+    "TraceEvent",
+    "FTMPConfig",
+    "ClockMode",
+    "MessageType",
+    "MAGIC",
+    "HEADER_SIZE",
+    "RELIABLE_TYPES",
+    "TOTALLY_ORDERED_TYPES",
+    "ConnectionId",
+    "FTMPHeader",
+    "FTMPMessage",
+    "RegularMessage",
+    "RetransmitRequestMessage",
+    "HeartbeatMessage",
+    "ConnectRequestMessage",
+    "ConnectMessage",
+    "AddProcessorMessage",
+    "RemoveProcessorMessage",
+    "SuspectMessage",
+    "MembershipMessage",
+    "order_key",
+    "encode",
+    "decode",
+    "peek_header",
+    "CodecError",
+    "Listener",
+    "RecordingListener",
+    "Delivery",
+    "ViewChange",
+    "FaultReport",
+    "ConnectionEvent",
+    "LamportClock",
+    "SynchronizedClock",
+    "OrderingClock",
+    "RetransmissionBuffer",
+    "BufferedMessage",
+    "RequestNumbering",
+    "DuplicateDetector",
+    "ConnectionBinding",
+    "domain_multicast_address",
+]

@@ -1,0 +1,107 @@
+"""Retransmission buffer with ack-timestamp garbage collection (paper §6).
+
+Every reliable message a processor sends *or receives* is retained so that
+"any processor that has the message" can answer a RetransmitRequest (§5).
+ROMP "determines when the processor no longer needs to retain a message in
+its buffer, because all of the processor group members have received the
+message" — concretely, a buffered message with timestamp ``ts`` is
+reclaimable once every member's advertised ack timestamp is >= ``ts``
+(then nobody can ever NACK it).
+
+The buffer also tracks occupancy statistics for experiment E4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple
+
+__all__ = ["BufferedMessage", "RetransmissionBuffer"]
+
+
+@dataclass(frozen=True)
+class BufferedMessage:
+    """One retained wire message."""
+
+    source: int
+    sequence_number: int
+    timestamp: int
+    data: bytes
+
+
+class RetransmissionBuffer:
+    """Per-group store of reliable messages keyed by (source, seq)."""
+
+    def __init__(self, gc_enabled: bool = True):
+        self._store: Dict[Tuple[int, int], BufferedMessage] = {}
+        self.gc_enabled = gc_enabled
+        self.high_water_messages = 0
+        self.high_water_bytes = 0
+        self._bytes = 0
+        self.total_added = 0
+        self.total_reclaimed = 0
+
+    # ------------------------------------------------------------------
+    def add(self, source: int, seq: int, timestamp: int, data: bytes) -> None:
+        """Retain a reliable message (idempotent per (source, seq))."""
+        key = (source, seq)
+        if key in self._store:
+            return
+        self._store[key] = BufferedMessage(source, seq, timestamp, data)
+        self._bytes += len(data)
+        self.total_added += 1
+        if len(self._store) > self.high_water_messages:
+            self.high_water_messages = len(self._store)
+        if self._bytes > self.high_water_bytes:
+            self.high_water_bytes = self._bytes
+
+    def get(self, source: int, seq: int) -> Optional[BufferedMessage]:
+        """Look up a retained message for retransmission."""
+        return self._store.get((source, seq))
+
+    def __contains__(self, key: Tuple[int, int]) -> bool:
+        return key in self._store
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    @property
+    def bytes(self) -> int:
+        """Current occupancy in payload bytes."""
+        return self._bytes
+
+    def range_for(self, source: int, start: int, stop: int) -> Iterator[BufferedMessage]:
+        """All retained messages of ``source`` with start <= seq <= stop."""
+        for seq in range(start, stop + 1):
+            m = self._store.get((source, seq))
+            if m is not None:
+                yield m
+
+    # ------------------------------------------------------------------
+    def collect(self, stable_timestamp: int) -> int:
+        """Drop every message with timestamp <= ``stable_timestamp``.
+
+        ``stable_timestamp`` must be min over group members of their
+        advertised ack timestamps.  Returns the number reclaimed.  A
+        disabled buffer (E4's ablation) never reclaims.
+        """
+        if not self.gc_enabled:
+            return 0
+        dead = [k for k, m in self._store.items() if m.timestamp <= stable_timestamp]
+        for k in dead:
+            self._bytes -= len(self._store[k].data)
+            del self._store[k]
+        self.total_reclaimed += len(dead)
+        return len(dead)
+
+    def drop_source(self, source: int) -> int:
+        """Discard all messages from one source (after it leaves the group)."""
+        dead = [k for k in self._store if k[0] == source]
+        for k in dead:
+            self._bytes -= len(self._store[k].data)
+            del self._store[k]
+        return len(dead)
+
+    def clear(self) -> None:
+        self._store.clear()
+        self._bytes = 0

@@ -1,0 +1,94 @@
+"""Tunable parameters of the FTMP stack.
+
+Defaults are chosen for the simulated LAN (link latency ~100 us); the
+heartbeat interval and fault timeout are the paper's central tuning knobs
+(§5: "The choice of the heartbeat interval is a compromise between message
+latency and network traffic").  All times are seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["FTMPConfig", "ClockMode"]
+
+
+class ClockMode:
+    """Timestamp source for ROMP ordering (paper §6)."""
+
+    LAMPORT = "lamport"
+    SYNCHRONIZED = "synchronized"
+
+
+@dataclass(frozen=True)
+class FTMPConfig:
+    """Immutable configuration shared by all groups of one stack."""
+
+    # --- heartbeats / liveness (paper §5, §7.2) -----------------------
+    #: Multicast a Heartbeat if no Regular message was sent for this long.
+    heartbeat_interval: float = 0.010
+    #: Suspect a member after this much silence (must exceed several
+    #: heartbeat intervals to tolerate loss).
+    suspect_timeout: float = 0.060
+    #: Re-announce an unresolved suspicion at this period.
+    suspect_resend_interval: float = 0.020
+
+    # --- negative acknowledgements (paper §5) --------------------------
+    #: Delay between detecting a sequence gap and multicasting the
+    #: RetransmitRequest (lets reordered packets arrive first).
+    nack_delay: float = 0.002
+    #: Re-send an unanswered RetransmitRequest at this period.
+    nack_retry_interval: float = 0.010
+    #: Base for the randomized retransmission backoff: a non-source holder
+    #: of a requested message waits U(0,1) * base before retransmitting and
+    #: suppresses if it sees another copy first (NACK-implosion avoidance).
+    retransmit_backoff: float = 0.002
+    #: Ablation A1: disable the backoff/suppression scheme (every holder
+    #: answers every RetransmitRequest immediately).
+    retransmit_suppression: bool = True
+    #: Ablation A2: if False, only the original source answers NACKs
+    #: (the paper's "any processor ... may retransmit" turned off).
+    retransmit_any_holder: bool = True
+
+    # --- connections (paper §7) ----------------------------------------
+    #: Client retries ConnectRequest at this period until Connect arrives.
+    connect_retry_interval: float = 0.020
+    #: Server retransmits Connect at this period until it sees traffic
+    #: from the client over the new connection.
+    connect_resend_interval: float = 0.020
+    #: AddProcessor is retransmitted to the (unreliable) new member at
+    #: this period until the new member is heard from.
+    add_resend_interval: float = 0.020
+
+    # --- ordering clock (paper §6) --------------------------------------
+    #: ClockMode.LAMPORT or ClockMode.SYNCHRONIZED.
+    clock_mode: str = ClockMode.LAMPORT
+    #: Resolution of the synchronized clock in seconds per tick.
+    sync_clock_resolution: float = 1e-6
+    #: Bounded skew applied to this processor's synchronized clock.
+    sync_clock_skew: float = 0.0
+
+    # --- delivery guarantee ----------------------------------------------
+    #: "agreed" (default): deliver as soon as the total order is decided.
+    #: "safe": additionally wait until the message is *stable* — the ack
+    #: timestamps show every member holds it — before delivering (Totem's
+    #: agreed/safe distinction, built on §6's ack machinery).  Safe
+    #: delivery survives any minority of simultaneous crashes without a
+    #: survivor having delivered something the others never received.
+    delivery_mode: str = "agreed"
+
+    # --- buffering -------------------------------------------------------
+    #: If False, ack-timestamp garbage collection is disabled (experiment
+    #: E4 measures the resulting unbounded buffer growth).
+    buffer_gc_enabled: bool = True
+    #: Grace period granted to a freshly added member before the fault
+    #: detector may suspect it.
+    join_grace: float = 0.100
+
+    # --- wire ------------------------------------------------------------
+    #: Encode little-endian (the header's byte-order flag, paper §3.2).
+    little_endian: bool = True
+
+    def with_(self, **kwargs) -> "FTMPConfig":
+        """Return a copy with some fields replaced."""
+        return replace(self, **kwargs)

@@ -1,0 +1,60 @@
+"""Protocol constants for FTMP (paper §3.2).
+
+The paper fixes ``magic = "FTMP"`` and ``version = 1.0``, and defines nine
+message types (Figure 3).  Numeric values for the types are not given in
+the paper; we assign them in the order of Figure 3.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["MAGIC", "VERSION_MAJOR", "VERSION_MINOR", "HEADER_SIZE", "MessageType"]
+
+MAGIC = b"FTMP"
+VERSION_MAJOR = 1
+VERSION_MINOR = 0
+
+#: Fixed FTMP header length in bytes (see :mod:`repro.core.wire`).
+HEADER_SIZE = 40
+
+
+class MessageType(enum.IntEnum):
+    """The nine FTMP message types of Figure 3."""
+
+    REGULAR = 1
+    RETRANSMIT_REQUEST = 2
+    HEARTBEAT = 3
+    CONNECT_REQUEST = 4
+    CONNECT = 5
+    ADD_PROCESSOR = 6
+    REMOVE_PROCESSOR = 7
+    SUSPECT = 8
+    MEMBERSHIP = 9
+
+
+#: Message types that RMP delivers reliably and in source order (Figure 3).
+#: Heartbeat / RetransmitRequest / ConnectRequest are excluded: they are
+#: delivered (or consumed) unreliably as they arrive.
+RELIABLE_TYPES = frozenset(
+    {
+        MessageType.REGULAR,
+        MessageType.CONNECT,
+        MessageType.ADD_PROCESSOR,
+        MessageType.REMOVE_PROCESSOR,
+        MessageType.SUSPECT,
+        MessageType.MEMBERSHIP,
+    }
+)
+
+#: Message types that ROMP additionally delivers in causal + total order
+#: (Figure 3).  Suspect and Membership stay source-ordered only — they must
+#: keep flowing while total ordering is stalled by a faulty processor.
+TOTALLY_ORDERED_TYPES = frozenset(
+    {
+        MessageType.REGULAR,
+        MessageType.CONNECT,
+        MessageType.ADD_PROCESSOR,
+        MessageType.REMOVE_PROCESSOR,
+    }
+)

@@ -1,0 +1,95 @@
+"""Heartbeat-based processor fault detection (paper §2, §5, §7.2).
+
+"The Heartbeat messages also monitor the liveness of the processors and
+serve as a processor fault detector."  Every received datagram from a
+member refreshes its liveness; a member silent for ``suspect_timeout``
+becomes locally suspected, and PGMP is told so it can multicast a Suspect
+message.  Suspicion is withdrawn automatically if the member is heard from
+again before conviction (the "heuristic algorithms to increase the accuracy
+of the processor fault detectors" the paper alludes to).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional, Set
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .stack import ProcessorGroup
+
+__all__ = ["FaultDetector", "FaultDetectorStats"]
+
+
+@dataclass
+class FaultDetectorStats:
+    suspicions_raised: int = 0
+    suspicions_withdrawn: int = 0
+
+
+class FaultDetector:
+    """Per-group liveness monitor driving PGMP suspicion."""
+
+    def __init__(self, group: "ProcessorGroup"):
+        self._g = group
+        self._last_heard: Dict[int, float] = {}
+        self._suspected: Set[int] = set()
+        self._timer: Optional[object] = None
+        self.stats = FaultDetectorStats()
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin periodic liveness scans."""
+        if self._timer is None:
+            self._arm()
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def _arm(self) -> None:
+        period = max(self._g.config.suspect_timeout / 4.0, 1e-4)
+        self._timer = self._g.schedule(period, self._scan)
+
+    # ------------------------------------------------------------------
+    def note_alive(self, pid: int) -> None:
+        """Record that a datagram was received from ``pid``."""
+        self._last_heard[pid] = self._g.now()
+        if pid in self._suspected:
+            # heard from a suspect again: withdraw the suspicion
+            self._suspected.discard(pid)
+            self.stats.suspicions_withdrawn += 1
+            self._g.pgmp_withdraw_suspicion(pid)
+
+    def watch(self, pid: int, grace: float = 0.0) -> None:
+        """Start monitoring a (possibly new) member, with a grace period."""
+        self._last_heard[pid] = self._g.now() + grace
+
+    def forget(self, pid: int) -> None:
+        """Stop monitoring a departed member."""
+        self._last_heard.pop(pid, None)
+        self._suspected.discard(pid)
+
+    @property
+    def suspected(self) -> Set[int]:
+        """Members currently under local suspicion."""
+        return set(self._suspected)
+
+    # ------------------------------------------------------------------
+    def _scan(self) -> None:
+        self._timer = None
+        now = self._g.now()
+        timeout = self._g.config.suspect_timeout
+        for pid in self._g.membership:
+            if pid == self._g.pid or pid in self._suspected:
+                continue
+            last = self._last_heard.get(pid)
+            if last is None:
+                # never heard: start the clock from now
+                self._last_heard[pid] = now
+                continue
+            if now - last > timeout:
+                self._suspected.add(pid)
+                self.stats.suspicions_raised += 1
+                self._g.pgmp_raise_suspicion(pid)
+        self._arm()

@@ -1,0 +1,205 @@
+"""FTMP message model (paper §3 and §5–§7).
+
+Every FTMP message is a fixed 40-byte header (:class:`FTMPHeader`) followed
+by a type-specific body.  The dataclasses here mirror the paper's message
+format tables field-for-field; the binary encoding lives in
+:mod:`repro.core.wire`.
+
+Timestamps are integers (Lamport-clock ticks, or microsecond ticks in
+synchronized mode); sequence numbers are per-(source, destination group)
+and start at 1; sequence number 0 means "no reliable message sent yet".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Tuple, Union
+
+from .constants import MAGIC, VERSION_MAJOR, VERSION_MINOR, MessageType
+
+__all__ = [
+    "FTMPHeader",
+    "ConnectionId",
+    "RegularMessage",
+    "RetransmitRequestMessage",
+    "HeartbeatMessage",
+    "ConnectRequestMessage",
+    "ConnectMessage",
+    "AddProcessorMessage",
+    "RemoveProcessorMessage",
+    "SuspectMessage",
+    "MembershipMessage",
+    "FTMPMessage",
+    "order_key",
+]
+
+
+@dataclass
+class FTMPHeader:
+    """The FTMP message header (paper §3.2).
+
+    ``message_size`` is filled in by the codec at encode time (it covers
+    header + payload, as the paper specifies).
+    """
+
+    message_type: MessageType
+    source: int
+    group: int
+    sequence_number: int
+    timestamp: int
+    ack_timestamp: int
+    retransmission: bool = False
+    little_endian: bool = True
+    message_size: int = 0
+    magic: bytes = MAGIC
+    version: Tuple[int, int] = (VERSION_MAJOR, VERSION_MINOR)
+
+    def as_retransmission(self) -> "FTMPHeader":
+        """Copy of this header with the retransmission flag set (§3.2)."""
+        return replace(self, retransmission=True)
+
+
+@dataclass(frozen=True)
+class ConnectionId:
+    """Identifier of a logical connection between two object groups (§4).
+
+    Consists of the fault-tolerance-domain id and object-group id of the
+    client object group and of the server object group.
+    """
+
+    client_domain: int
+    client_group: int
+    server_domain: int
+    server_group: int
+
+    #: Sentinel used in Regular messages that do not belong to a logical
+    #: connection (e.g. raw group multicast below the ORB layer).
+    @staticmethod
+    def none() -> "ConnectionId":
+        return _NO_CONNECTION
+
+    def reversed(self) -> "ConnectionId":
+        """The same connection as named from the other side."""
+        return ConnectionId(
+            self.server_domain, self.server_group, self.client_domain, self.client_group
+        )
+
+
+_NO_CONNECTION = ConnectionId(0, 0, 0, 0)
+
+
+@dataclass
+class RegularMessage:
+    """Carries one encapsulated GIOP message (§5).
+
+    ``connection_id`` and ``request_num`` identify the invocation for
+    duplicate detection among object replicas (§4); ``payload`` is the
+    GIOP message bytes (or arbitrary application bytes below the ORB).
+    """
+
+    header: FTMPHeader
+    connection_id: ConnectionId
+    request_num: int
+    payload: bytes
+
+
+@dataclass
+class RetransmitRequestMessage:
+    """Negative acknowledgement for a block of missing messages (§5)."""
+
+    header: FTMPHeader
+    processor_id: int  #: source whose messages are missing
+    start_seq: int
+    stop_seq: int
+
+
+@dataclass
+class HeartbeatMessage:
+    """Null message carrying current seq / timestamp / ack values (§5)."""
+
+    header: FTMPHeader
+
+
+@dataclass
+class ConnectRequestMessage:
+    """Client's request for a new logical connection (§7)."""
+
+    header: FTMPHeader
+    connection_id: ConnectionId
+    processor_ids: Tuple[int, ...]  #: processors supporting the client group
+
+
+@dataclass
+class ConnectMessage:
+    """Server's response establishing (or migrating) a connection (§7)."""
+
+    header: FTMPHeader
+    connection_id: ConnectionId
+    processor_group_id: int
+    ip_multicast_address: int
+    membership_timestamp: int
+    membership: Tuple[int, ...]
+
+
+@dataclass
+class AddProcessorMessage:
+    """Adds a non-faulty processor to a processor group (§7.1)."""
+
+    header: FTMPHeader
+    membership_timestamp: int
+    membership: Tuple[int, ...]
+    #: seq number of the most recent *ordered* message from each member,
+    #: letting the new member construct the order for later messages.
+    sequence_numbers: Dict[int, int]
+    new_member: int
+
+
+@dataclass
+class RemoveProcessorMessage:
+    """Removes a non-faulty processor from a processor group (§7.1)."""
+
+    header: FTMPHeader
+    member_to_remove: int
+
+
+@dataclass
+class SuspectMessage:
+    """Declares processors suspected of being faulty (§7.2)."""
+
+    header: FTMPHeader
+    membership_timestamp: int
+    suspects: Tuple[int, ...]
+
+
+@dataclass
+class MembershipMessage:
+    """Proposes a new membership excluding convicted processors (§7.2).
+
+    ``sequence_numbers[p]`` is the highest seq from ``p`` such that the
+    sender has that message *and every smaller-numbered one* — the basis of
+    the virtual-synchrony message exchange.
+    """
+
+    header: FTMPHeader
+    membership_timestamp: int
+    current_membership: Tuple[int, ...]
+    sequence_numbers: Dict[int, int]
+    new_membership: Tuple[int, ...]
+
+
+FTMPMessage = Union[
+    RegularMessage,
+    RetransmitRequestMessage,
+    HeartbeatMessage,
+    ConnectRequestMessage,
+    ConnectMessage,
+    AddProcessorMessage,
+    RemoveProcessorMessage,
+    SuspectMessage,
+    MembershipMessage,
+]
+
+
+def order_key(msg: FTMPMessage) -> Tuple[int, int]:
+    """Total-order sort key: (timestamp, source id), ties by source (§6)."""
+    return (msg.header.timestamp, msg.header.source)

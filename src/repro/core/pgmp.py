@@ -1,0 +1,421 @@
+"""PGMP — the Processor Group Membership Protocol layer (paper §7).
+
+Three mechanisms, exactly as the paper structures them:
+
+**Non-faulty changes (§7.1)** — ``AddProcessor`` / ``RemoveProcessor`` are
+totally ordered, so every member applies the change at the same point in
+the message stream and "the ordering of messages ... continues unaffected".
+The initiator of an AddProcessor periodically retransmits it to the new
+member (which cannot NACK what it has never seen) until the new member is
+heard from.
+
+**Faulty changes (§7.2)** — the fault detector raises local suspicions;
+suspicions are shared via ``Suspect`` messages (reliable, source-ordered,
+*not* totally ordered — they must flow while ordering is stalled); a
+processor is *convicted* once a majority of the unsuspected members
+accuse it; each survivor then multicasts one ``Membership`` message per
+proposal carrying its received-sequence-number vector, survivors fetch
+whatever messages any of them is missing (virtual synchrony: "all of the
+processors ... that survived ... have received exactly the same messages"),
+and finally install the new view and issue a fault report.
+
+**Connections (§7)** — handled by :mod:`repro.core.connection`; this module
+implements the ordered ``Connect`` delivery used for migrating an existing
+connection to a new multicast address, including the §7 quiescence rule
+(no ordered transmissions until every member is heard past the Connect's
+timestamp).
+
+Under-specified points and our concrete choices are listed in DESIGN.md §2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, FrozenSet, Optional, Set, Tuple
+
+from .messages import (
+    AddProcessorMessage,
+    ConnectMessage,
+    FTMPMessage,
+    MembershipMessage,
+    RemoveProcessorMessage,
+    SuspectMessage,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .stack import ProcessorGroup
+
+__all__ = ["PGMP", "PGMPStats"]
+
+
+@dataclass
+class PGMPStats:
+    suspects_sent: int = 0
+    membership_msgs_sent: int = 0
+    convictions: int = 0
+    views_installed: int = 0
+    sync_nacks: int = 0
+
+
+@dataclass
+class _Round:
+    """State of one fault-membership agreement round."""
+
+    proposal: FrozenSet[int]
+    #: accepted Membership message per proposal member
+    vectors: Dict[int, Dict[int, int]] = field(default_factory=dict)
+    max_ts: int = 0
+    syncing: bool = False
+    targets: Dict[int, int] = field(default_factory=dict)
+    sync_timer: Optional[object] = None
+
+
+class PGMP:
+    """One PGMP instance per (processor, group) pair."""
+
+    def __init__(self, group: "ProcessorGroup"):
+        self._g = group
+        #: latest accusation set announced by each accuser in this view
+        self._accusations: Dict[int, FrozenSet[int]] = {}
+        #: my own current suspicions (mirrors the fault detector)
+        self._my_suspects: Set[int] = set()
+        #: proposals for which I already multicast my Membership message
+        self._sent_proposals: Set[FrozenSet[int]] = set()
+        self._round: Optional[_Round] = None
+        #: new-member pid -> (raw AddProcessor bytes, resend timer)
+        self._add_resends: Dict[int, Tuple[bytes, object]] = {}
+        self.stats = PGMPStats()
+
+    # ==================================================================
+    # §7.1 non-faulty membership changes
+    # ==================================================================
+    def initiate_add(self, new_member: int) -> None:
+        """Multicast an AddProcessor and keep retransmitting it to the
+        (unreliable) new member until the new member is heard from."""
+        if new_member in self._g.membership:
+            raise ValueError(f"processor {new_member} is already a member")
+        seq_vector = {
+            p: self._g.rmp.contiguous_top(p)
+            for p in self._g.membership
+            if p != self._g.pid
+        }
+        seq_vector[self._g.pid] = self._g.last_sent_seq
+        raw = self._g.send_add_processor(
+            membership_timestamp=self._g.view_timestamp,
+            membership=tuple(sorted(self._g.membership)),
+            sequence_numbers=seq_vector,
+            new_member=new_member,
+        )
+        timer = self._g.schedule(
+            self._g.config.add_resend_interval, self._resend_add, new_member
+        )
+        self._add_resends[new_member] = (raw, timer)
+
+    def _resend_add(self, new_member: int) -> None:
+        entry = self._add_resends.get(new_member)
+        if entry is None:
+            return
+        raw, _old = entry
+        if self._g.has_heard_from(new_member):
+            del self._add_resends[new_member]
+            return
+        self._g.retransmit_raw(raw)
+        timer = self._g.schedule(
+            self._g.config.add_resend_interval, self._resend_add, new_member
+        )
+        self._add_resends[new_member] = (raw, timer)
+
+    def initiate_remove(self, member: int) -> None:
+        """Multicast a RemoveProcessor (takes effect when ordered)."""
+        if member not in self._g.membership:
+            raise ValueError(f"processor {member} is not a member")
+        self._g.send_remove_processor(member)
+
+    # ------------------------------------------------------------------
+    # ordered deliveries from ROMP
+    # ------------------------------------------------------------------
+    def on_ordered(self, msg: FTMPMessage) -> None:
+        if isinstance(msg, AddProcessorMessage):
+            self._ordered_add(msg)
+        elif isinstance(msg, RemoveProcessorMessage):
+            self._ordered_remove(msg)
+        elif isinstance(msg, ConnectMessage):
+            self._ordered_connect(msg)
+
+    def _ordered_add(self, msg: AddProcessorMessage) -> None:
+        new = msg.new_member
+        if new in self._g.membership:
+            return  # idempotent (the new member bootstrapped directly)
+        self._g.install_view(
+            membership=tuple(sorted(set(self._g.membership) | {new})),
+            view_timestamp=msg.header.timestamp,
+            added=(new,),
+            removed=(),
+            reason="add",
+        )
+        # the new member's reliable stream starts at sequence number 1
+        self._g.rmp.set_baseline(new, 0)
+        self._g.watch_member(new, grace=self._g.config.join_grace)
+
+    def _ordered_remove(self, msg: RemoveProcessorMessage) -> None:
+        gone = msg.member_to_remove
+        if gone == self._g.pid:
+            self._g.evict_self(reason="remove", view_timestamp=msg.header.timestamp)
+            return
+        if gone not in self._g.membership:
+            return
+        self._g.install_view(
+            membership=tuple(sorted(set(self._g.membership) - {gone})),
+            view_timestamp=msg.header.timestamp,
+            added=(),
+            removed=(gone,),
+            reason="remove",
+        )
+        self._g.forget_member(gone)
+
+    def _ordered_connect(self, msg: ConnectMessage) -> None:
+        # Connection migration: switch the group to its new multicast
+        # address at this point in the total order, then observe the §7
+        # quiescence rule before sending any further ordered message.
+        self._g.apply_connect_migration(msg)
+
+    # ------------------------------------------------------------------
+    # new-member bootstrap (invoked by the group while in joining state)
+    # ------------------------------------------------------------------
+    def bootstrap_from_add(self, msg: AddProcessorMessage) -> None:
+        """Initialize this (new-member) group from a received AddProcessor."""
+        for pid, seq in msg.sequence_numbers.items():
+            self._g.rmp.set_baseline(pid, seq)
+        membership = tuple(sorted(set(msg.membership) | {msg.new_member}))
+        self._g.complete_join(
+            membership=membership,
+            view_timestamp=msg.header.timestamp,
+            join_barrier=(msg.header.timestamp, msg.header.source),
+        )
+
+    # ==================================================================
+    # §7.2 faulty membership changes
+    # ==================================================================
+    def raise_suspicion(self, pid: int) -> None:
+        """Fault detector noticed silence from ``pid``."""
+        if pid not in self._g.membership or pid in self._my_suspects:
+            return
+        self._my_suspects.add(pid)
+        self._g.trace("suspect", suspect=pid, action="raised")
+        self._broadcast_suspects()
+
+    def withdraw_suspicion(self, pid: int) -> None:
+        """Fault detector heard from a suspect again before conviction."""
+        if pid not in self._my_suspects:
+            return
+        self._my_suspects.discard(pid)
+        self._g.trace("suspect", suspect=pid, action="withdrawn")
+        self._broadcast_suspects()
+
+    def _broadcast_suspects(self) -> None:
+        self.stats.suspects_sent += 1
+        self._g.send_suspect(
+            membership_timestamp=self._g.view_timestamp,
+            suspects=tuple(sorted(self._my_suspects)),
+        )
+        # record my own accusation locally (my Suspect loops back too, but
+        # conviction must not depend on self-delivery timing)
+        self._accusations[self._g.pid] = frozenset(self._my_suspects)
+        self._check_conviction()
+
+    # ------------------------------------------------------------------
+    # source-ordered deliveries from ROMP (Suspect / Membership)
+    # ------------------------------------------------------------------
+    def on_source_ordered(self, msg: FTMPMessage) -> None:
+        if isinstance(msg, SuspectMessage):
+            self._on_suspect(msg)
+        elif isinstance(msg, MembershipMessage):
+            self._on_membership(msg)
+
+    def _on_suspect(self, msg: SuspectMessage) -> None:
+        if msg.membership_timestamp != self._g.view_timestamp:
+            return  # stale view
+        self._accusations[msg.header.source] = frozenset(msg.suspects)
+        self._check_conviction()
+
+    def _convicted(self) -> Set[int]:
+        """Primary-component conviction rule (DESIGN.md §2).
+
+        A processor is convicted when *more than half of the full current
+        membership* (counting only unsuspected voters) accuses it.  A
+        network partition therefore lets at most one component — the one
+        holding a strict majority — form a new view; minority components
+        stall until healed, so the total order can never split-brain.
+        Two-member groups cannot muster a strict majority against a dead
+        peer, so the single survivor's accusation suffices there (the
+        classic 2-node exception; crash vs partition is indistinguishable
+        either way).
+        """
+        membership = self._g.membership
+        accused = set()
+        for s in self._accusations.values():
+            accused |= s
+        accused &= set(membership)
+        if not accused:
+            return set()
+        voters = [q for q in membership if q not in accused]
+        convicted = set()
+        for p in accused:
+            votes = sum(1 for q in voters if p in self._accusations.get(q, ()))
+            if votes > len(membership) / 2 or (len(membership) == 2 and votes == 1):
+                convicted.add(p)
+        return convicted
+
+    def _check_conviction(self) -> None:
+        convicted = self._convicted()
+        if not convicted:
+            return
+        proposal = frozenset(self._g.membership) - convicted
+        if self._g.pid not in proposal:
+            # I have been convicted by the others; wait for their
+            # Membership messages to evict me (or recover by being heard).
+            return
+        self._start_round(proposal, convicted)
+
+    def _start_round(self, proposal: FrozenSet[int], convicted: Set[int]) -> None:
+        if self._round is not None and self._round.proposal == proposal:
+            return
+        self.stats.convictions += len(convicted)
+        if self._round is not None and self._round.sync_timer is not None:
+            self._round.sync_timer.cancel()
+        self._round = _Round(proposal=proposal)
+        if proposal not in self._sent_proposals:
+            # one Membership message per proposal: RMP's reliability makes
+            # a single transmission recoverable by every survivor.
+            self._sent_proposals.add(proposal)
+            vector = self._seq_vector()
+            self.stats.membership_msgs_sent += 1
+            self._g.send_membership(
+                membership_timestamp=self._g.view_timestamp,
+                current_membership=tuple(sorted(self._g.membership)),
+                sequence_numbers=vector,
+                new_membership=tuple(sorted(proposal)),
+            )
+        self._check_round()
+
+    def _seq_vector(self) -> Dict[int, int]:
+        vec = {
+            p: self._g.rmp.contiguous_top(p)
+            for p in self._g.membership
+            if p != self._g.pid
+        }
+        vec[self._g.pid] = self._g.last_sent_seq
+        return vec
+
+    def _on_membership(self, msg: MembershipMessage) -> None:
+        if msg.membership_timestamp != self._g.view_timestamp:
+            return
+        if self._g.pid not in msg.new_membership:
+            # the survivors have excluded me: leave the group
+            self._g.evict_self(reason="evicted", view_timestamp=msg.header.timestamp)
+            return
+        proposal = frozenset(msg.new_membership)
+        # Seeing a proposal implies its senders convicted the complement;
+        # adopt it if it is at least as aggressive as ours.
+        if self._round is None or (
+            self._round.proposal != proposal and proposal < self._round.proposal
+        ):
+            convicted = set(self._g.membership) - proposal
+            self._start_round(proposal, convicted)
+        if self._round is None or self._round.proposal != proposal:
+            # A *larger* proposal than ours (we convicted more): ignore;
+            # the sender will converge to ours when its detector fires or
+            # when it sees our Membership message.
+            return
+        rnd = self._round
+        if msg.header.source not in rnd.vectors:
+            rnd.vectors[msg.header.source] = dict(msg.sequence_numbers)
+            if msg.header.timestamp > rnd.max_ts:
+                rnd.max_ts = msg.header.timestamp
+        self._check_round()
+
+    def _check_round(self) -> None:
+        rnd = self._round
+        if rnd is None or rnd.syncing:
+            return
+        if not all(p in rnd.vectors for p in rnd.proposal):
+            return
+        # All survivors reported: compute the union of received messages
+        # and fetch what we are missing (virtual synchrony, §7.2).
+        targets: Dict[int, int] = {}
+        for vec in rnd.vectors.values():
+            for pid, seq in vec.items():
+                if seq > targets.get(pid, 0):
+                    targets[pid] = seq
+        rnd.targets = targets
+        rnd.syncing = True
+        self._sync_step()
+
+    def _sync_step(self) -> None:
+        rnd = self._round
+        if rnd is None or not rnd.syncing:
+            return
+        missing = False
+        for pid, target in rnd.targets.items():
+            if pid == self._g.pid:
+                continue
+            top = self._g.rmp.contiguous_top(pid)
+            if top < target:
+                missing = True
+                self.stats.sync_nacks += 1
+                self._g.send_retransmit_request(pid, top + 1, target)
+        if missing:
+            rnd.sync_timer = self._g.schedule(
+                self._g.config.nack_retry_interval, self._sync_step
+            )
+            return
+        self._install_fault_view()
+
+    def _install_fault_view(self) -> None:
+        rnd = self._round
+        assert rnd is not None
+        removed = tuple(sorted(set(self._g.membership) - rnd.proposal))
+        new_membership = tuple(sorted(rnd.proposal))
+        # Deterministic view timestamp: every survivor records the same
+        # single Membership message per proposal member, so the max of
+        # their header timestamps agrees everywhere.
+        view_ts = max(rnd.max_ts, self._g.view_timestamp + 1)
+        targets = dict(rnd.targets)
+        self._round = None
+        self._accusations.clear()
+        self._my_suspects.clear()
+        self._sent_proposals.clear()
+        self.stats.views_installed += 1
+        self._g.install_fault_view(
+            membership=new_membership,
+            view_timestamp=view_ts,
+            removed=removed,
+            sync_targets=targets,
+        )
+
+    # ------------------------------------------------------------------
+    def reset_after_view(self) -> None:
+        """Clear suspicion state after any view installation."""
+        self._accusations.clear()
+        self._my_suspects.clear()
+        self._sent_proposals.clear()
+        if self._round is not None and self._round.sync_timer is not None:
+            self._round.sync_timer.cancel()
+        self._round = None
+
+    def cancel_add_resend(self, new_member: int) -> None:
+        entry = self._add_resends.pop(new_member, None)
+        if entry is not None:
+            entry[1].cancel()
+
+    def stop(self) -> None:
+        for _raw, timer in self._add_resends.values():
+            timer.cancel()
+        self._add_resends.clear()
+        if self._round is not None and self._round.sync_timer is not None:
+            self._round.sync_timer.cancel()
+
+    @property
+    def in_fault_round(self) -> bool:
+        """True while a fault-membership round is unresolved."""
+        return self._round is not None

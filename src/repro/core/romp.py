@@ -1,0 +1,312 @@
+"""ROMP — the Reliable Ordered Multicast Protocol layer (paper §6).
+
+ROMP receives source-ordered reliable messages from RMP and delivers
+Regular / Connect / AddProcessor / RemoveProcessor messages in causal and
+total order (Figure 3).  The ordering construction is the classical
+Lamport total order the paper cites:
+
+* every message carries a timestamp from the sender's ordering clock,
+  strictly increasing per source;
+* a receiver may deliver the buffered message with the smallest
+  ``(timestamp, source)`` key once it has heard, from *every* member of the
+  group, some message (heartbeats included) with timestamp >= that key's
+  timestamp — nothing earlier can still arrive, because RMP guarantees
+  per-source contiguity and clocks are per-source monotonic.
+
+Suspect and Membership messages are reliable but *not* totally ordered
+(Figure 3): they bypass the ordering queue and go straight to PGMP — they
+must keep flowing precisely when ordering is stalled by a faulty member.
+
+ROMP also owns the positive-acknowledgement machinery: the ack timestamp
+stamped on every outgoing message is the timestamp of this processor's
+latest totally-ordered delivery (by the delivery rule, everything at or
+below it has been received from all members), and the minimum ack heard
+across members drives retransmission-buffer garbage collection (§6).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from .constants import TOTALLY_ORDERED_TYPES, MessageType
+from .messages import FTMPHeader, FTMPMessage, HeartbeatMessage
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .stack import ProcessorGroup
+
+__all__ = ["ROMP", "ROMPStats"]
+
+
+@dataclass
+class ROMPStats:
+    """Ordering-layer counters (read by E1/E2/E4)."""
+
+    ordered_deliveries: int = 0
+    bypass_deliveries: int = 0  #: Suspect/Membership handed straight to PGMP
+    max_queue_depth: int = 0
+    gc_runs: int = 0
+    messages_reclaimed: int = 0
+
+
+class ROMP:
+    """One ROMP instance per (processor, group) pair."""
+
+    def __init__(self, group: "ProcessorGroup"):
+        self._g = group
+        #: max timestamp of the contiguous message stream per source
+        self._order_ts: Dict[int, int] = {}
+        #: latest ack timestamp advertised by each source
+        self._peer_ack: Dict[int, int] = {}
+        #: ordering queue: (timestamp, source, insertion seq, message)
+        self._queue: List[Tuple[int, int, int, FTMPMessage]] = []
+        self._queue_keys: set = set()  #: (ts, src) pairs currently queued
+        self._insertion = 0
+        #: my positive acknowledgment: ts of the latest ordered delivery
+        self._ack = 0
+        #: quiescence barrier after a Connect (§7): no ordered sends until
+        #: every member has been heard past this timestamp
+        self._send_barrier: Optional[int] = None
+        #: ordered messages from sources not (yet) in the membership,
+        #: flushed into the queue when an AddProcessor admits the source
+        self._staging: Dict[int, List[FTMPMessage]] = {}
+        self._STAGING_CAP = 4096
+        #: safe-delivery hold queue: ordered Regulars awaiting stability
+        self._unsafe: List[FTMPMessage] = []
+        self.stats = ROMPStats()
+
+    # ------------------------------------------------------------------
+    # observation of every datagram (clock, acks, liveness)
+    # ------------------------------------------------------------------
+    def observe_header(self, h: FTMPHeader) -> None:
+        """Fold in clock/ack/liveness information from any received header."""
+        self._g.clock.observe(h.timestamp)
+        src = h.source
+        if h.ack_timestamp > self._peer_ack.get(src, 0):
+            self._peer_ack[src] = h.ack_timestamp
+            self._maybe_collect()
+        self._g.note_alive(src)
+
+    # ------------------------------------------------------------------
+    # inputs from RMP
+    # ------------------------------------------------------------------
+    def receive(self, msg: FTMPMessage) -> None:
+        """A reliable message, delivered by RMP in source order."""
+        h = msg.header
+        self.observe_header(h)
+        self._advance_order_ts(h.source, h.timestamp)
+        if h.message_type in TOTALLY_ORDERED_TYPES:
+            if h.source not in self._g.membership:
+                # A source that is not (yet) a member: stage its ordered
+                # messages until an AddProcessor admits it — never let a
+                # non-member block the head of the ordering queue.
+                stage = self._staging.setdefault(h.source, [])
+                if len(stage) < self._STAGING_CAP:
+                    stage.append(msg)
+                return
+            self._enqueue(msg)
+        else:
+            # Suspect / Membership: reliable, source-ordered, NOT total order
+            if h.source not in self._g.membership:
+                return  # stale control traffic from an evicted processor
+            self.stats.bypass_deliveries += 1
+            self._g.pgmp_receive_source_ordered(msg)
+        self.evaluate()
+
+    def _enqueue(self, msg: FTMPMessage) -> None:
+        h = msg.header
+        key = (h.timestamp, h.source)
+        if key in self._queue_keys:
+            return
+        self._queue_keys.add(key)
+        heapq.heappush(self._queue, (h.timestamp, h.source, self._insertion, msg))
+        self._insertion += 1
+        if len(self._queue) > self.stats.max_queue_depth:
+            self.stats.max_queue_depth = len(self._queue)
+
+    def receive_heartbeat(self, msg: HeartbeatMessage) -> None:
+        """A heartbeat whose seq is contiguous with its source's stream."""
+        h = msg.header
+        self.observe_header(h)
+        self._advance_order_ts(h.source, h.timestamp)
+        self.evaluate()
+
+    def _advance_order_ts(self, src: int, ts: int) -> None:
+        if ts > self._order_ts.get(src, 0):
+            self._order_ts[src] = ts
+
+    # ------------------------------------------------------------------
+    # the total-order delivery rule
+    # ------------------------------------------------------------------
+    def evaluate(self) -> None:
+        """Deliver every queue message whose timestamp is covered by all members."""
+        self._release_safe()  # membership/ack changes may unblock safe holds
+        delivered_any = False
+        while self._queue:
+            ts, src, _ins, msg = self._queue[0]
+            membership = self._g.membership
+            if src not in membership and (ts, src) not in self._g.legacy_keys:
+                # A not-yet-added member's message: it always follows the
+                # AddProcessor (smaller timestamp) in the queue; if the
+                # source will never join, the view change purges it.
+                # (Messages grandfathered by a fault view are delivered.)
+                break
+            if not all(self._order_ts.get(p, 0) >= ts for p in membership):
+                break
+            heapq.heappop(self._queue)
+            self._queue_keys.discard((ts, src))
+            if ts > self._ack:
+                self._ack = ts
+            self.stats.ordered_deliveries += 1
+            delivered_any = True
+            self._dispatch(msg)
+        if delivered_any:
+            self._maybe_collect()
+        self._check_send_barrier()
+
+    def _dispatch(self, msg: FTMPMessage) -> None:
+        t = msg.header.message_type
+        if t == MessageType.REGULAR:
+            if self._g.config.delivery_mode == "safe":
+                # hold until the ack timestamps prove every member has it
+                self._unsafe.append(msg)
+                self._release_safe()
+                return
+            self._g.deliver_regular(msg)  # type: ignore[arg-type]
+        else:
+            # Connect / AddProcessor / RemoveProcessor reach PGMP at their
+            # position in the total order, so every member applies the
+            # membership change at the same point in the message stream.
+            self._g.pgmp_receive_ordered(msg)
+
+    # ------------------------------------------------------------------
+    # acknowledgements & buffer management
+    # ------------------------------------------------------------------
+    @property
+    def ack_timestamp(self) -> int:
+        """Value stamped into the ack field of every outgoing message."""
+        return self._ack
+
+    def stability_timestamp(self) -> int:
+        """min over members of their acks — everything at/below is stable."""
+        membership = self._g.membership
+        if not membership:
+            return 0
+        values = []
+        for p in membership:
+            if p == self._g.pid:
+                values.append(self._ack)
+            else:
+                values.append(self._peer_ack.get(p, 0))
+        return min(values)
+
+    def _maybe_collect(self) -> None:
+        self._release_safe()
+        if not self._g.config.buffer_gc_enabled:
+            return
+        stable = self.stability_timestamp()
+        if stable > 0:
+            reclaimed = self._g.buffer.collect(stable)
+            if reclaimed:
+                self.stats.gc_runs += 1
+                self.stats.messages_reclaimed += reclaimed
+
+    def _release_safe(self) -> None:
+        if not self._unsafe:
+            return
+        stable = self.stability_timestamp()
+        while self._unsafe and self._unsafe[0].header.timestamp <= stable:
+            msg = self._unsafe.pop(0)
+            self._g.deliver_regular(msg)  # type: ignore[arg-type]
+
+    def unsafe_held(self) -> int:
+        """Messages totally ordered but awaiting stability (safe mode)."""
+        return len(self._unsafe)
+
+    # ------------------------------------------------------------------
+    # quiescence barrier after Connect (§7)
+    # ------------------------------------------------------------------
+    def set_send_barrier(self, timestamp: int) -> None:
+        """Block ordered sends until all members are heard past ``timestamp``."""
+        if self._send_barrier is None or timestamp > self._send_barrier:
+            self._send_barrier = timestamp
+        self._check_send_barrier()
+
+    def can_send_ordered(self) -> bool:
+        """True when no Connect barrier is pending (§7 quiescence rule)."""
+        return self._send_barrier is None
+
+    def _check_send_barrier(self) -> None:
+        if self._send_barrier is None:
+            return
+        barrier = self._send_barrier
+        if all(self._order_ts.get(p, 0) > barrier for p in self._g.membership):
+            self._send_barrier = None
+            self._g.on_send_barrier_cleared()
+
+    # ------------------------------------------------------------------
+    # membership-change support
+    # ------------------------------------------------------------------
+    def purge_source(self, src: int) -> None:
+        """Forget a departed member (keep its already-queued messages only
+        if it was removed by RemoveProcessor/Membership *after* syncing —
+        the caller decides by calling purge_queue too)."""
+        self._order_ts.pop(src, None)
+        self._peer_ack.pop(src, None)
+        self._staging.pop(src, None)
+
+    def flush_staging(self, src: int) -> None:
+        """Move a freshly admitted member's staged messages into the queue.
+
+        Deliberately does NOT evaluate: the caller (view installation)
+        evaluates after the view-change listener has fired, so state
+        captured "at the view change" really precedes the first delivery
+        of the new view.
+        """
+        for msg in self._staging.pop(src, ()):  # preserves arrival (seq) order
+            self._enqueue(msg)
+
+    def purge_queue_after(self, src: int, seq_cutoff: int) -> int:
+        """Drop queued messages from ``src`` with seq > ``seq_cutoff``.
+
+        Used at fault-view installation: messages beyond the synchronized
+        prefix were not received by every survivor and must not be
+        delivered anywhere (virtual synchrony)."""
+        keep = [
+            e
+            for e in self._queue
+            if not (e[1] == src and e[3].header.sequence_number > seq_cutoff)
+        ]
+        dropped = len(self._queue) - len(keep)
+        if dropped:
+            self._queue = keep
+            heapq.heapify(self._queue)
+            self._queue_keys = {(ts, s) for ts, s, _i, _m in self._queue}
+        return dropped
+
+    def purge_queue_of(self, src: int) -> int:
+        """Drop queued (undeliverable) messages from a departed source."""
+        keep = [e for e in self._queue if e[1] != src]
+        dropped = len(self._queue) - len(keep)
+        if dropped:
+            self._queue = keep
+            heapq.heapify(self._queue)
+            self._queue_keys = {(ts, s) for ts, s, _i, _m in self._queue}
+        return dropped
+
+    def order_ts(self, src: int) -> int:
+        """Timestamp up to which ``src``'s stream has been heard contiguously."""
+        return self._order_ts.get(src, 0)
+
+    def queued(self) -> int:
+        """Current ordering-queue depth."""
+        return len(self._queue)
+
+    def queued_from(self, src: int) -> int:
+        """Queued messages originated by ``src``."""
+        return sum(1 for e in self._queue if e[1] == src)
+
+    def keys_from(self, src: int) -> List[Tuple[int, int]]:
+        """(timestamp, source) keys of queued messages from ``src``."""
+        return [(ts, s) for ts, s, _i, _m in self._queue if s == src]

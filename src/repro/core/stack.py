@@ -1,0 +1,871 @@
+"""The FTMP protocol stack (paper Figure 1).
+
+:class:`FTMPStack` is one processor's instance of the whole protocol:
+it owns the ordering clock, the per-group protocol machines
+(:class:`ProcessorGroup` = RMP + ROMP + PGMP + fault detector + buffers),
+the connection manager, and the datagram routing between them.  It is
+written against the abstract :class:`~repro.simnet.transport.Endpoint`,
+so the identical stack runs over the discrete-event simulator and over
+real UDP sockets.
+
+Typical use (static bootstrap, as the FT infrastructure would do)::
+
+    stack = FTMPStack(net.endpoint(pid), FTMPConfig(), listener)
+    stack.create_group(group_id=1, address=5001, membership=(1, 2, 3))
+    stack.multicast(1, b"payload")
+
+Dynamic membership::
+
+    stack_a.add_processor(1, new_pid=4)       # on an existing member
+    stack_d.join_as_new_member(1, address=5001)  # on the new processor
+
+Connections (paper §4/§7)::
+
+    server.serve(domain=7, object_group=1, server_pids=(1, 2))
+    client.request_connection(ConnectionId(0, 9, 7, 1), client_pids=(8, 9))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ..simnet.transport import Endpoint
+from .buffers import RetransmissionBuffer
+from .config import FTMPConfig
+from .connection import (
+    ConnectionBinding,
+    ConnectionManager,
+    DuplicateDetector,
+    default_allocator,
+)
+from .constants import RELIABLE_TYPES, MessageType
+from .events import ConnectionEvent, Delivery, FaultReport, Listener, ViewChange
+from .fault_detector import FaultDetector
+from .lamport import make_clock
+from .messages import (
+    AddProcessorMessage,
+    ConnectionId,
+    ConnectMessage,
+    ConnectRequestMessage,
+    FTMPHeader,
+    FTMPMessage,
+    HeartbeatMessage,
+    MembershipMessage,
+    RegularMessage,
+    RemoveProcessorMessage,
+    RetransmitRequestMessage,
+    SuspectMessage,
+)
+from .pgmp import PGMP
+from .rmp import RMP
+from .romp import ROMP
+from .tracing import Tracer
+from .wire import CodecError, decode, encode, peek_header
+
+__all__ = ["FTMPStack", "ProcessorGroup", "StackStats"]
+
+_RETRANS_FLAG_OFFSET = 6  # header byte holding the flags (see wire.py)
+_FLAG_RETRANSMISSION = 0x02
+
+
+@dataclass
+class StackStats:
+    datagrams_received: int = 0
+    datagrams_sent: int = 0
+    decode_errors: int = 0
+    unknown_group_drops: int = 0
+
+
+@dataclass
+class GroupStats:
+    regulars_sent: int = 0
+    heartbeats_sent: int = 0
+    ordered_sends_deferred: int = 0
+
+
+class ProcessorGroup:
+    """One processor's protocol state for one processor group.
+
+    Combines the RMP / ROMP / PGMP machines, the retransmission buffer,
+    the fault detector, the heartbeat generator and the send paths.  The
+    protocol layers call back into this object for timers, sends and
+    upward deliveries (it is the "group context").
+    """
+
+    def __init__(
+        self,
+        stack: "FTMPStack",
+        group_id: int,
+        address: int,
+        membership: Tuple[int, ...],
+        joining: bool = False,
+    ):
+        self._stack = stack
+        self.group_id = group_id
+        self.address = address
+        self.membership: Tuple[int, ...] = tuple(sorted(membership))
+        self.view_timestamp = 0
+        self.joining = joining
+        #: (timestamp, source) of the AddProcessor that admitted us; ordered
+        #: messages strictly before it belong to views we were not part of.
+        self.join_barrier: Optional[Tuple[int, int]] = None
+        #: keys of queued ordered messages from members removed by a fault
+        #: view — still deliverable (virtual synchrony grandfathering)
+        self.legacy_keys: Set[Tuple[int, int]] = set()
+
+        self.buffer = RetransmissionBuffer(gc_enabled=stack.config.buffer_gc_enabled)
+        self.rmp = RMP(self)
+        self.romp = ROMP(self)
+        self.pgmp = PGMP(self)
+        self.fault_detector = FaultDetector(self)
+        self.stats = GroupStats()
+
+        self.last_sent_seq = 0
+        self._last_send_time = -1e9
+        self._hb_timer: Optional[object] = None
+        self._pending_ordered: List[Tuple[bytes, ConnectionId, int]] = []
+        self._heard: Set[int] = set()
+        self._incoming_raw: Optional[bytes] = None
+        self._stopped = False
+
+        if not joining:
+            self._activate()
+
+    # ------------------------------------------------------------------
+    # context surface used by the protocol layers
+    # ------------------------------------------------------------------
+    @property
+    def pid(self) -> int:
+        return self._stack.pid
+
+    @property
+    def config(self) -> FTMPConfig:
+        return self._stack.config
+
+    @property
+    def rng(self):
+        return self._stack.endpoint.random()
+
+    @property
+    def clock(self):
+        return self._stack.clock
+
+    def now(self) -> float:
+        return self._stack.endpoint.now
+
+    def schedule(self, delay: float, fn: Callable, *args):
+        return self._stack.endpoint.schedule(delay, fn, *args)
+
+    def trace(self, kind: str, **detail) -> None:
+        tracer = self._stack.tracer
+        if tracer is not None:
+            tracer.emit(self.now(), self.pid, self.group_id, kind, **detail)
+
+    def note_alive(self, src: int) -> None:
+        if src not in self._heard:
+            self._heard.add(src)
+            # a newly heard processor ends any AddProcessor resend loop
+            self.pgmp.cancel_add_resend(src)
+        self.fault_detector.note_alive(src)
+
+    def has_heard_from(self, src: int) -> bool:
+        return src in self._heard
+
+    def watch_member(self, pid: int, grace: float = 0.0) -> None:
+        self.fault_detector.watch(pid, grace)
+
+    def forget_member(self, pid: int) -> None:
+        self.fault_detector.forget(pid)
+        self.rmp.drop_source(pid)
+        self.romp.purge_queue_of(pid)
+        self.romp.purge_source(pid)
+        self._heard.discard(pid)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _activate(self) -> None:
+        """Join the wire address, start heartbeats and the fault detector."""
+        self._stack.endpoint.join(self.address)
+        self.fault_detector.start()
+        for p in self.membership:
+            if p != self.pid:
+                self.fault_detector.watch(p, grace=self.config.join_grace)
+        self._arm_heartbeat()
+
+    def stop(self) -> None:
+        if self._stopped:
+            return
+        self._stopped = True
+        if self._hb_timer is not None:
+            self._hb_timer.cancel()
+            self._hb_timer = None
+        self.fault_detector.stop()
+        self.rmp.stop()
+        self.pgmp.stop()
+        self._stack.endpoint.leave(self.address)
+
+    # ------------------------------------------------------------------
+    # datagram input (from the stack router)
+    # ------------------------------------------------------------------
+    def on_datagram(self, msg: FTMPMessage, raw: bytes) -> None:
+        if self._stopped:
+            return
+        if self.joining:
+            # A new member can only act on the AddProcessor that names it;
+            # everything else is recovered by NACK after the join (§7.1).
+            if isinstance(msg, AddProcessorMessage) and msg.new_member == self.pid:
+                self.pgmp.bootstrap_from_add(msg)
+                self._incoming_raw = raw
+                self.rmp.on_message(msg)
+                self._incoming_raw = None
+            return
+        if self._stack.tracer is not None:
+            self.trace("recv", type=msg.header.message_type.name,
+                       src=msg.header.source, seq=msg.header.sequence_number)
+        # every datagram carries usable clock / ack / liveness information
+        # (RetransmitRequests included); ordering advancement stays gated
+        # on contiguity inside ROMP
+        self.romp.observe_header(msg.header)
+        self._incoming_raw = raw
+        self.rmp.on_message(msg)
+        self._incoming_raw = None
+
+    def retain(self, msg: FTMPMessage) -> None:
+        """Keep a reliable message for answering RetransmitRequests (§5)."""
+        h = msg.header
+        raw = self._incoming_raw if self._incoming_raw is not None else encode(msg)
+        self.buffer.add(h.source, h.sequence_number, h.timestamp, raw)
+
+    # ------------------------------------------------------------------
+    # upward delivery plumbing (called by RMP / ROMP)
+    # ------------------------------------------------------------------
+    def romp_receive(self, msg: FTMPMessage) -> None:
+        self.romp.receive(msg)
+
+    def romp_heartbeat(self, msg: HeartbeatMessage) -> None:
+        self.romp.receive_heartbeat(msg)
+
+    def pgmp_raise_suspicion(self, pid: int) -> None:
+        self.pgmp.raise_suspicion(pid)
+
+    def pgmp_withdraw_suspicion(self, pid: int) -> None:
+        self.pgmp.withdraw_suspicion(pid)
+
+    def pgmp_receive_unreliable(self, msg: FTMPMessage) -> None:
+        if isinstance(msg, ConnectRequestMessage):
+            self._stack.connections.on_connect_request(msg)
+
+    def pgmp_receive_source_ordered(self, msg: FTMPMessage) -> None:
+        self.pgmp.on_source_ordered(msg)
+
+    def pgmp_receive_ordered(self, msg: FTMPMessage) -> None:
+        if self.join_barrier is not None:
+            key = (msg.header.timestamp, msg.header.source)
+            if key < self.join_barrier:
+                return  # predates our admission to the group
+        self.pgmp.on_ordered(msg)
+
+    def deliver_regular(self, msg: RegularMessage) -> None:
+        h = msg.header
+        if self.join_barrier is not None and (h.timestamp, h.source) < self.join_barrier:
+            return
+        self.legacy_keys.discard((h.timestamp, h.source))
+        if self._stack.tracer is not None:
+            self.trace("deliver", src=h.source, seq=h.sequence_number,
+                       ts=h.timestamp, bytes=len(msg.payload))
+        self._stack.listener.on_deliver(
+            Delivery(
+                group=self.group_id,
+                source=h.source,
+                sequence_number=h.sequence_number,
+                timestamp=h.timestamp,
+                connection_id=msg.connection_id,
+                request_num=msg.request_num,
+                payload=msg.payload,
+                delivered_at=self.now(),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # send paths
+    # ------------------------------------------------------------------
+    def _header(self, mtype: MessageType, reliable: bool) -> FTMPHeader:
+        if reliable:
+            self.last_sent_seq += 1
+        return FTMPHeader(
+            message_type=mtype,
+            source=self.pid,
+            group=self.group_id,
+            sequence_number=self.last_sent_seq,
+            timestamp=self.clock.tick(),
+            ack_timestamp=self.romp.ack_timestamp,
+            little_endian=self.config.little_endian,
+        )
+
+    def _transmit(self, msg: FTMPMessage, address: Optional[int] = None) -> bytes:
+        raw = encode(msg)
+        mtype = msg.header.message_type
+        if mtype in RELIABLE_TYPES:
+            self.buffer.add(
+                msg.header.source, msg.header.sequence_number, msg.header.timestamp, raw
+            )
+        if mtype in RELIABLE_TYPES or mtype == MessageType.HEARTBEAT:
+            # §5: a Heartbeat is due when no *Regular* (ordered-stream)
+            # message went out recently; control traffic such as
+            # RetransmitRequests must not starve the heartbeat, because
+            # receivers need the stream's timestamps to keep ordering.
+            self._last_send_time = self.now()
+        if self._stack.tracer is not None:
+            self.trace("send", type=mtype.name, seq=msg.header.sequence_number,
+                       ts=msg.header.timestamp)
+        self._stack.transmit(address if address is not None else self.address, raw)
+        return raw
+
+    def multicast(self, payload: bytes, connection_id: Optional[ConnectionId] = None,
+                  request_num: int = 0) -> None:
+        """Multicast an application (GIOP) payload as a Regular message."""
+        if self.joining:
+            raise RuntimeError("cannot multicast before the join completes")
+        cid = connection_id if connection_id is not None else ConnectionId.none()
+        if not self.romp.can_send_ordered():
+            # §7 quiescence after a Connect: hold ordered application
+            # traffic until every member is heard past the barrier.
+            self.stats.ordered_sends_deferred += 1
+            self._pending_ordered.append((payload, cid, request_num))
+            return
+        self._send_regular(payload, cid, request_num)
+
+    def _send_regular(self, payload: bytes, cid: ConnectionId, request_num: int) -> None:
+        msg = RegularMessage(
+            header=self._header(MessageType.REGULAR, reliable=True),
+            connection_id=cid,
+            request_num=request_num,
+            payload=payload,
+        )
+        self.stats.regulars_sent += 1
+        self._transmit(msg)
+
+    def on_send_barrier_cleared(self) -> None:
+        pending, self._pending_ordered = self._pending_ordered, []
+        for payload, cid, request_num in pending:
+            self._send_regular(payload, cid, request_num)
+
+    def send_retransmit_request(self, source: int, start: int, stop: int) -> None:
+        if self._stack.tracer is not None:
+            self.trace("nack", missing_from=source, start=start, stop=stop)
+        msg = RetransmitRequestMessage(
+            header=self._header(MessageType.RETRANSMIT_REQUEST, reliable=False),
+            processor_id=source,
+            start_seq=start,
+            stop_seq=stop,
+        )
+        self._transmit(msg)
+
+    def retransmit_raw(self, raw: bytes, address: Optional[int] = None) -> None:
+        """Re-send a retained message unchanged except the retrans flag (§3.2)."""
+        if self._stack.tracer is not None:
+            self.trace("resend", bytes=len(raw))
+        out = bytearray(raw)
+        out[_RETRANS_FLAG_OFFSET] |= _FLAG_RETRANSMISSION
+        self._stack.transmit(address if address is not None else self.address,
+                             bytes(out))
+
+    def send_add_processor(self, membership_timestamp: int, membership: Tuple[int, ...],
+                           sequence_numbers: Dict[int, int], new_member: int) -> bytes:
+        msg = AddProcessorMessage(
+            header=self._header(MessageType.ADD_PROCESSOR, reliable=True),
+            membership_timestamp=membership_timestamp,
+            membership=membership,
+            sequence_numbers=sequence_numbers,
+            new_member=new_member,
+        )
+        return self._transmit(msg)
+
+    def send_remove_processor(self, member: int) -> None:
+        msg = RemoveProcessorMessage(
+            header=self._header(MessageType.REMOVE_PROCESSOR, reliable=True),
+            member_to_remove=member,
+        )
+        self._transmit(msg)
+
+    def send_suspect(self, membership_timestamp: int, suspects: Tuple[int, ...]) -> None:
+        msg = SuspectMessage(
+            header=self._header(MessageType.SUSPECT, reliable=True),
+            membership_timestamp=membership_timestamp,
+            suspects=suspects,
+        )
+        self._transmit(msg)
+
+    def send_membership(self, membership_timestamp: int, current_membership: Tuple[int, ...],
+                        sequence_numbers: Dict[int, int],
+                        new_membership: Tuple[int, ...]) -> None:
+        msg = MembershipMessage(
+            header=self._header(MessageType.MEMBERSHIP, reliable=True),
+            membership_timestamp=membership_timestamp,
+            current_membership=current_membership,
+            sequence_numbers=sequence_numbers,
+            new_membership=new_membership,
+        )
+        self._transmit(msg)
+
+    def send_connect(self, connection_id: ConnectionId, processor_group_id: int,
+                     ip_multicast_address: int, membership_timestamp: int,
+                     membership: Tuple[int, ...], address: Optional[int] = None) -> bytes:
+        msg = ConnectMessage(
+            header=self._header(MessageType.CONNECT, reliable=True),
+            connection_id=connection_id,
+            processor_group_id=processor_group_id,
+            ip_multicast_address=ip_multicast_address,
+            membership_timestamp=membership_timestamp,
+            membership=membership,
+        )
+        return self._transmit(msg, address=address)
+
+    # ------------------------------------------------------------------
+    # heartbeats (paper §5)
+    # ------------------------------------------------------------------
+    def _arm_heartbeat(self) -> None:
+        if self._stopped:
+            return
+        self._hb_timer = self.schedule(self.config.heartbeat_interval, self._heartbeat_tick)
+
+    def _heartbeat_tick(self) -> None:
+        self._hb_timer = None
+        if self._stopped:
+            return
+        idle = self.now() - self._last_send_time
+        if idle >= self.config.heartbeat_interval * 0.999:
+            msg = HeartbeatMessage(
+                header=self._header(MessageType.HEARTBEAT, reliable=False)
+            )
+            self.stats.heartbeats_sent += 1
+            self._transmit(msg)
+        self._arm_heartbeat()
+
+    # ------------------------------------------------------------------
+    # membership state changes (called by PGMP)
+    # ------------------------------------------------------------------
+    def install_view(self, membership: Tuple[int, ...], view_timestamp: int,
+                     added: Tuple[int, ...], removed: Tuple[int, ...], reason: str) -> None:
+        self.membership = tuple(sorted(membership))
+        self.view_timestamp = view_timestamp
+        self.pgmp.reset_after_view()
+        for p in added:
+            self.romp.flush_staging(p)
+        if self._stack.tracer is not None:
+            self.trace("view", reason=reason, membership=self.membership,
+                       view_ts=view_timestamp)
+        self._stack.listener.on_view_change(
+            ViewChange(
+                group=self.group_id,
+                membership=self.membership,
+                view_timestamp=view_timestamp,
+                added=tuple(added),
+                removed=tuple(removed),
+                reason=reason,
+                installed_at=self.now(),
+            )
+        )
+        self.romp.evaluate()
+
+    def install_fault_view(self, membership: Tuple[int, ...], view_timestamp: int,
+                           removed: Tuple[int, ...],
+                           sync_targets: Optional[Dict[int, int]] = None) -> None:
+        """Install a view that excludes convicted processors (§7.2)."""
+        targets = sync_targets or {}
+        for r in removed:
+            # Anything from the convicted member beyond the synchronized
+            # prefix was not received by every survivor: drop it.  The rest
+            # is grandfathered — deliverable after the member's removal
+            # (virtual synchrony: identical delivery sets at all survivors).
+            self.romp.purge_queue_after(r, targets.get(r, 0))
+            for key in self.romp.keys_from(r):
+                self.legacy_keys.add(key)
+            self.fault_detector.forget(r)
+            self.rmp.drop_source(r)
+            self.romp.purge_source(r)
+            self._heard.discard(r)
+        self.install_view(membership, view_timestamp, added=(), removed=removed,
+                          reason="fault")
+        if self._stack.tracer is not None:
+            self.trace("fault", convicted=tuple(removed))
+        self._stack.listener.on_fault_report(
+            FaultReport(group=self.group_id, convicted=tuple(removed),
+                        reported_at=self.now())
+        )
+
+    def evict_self(self, reason: str, view_timestamp: int) -> None:
+        """We were removed (RemoveProcessor or exclusion by survivors)."""
+        self._stack.listener.on_view_change(
+            ViewChange(
+                group=self.group_id,
+                membership=(),
+                view_timestamp=view_timestamp,
+                added=(),
+                removed=(self.pid,),
+                reason=reason,
+                installed_at=self.now(),
+            )
+        )
+        self._stack.remove_group(self.group_id)
+
+    def complete_join(self, membership: Tuple[int, ...], view_timestamp: int,
+                      join_barrier: Tuple[int, int]) -> None:
+        """Finish the new-member bootstrap from a received AddProcessor."""
+        if not self.joining:
+            return
+        self.joining = False
+        self.join_barrier = join_barrier
+        self.membership = tuple(sorted(membership))
+        self.view_timestamp = view_timestamp
+        self._activate()
+        # Announce ourselves at once so the initiator stops retransmitting
+        # the AddProcessor and the others' ordering includes us promptly.
+        msg = HeartbeatMessage(header=self._header(MessageType.HEARTBEAT, reliable=False))
+        self._transmit(msg)
+        self._stack.listener.on_view_change(
+            ViewChange(
+                group=self.group_id,
+                membership=self.membership,
+                view_timestamp=view_timestamp,
+                added=(self.pid,),
+                removed=(),
+                reason="add",
+                installed_at=self.now(),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # connection migration (ordered Connect, §7)
+    # ------------------------------------------------------------------
+    def apply_connect_migration(self, msg: ConnectMessage) -> None:
+        # a Connect may bind a *new* logical connection onto this existing
+        # group (shared processor group, §7) rather than migrate it
+        self._stack.connections.on_ordered_connect(msg)
+        new_addr = msg.ip_multicast_address
+        migrated = new_addr != self.address
+        if migrated:
+            self._stack.endpoint.leave(self.address)
+            self.address = new_addr
+            self._stack.endpoint.join(new_addr)
+        self.view_timestamp = max(self.view_timestamp, msg.header.timestamp)
+        # §7 quiescence: no ordered transmissions until every member is
+        # heard past the Connect's timestamp (their heartbeats get us there).
+        self.romp.set_send_barrier(msg.header.timestamp)
+        self._stack.connections.apply_migration(msg.connection_id, new_addr)
+        binding = self._stack.connections.binding(msg.connection_id)
+        if binding is not None and migrated:
+            self._stack.notify_connection(binding, migrated=True)
+
+
+class FTMPStack:
+    """One processor's FTMP protocol stack (Figure 1)."""
+
+    def __init__(
+        self,
+        endpoint: Endpoint,
+        config: Optional[FTMPConfig] = None,
+        listener: Optional[Listener] = None,
+        allocator: Callable[[Tuple[int, ...]], Tuple[int, int]] = default_allocator,
+    ):
+        self.endpoint = endpoint
+        self.config = config if config is not None else FTMPConfig()
+        self.listener = listener if listener is not None else Listener()
+        self.clock = make_clock(
+            self.config.clock_mode,
+            lambda: self.endpoint.now,
+            self.config.sync_clock_resolution,
+            self.config.sync_clock_skew,
+        )
+        self.connections = ConnectionManager(self)
+        self.duplicates = DuplicateDetector()
+        self.stats = StackStats()
+        #: optional protocol-event tracer (see repro.core.tracing)
+        self.tracer: Optional[Tracer] = None
+        self._allocator = allocator
+        self._groups: Dict[int, ProcessorGroup] = {}
+        self._stopped = False
+        endpoint.set_receiver(self._on_datagram)
+
+    # ------------------------------------------------------------------
+    @property
+    def pid(self) -> int:
+        return self.endpoint.processor_id
+
+    def group(self, group_id: int) -> Optional[ProcessorGroup]:
+        return self._groups.get(group_id)
+
+    def groups(self) -> Dict[int, ProcessorGroup]:
+        return dict(self._groups)
+
+    def schedule(self, delay: float, fn: Callable, *args):
+        return self.endpoint.schedule(delay, fn, *args)
+
+    def join_address(self, address: int) -> None:
+        self.endpoint.join(address)
+
+    # ------------------------------------------------------------------
+    # public protocol API
+    # ------------------------------------------------------------------
+    def create_group(self, group_id: int, address: int,
+                     membership: Tuple[int, ...]) -> ProcessorGroup:
+        """Statically bootstrap a processor group (FT-infrastructure role).
+
+        Every initial member must call this with the same membership.
+        """
+        if group_id in self._groups:
+            raise ValueError(f"group {group_id} already exists")
+        if self.pid not in membership:
+            raise ValueError("this processor must be part of the membership")
+        g = ProcessorGroup(self, group_id, address, membership)
+        self._groups[group_id] = g
+        self.listener.on_view_change(
+            ViewChange(
+                group=group_id,
+                membership=g.membership,
+                view_timestamp=0,
+                added=g.membership,
+                removed=(),
+                reason="bootstrap",
+                installed_at=self.endpoint.now,
+            )
+        )
+        return g
+
+    def join_as_new_member(self, group_id: int, address: int) -> ProcessorGroup:
+        """Join an existing group; completes when an AddProcessor names us.
+
+        An existing member must call :meth:`add_processor` for this pid.
+        """
+        if group_id in self._groups:
+            raise ValueError(f"group {group_id} already exists")
+        g = ProcessorGroup(self, group_id, address, membership=(), joining=True)
+        self._groups[group_id] = g
+        self.endpoint.join(address)
+        return g
+
+    def multicast(self, group_id: int, payload: bytes,
+                  connection_id: Optional[ConnectionId] = None,
+                  request_num: int = 0) -> None:
+        """Reliably, totally-ordered multicast of an application payload."""
+        self._require_group(group_id).multicast(payload, connection_id, request_num)
+
+    def add_processor(self, group_id: int, new_pid: int) -> None:
+        """Add a non-faulty processor to a group (§7.1)."""
+        self._require_group(group_id).pgmp.initiate_add(new_pid)
+
+    def remove_processor(self, group_id: int, pid: int) -> None:
+        """Remove a non-faulty processor from a group (§7.1)."""
+        self._require_group(group_id).pgmp.initiate_remove(pid)
+
+    # -- connections ----------------------------------------------------
+    def serve(self, domain: int, object_group: int, server_pids: Tuple[int, ...]) -> None:
+        """Register this processor as supporting a server object group."""
+        self.connections.register_server(domain, object_group, server_pids)
+
+    def request_connection(self, cid: ConnectionId, client_pids: Tuple[int, ...]) -> None:
+        """Client side: open a logical connection to a server object group."""
+        self.connections.request(cid, client_pids)
+
+    def connection_binding(self, cid: ConnectionId) -> Optional[ConnectionBinding]:
+        return self.connections.binding(cid)
+
+    def send_on_connection(self, cid: ConnectionId, payload: bytes, request_num: int) -> None:
+        """Multicast a GIOP payload over an established logical connection."""
+        binding = self.connections.binding(cid)
+        if binding is None or not binding.established:
+            raise RuntimeError(f"connection {cid} is not established")
+        self._require_group(binding.group_id).multicast(payload, cid, request_num)
+
+    def release_connection_local(self, cid: ConnectionId) -> None:
+        """Tear down local state for a released connection (§7).
+
+        Called at the point in the total order where the release was
+        delivered; retires the processor group if no other logical
+        connection shares it.
+        """
+        orphaned_group = self.connections.drop(cid)
+        if orphaned_group is not None:
+            self.remove_group(orphaned_group)
+
+    def migrate_connection(self, cid: ConnectionId, new_address: int) -> None:
+        """Move a connection to a new multicast address via an ordered
+        Connect (§7); every member switches at the same point in the order."""
+        binding = self.connections.binding(cid)
+        if binding is None:
+            raise RuntimeError(f"connection {cid} is not established")
+        g = self._require_group(binding.group_id)
+        g.send_connect(
+            connection_id=cid,
+            processor_group_id=binding.group_id,
+            ip_multicast_address=new_address,
+            membership_timestamp=g.view_timestamp,
+            membership=g.membership,
+        )
+
+    # ------------------------------------------------------------------
+    # services used by the connection manager
+    # ------------------------------------------------------------------
+    def allocate_connection_group(self, membership: Tuple[int, ...]) -> Tuple[int, int]:
+        return self._allocator(membership)
+
+    def bootstrap_connection_group(self, group_id: int, address: int,
+                                   membership: Tuple[int, ...],
+                                   barrier_timestamp: Optional[int] = None) -> None:
+        if group_id in self._groups:
+            return
+        g = ProcessorGroup(self, group_id, address, membership)
+        self._groups[group_id] = g
+        if barrier_timestamp is not None:
+            g.view_timestamp = barrier_timestamp
+            g.romp.set_send_barrier(barrier_timestamp)
+
+    def send_connect_request(self, domain_address: int, connection_id: ConnectionId,
+                             processor_ids: Tuple[int, ...]) -> None:
+        # §7: destination group id, sequence number and timestamp are all 0.
+        msg = ConnectRequestMessage(
+            header=FTMPHeader(
+                message_type=MessageType.CONNECT_REQUEST,
+                source=self.pid,
+                group=0,
+                sequence_number=0,
+                timestamp=0,
+                ack_timestamp=0,
+                little_endian=self.config.little_endian,
+            ),
+            connection_id=connection_id,
+            processor_ids=processor_ids,
+        )
+        self.transmit(domain_address, encode(msg))
+
+    def send_connect_announcement(self, domain_address: int, connection_id: ConnectionId,
+                                  group_id: int, address: int,
+                                  membership: Tuple[int, ...]) -> bytes:
+        g = self._require_group(group_id)
+        raw = g.send_connect(
+            connection_id=connection_id,
+            processor_group_id=group_id,
+            ip_multicast_address=address,
+            membership_timestamp=g.view_timestamp,
+            membership=membership,
+            address=domain_address,
+        )
+        # The responder adopts the Connect's timestamp as its view
+        # timestamp immediately (the other members adopt it on receipt),
+        # so Suspect/Membership view matching works during the handshake
+        # window — even if the Connect can never be ordered because a
+        # listed member is already dead.  Idempotent with the ordered
+        # Connect delivery, which takes max().
+        connect_ts = peek_header(raw).timestamp
+        if connect_ts > g.view_timestamp:
+            g.view_timestamp = connect_ts
+        g.romp.set_send_barrier(connect_ts)
+        return raw
+
+    def notify_connection(self, binding: ConnectionBinding, migrated: bool) -> None:
+        self.listener.on_connection(
+            ConnectionEvent(
+                connection_id=binding.connection_id,
+                processor_group=binding.group_id,
+                multicast_address=binding.address,
+                established_at=self.endpoint.now,
+                migrated=migrated,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # datagram routing
+    # ------------------------------------------------------------------
+    def transmit(self, address: int, raw: bytes) -> None:
+        self.stats.datagrams_sent += 1
+        self.endpoint.multicast(address, raw)
+
+    def _on_datagram(self, raw: bytes) -> None:
+        if self._stopped:
+            return
+        self.stats.datagrams_received += 1
+        try:
+            msg = decode(raw)
+        except CodecError:
+            self.stats.decode_errors += 1
+            return
+        mtype = msg.header.message_type
+        if mtype == MessageType.CONNECT_REQUEST:
+            self.connections.on_connect_request(msg)  # type: ignore[arg-type]
+            return
+        group = self._groups.get(msg.header.group)
+        if mtype == MessageType.CONNECT and (group is None or group.joining):
+            # bootstrap Connect for a connection group we are not yet in
+            self.connections.on_connect(msg)  # type: ignore[arg-type]
+            group = self._groups.get(msg.header.group)
+            if group is not None and not group.joining:
+                group.on_datagram(msg, raw)  # feed RMP so seq accounting holds
+            return
+        if group is None:
+            self.stats.unknown_group_drops += 1
+            return
+        group.on_datagram(msg, raw)
+
+    # ------------------------------------------------------------------
+    def remove_group(self, group_id: int) -> None:
+        g = self._groups.pop(group_id, None)
+        if g is not None:
+            g.stop()
+
+    def leave_group(self, group_id: int) -> None:
+        """Voluntarily leave: ask the group to remove us, via total order."""
+        self.remove_processor(group_id, self.pid)
+
+    def stop(self) -> None:
+        """Shut the stack down (cancels every timer; endpoint detached)."""
+        if self._stopped:
+            return
+        self._stopped = True
+        for g in list(self._groups.values()):
+            g.stop()
+        self._groups.clear()
+        self.connections.stop()
+        self.endpoint.close()
+
+    def summary(self) -> Dict[str, object]:
+        """Operational snapshot: per-group protocol counters and state.
+
+        Intended for dashboards/debugging; everything here is also
+        reachable through the individual layer objects.
+        """
+        groups = {}
+        for gid, g in self._groups.items():
+            groups[gid] = {
+                "membership": g.membership,
+                "view_timestamp": g.view_timestamp,
+                "joining": g.joining,
+                "last_sent_seq": g.last_sent_seq,
+                "regulars_sent": g.stats.regulars_sent,
+                "heartbeats_sent": g.stats.heartbeats_sent,
+                "ordered_deliveries": g.romp.stats.ordered_deliveries,
+                "queue_depth": g.romp.queued(),
+                "ack_timestamp": g.romp.ack_timestamp,
+                "stability_timestamp": g.romp.stability_timestamp(),
+                "buffer_messages": len(g.buffer),
+                "buffer_bytes": g.buffer.bytes,
+                "nacks_sent": g.rmp.stats.nacks_sent,
+                "retransmissions_sent": g.rmp.stats.retransmissions_sent,
+                "suspected": sorted(g.fault_detector.suspected),
+                "in_fault_round": g.pgmp.in_fault_round,
+            }
+        return {
+            "processor": self.pid,
+            "datagrams_received": self.stats.datagrams_received,
+            "datagrams_sent": self.stats.datagrams_sent,
+            "decode_errors": self.stats.decode_errors,
+            "clock": self.clock.time,
+            "groups": groups,
+        }
+
+    def _require_group(self, group_id: int) -> ProcessorGroup:
+        g = self._groups.get(group_id)
+        if g is None:
+            raise KeyError(f"not a member of group {group_id}")
+        return g

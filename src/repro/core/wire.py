@@ -1,0 +1,299 @@
+"""Binary codec for FTMP messages (paper §3, Figure 2).
+
+Layout: a fixed 40-byte header, then a type-specific body.  The first
+8 header bytes (magic, version, flags, type) are endianness-independent so
+a receiver can read the byte-order flag before decoding the rest — the
+same trick GIOP uses.
+
+Header layout (offsets in bytes)::
+
+    0   magic            4s   b"FTMP"
+    4   version major    u8
+    5   version minor    u8
+    6   flags            u8   bit0 = little endian, bit1 = retransmission
+    7   message type     u8
+    8   message size     u32  (header + body, filled in at encode time)
+    12  source processor u32
+    16  destination grp  u32
+    20  sequence number  u32
+    24  message timestamp u64
+    32  ack timestamp    u64
+
+Body encodings use length-prefixed collections: ``u16 count`` for
+processor lists and sequence-number vectors, ``u32 length`` for payloads.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Tuple
+
+from .constants import HEADER_SIZE, MAGIC, MessageType
+from .messages import (
+    AddProcessorMessage,
+    ConnectionId,
+    ConnectMessage,
+    ConnectRequestMessage,
+    FTMPHeader,
+    FTMPMessage,
+    HeartbeatMessage,
+    MembershipMessage,
+    RegularMessage,
+    RemoveProcessorMessage,
+    RetransmitRequestMessage,
+    SuspectMessage,
+)
+
+__all__ = ["encode", "decode", "CodecError", "header_of", "peek_header"]
+
+_FLAG_LITTLE_ENDIAN = 0x01
+_FLAG_RETRANSMISSION = 0x02
+
+_PREFIX = struct.Struct("4sBBBB")  # magic, ver_major, ver_minor, flags, type
+
+
+class CodecError(Exception):
+    """Raised on malformed FTMP datagrams."""
+
+
+class _Writer:
+    """Endianness-aware append-only byte writer."""
+
+    __slots__ = ("_parts", "_e")
+
+    def __init__(self, little_endian: bool):
+        self._parts: list[bytes] = []
+        self._e = "<" if little_endian else ">"
+
+    def u8(self, v: int) -> None:
+        self._parts.append(struct.pack(self._e + "B", v))
+
+    def u16(self, v: int) -> None:
+        self._parts.append(struct.pack(self._e + "H", v))
+
+    def u32(self, v: int) -> None:
+        self._parts.append(struct.pack(self._e + "I", v))
+
+    def u64(self, v: int) -> None:
+        self._parts.append(struct.pack(self._e + "Q", v))
+
+    def raw(self, b: bytes) -> None:
+        self._parts.append(b)
+
+    def blob(self, b: bytes) -> None:
+        self.u32(len(b))
+        self.raw(b)
+
+    def pid_list(self, pids: Tuple[int, ...]) -> None:
+        self.u16(len(pids))
+        for p in pids:
+            self.u32(p)
+
+    def seq_vector(self, vec: Dict[int, int]) -> None:
+        self.u16(len(vec))
+        for pid in sorted(vec):
+            self.u32(pid)
+            self.u32(vec[pid])
+
+    def connection_id(self, cid: ConnectionId) -> None:
+        self.u32(cid.client_domain)
+        self.u32(cid.client_group)
+        self.u32(cid.server_domain)
+        self.u32(cid.server_group)
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._parts)
+
+
+class _Reader:
+    """Endianness-aware sequential byte reader with bounds checking."""
+
+    __slots__ = ("_data", "_pos", "_e")
+
+    def __init__(self, data: bytes, pos: int, little_endian: bool):
+        self._data = data
+        self._pos = pos
+        self._e = "<" if little_endian else ">"
+
+    def _take(self, fmt: str):
+        s = struct.Struct(self._e + fmt)
+        end = self._pos + s.size
+        if end > len(self._data):
+            raise CodecError("truncated FTMP message body")
+        (v,) = s.unpack_from(self._data, self._pos)
+        self._pos = end
+        return v
+
+    def u8(self) -> int:
+        return self._take("B")
+
+    def u16(self) -> int:
+        return self._take("H")
+
+    def u32(self) -> int:
+        return self._take("I")
+
+    def u64(self) -> int:
+        return self._take("Q")
+
+    def blob(self) -> bytes:
+        n = self.u32()
+        end = self._pos + n
+        if end > len(self._data):
+            raise CodecError("truncated payload")
+        b = self._data[self._pos : end]
+        self._pos = end
+        return b
+
+    def pid_list(self) -> Tuple[int, ...]:
+        n = self.u16()
+        return tuple(self.u32() for _ in range(n))
+
+    def seq_vector(self) -> Dict[int, int]:
+        n = self.u16()
+        return {self.u32(): self.u32() for _ in range(n)}
+
+    def connection_id(self) -> ConnectionId:
+        return ConnectionId(self.u32(), self.u32(), self.u32(), self.u32())
+
+    @property
+    def remaining(self) -> int:
+        return len(self._data) - self._pos
+
+
+# ----------------------------------------------------------------------
+# encoding
+# ----------------------------------------------------------------------
+def encode(msg: FTMPMessage) -> bytes:
+    """Serialize an FTMP message; also back-fills ``header.message_size``."""
+    h = msg.header
+    w = _Writer(h.little_endian)
+    _encode_body(msg, w)
+    body = w.getvalue()
+
+    size = HEADER_SIZE + len(body)
+    h.message_size = size
+
+    flags = 0
+    if h.little_endian:
+        flags |= _FLAG_LITTLE_ENDIAN
+    if h.retransmission:
+        flags |= _FLAG_RETRANSMISSION
+    prefix = _PREFIX.pack(h.magic, h.version[0], h.version[1], flags, int(h.message_type))
+    e = "<" if h.little_endian else ">"
+    rest = struct.pack(
+        e + "IIIIQQ",
+        size,
+        h.source,
+        h.group,
+        h.sequence_number,
+        h.timestamp,
+        h.ack_timestamp,
+    )
+    return prefix + rest + body
+
+
+def _encode_body(msg: FTMPMessage, w: _Writer) -> None:
+    if isinstance(msg, RegularMessage):
+        w.connection_id(msg.connection_id)
+        w.u64(msg.request_num)
+        w.blob(msg.payload)
+    elif isinstance(msg, RetransmitRequestMessage):
+        w.u32(msg.processor_id)
+        w.u32(msg.start_seq)
+        w.u32(msg.stop_seq)
+    elif isinstance(msg, HeartbeatMessage):
+        pass
+    elif isinstance(msg, ConnectRequestMessage):
+        w.connection_id(msg.connection_id)
+        w.pid_list(msg.processor_ids)
+    elif isinstance(msg, ConnectMessage):
+        w.connection_id(msg.connection_id)
+        w.u32(msg.processor_group_id)
+        w.u32(msg.ip_multicast_address)
+        w.u64(msg.membership_timestamp)
+        w.pid_list(msg.membership)
+    elif isinstance(msg, AddProcessorMessage):
+        w.u64(msg.membership_timestamp)
+        w.pid_list(msg.membership)
+        w.seq_vector(msg.sequence_numbers)
+        w.u32(msg.new_member)
+    elif isinstance(msg, RemoveProcessorMessage):
+        w.u32(msg.member_to_remove)
+    elif isinstance(msg, SuspectMessage):
+        w.u64(msg.membership_timestamp)
+        w.pid_list(msg.suspects)
+    elif isinstance(msg, MembershipMessage):
+        w.u64(msg.membership_timestamp)
+        w.pid_list(msg.current_membership)
+        w.seq_vector(msg.sequence_numbers)
+        w.pid_list(msg.new_membership)
+    else:  # pragma: no cover - exhaustive over FTMPMessage
+        raise CodecError(f"unknown message class {type(msg).__name__}")
+
+
+# ----------------------------------------------------------------------
+# decoding
+# ----------------------------------------------------------------------
+def peek_header(data: bytes) -> FTMPHeader:
+    """Decode only the 40-byte header (used by traces and filters)."""
+    if len(data) < HEADER_SIZE:
+        raise CodecError(f"datagram shorter than header: {len(data)} bytes")
+    magic, vmaj, vmin, flags, mtype = _PREFIX.unpack_from(data, 0)
+    if magic != MAGIC:
+        raise CodecError(f"bad magic {magic!r}")
+    little = bool(flags & _FLAG_LITTLE_ENDIAN)
+    e = "<" if little else ">"
+    size, source, group, seq, ts, ack = struct.unpack_from(e + "IIIIQQ", data, 8)
+    try:
+        message_type = MessageType(mtype)
+    except ValueError as exc:
+        raise CodecError(f"unknown message type {mtype}") from exc
+    return FTMPHeader(
+        message_type=message_type,
+        source=source,
+        group=group,
+        sequence_number=seq,
+        timestamp=ts,
+        ack_timestamp=ack,
+        retransmission=bool(flags & _FLAG_RETRANSMISSION),
+        little_endian=little,
+        message_size=size,
+        magic=magic,
+        version=(vmaj, vmin),
+    )
+
+
+def decode(data: bytes) -> FTMPMessage:
+    """Deserialize a full FTMP message (header + body)."""
+    h = peek_header(data)
+    if h.message_size != len(data):
+        raise CodecError(
+            f"size field {h.message_size} != datagram length {len(data)}"
+        )
+    r = _Reader(data, HEADER_SIZE, h.little_endian)
+    t = h.message_type
+    if t == MessageType.REGULAR:
+        return RegularMessage(h, r.connection_id(), r.u64(), r.blob())
+    if t == MessageType.RETRANSMIT_REQUEST:
+        return RetransmitRequestMessage(h, r.u32(), r.u32(), r.u32())
+    if t == MessageType.HEARTBEAT:
+        return HeartbeatMessage(h)
+    if t == MessageType.CONNECT_REQUEST:
+        return ConnectRequestMessage(h, r.connection_id(), r.pid_list())
+    if t == MessageType.CONNECT:
+        return ConnectMessage(h, r.connection_id(), r.u32(), r.u32(), r.u64(), r.pid_list())
+    if t == MessageType.ADD_PROCESSOR:
+        return AddProcessorMessage(h, r.u64(), r.pid_list(), r.seq_vector(), r.u32())
+    if t == MessageType.REMOVE_PROCESSOR:
+        return RemoveProcessorMessage(h, r.u32())
+    if t == MessageType.SUSPECT:
+        return SuspectMessage(h, r.u64(), r.pid_list())
+    if t == MessageType.MEMBERSHIP:
+        return MembershipMessage(h, r.u64(), r.pid_list(), r.seq_vector(), r.pid_list())
+    raise CodecError(f"unhandled message type {t}")  # pragma: no cover
+
+
+def header_of(data: bytes) -> FTMPHeader:
+    """Alias of :func:`peek_header` for readability at call sites."""
+    return peek_header(data)

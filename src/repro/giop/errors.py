@@ -1,0 +1,75 @@
+"""CORBA system exceptions (the subset the mini-ORB raises).
+
+System exceptions travel in Reply messages with status SYSTEM_EXCEPTION;
+user exceptions (raised by servants) travel with status USER_EXCEPTION and
+are re-raised client-side as :class:`UserException`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CORBAException",
+    "SystemException",
+    "ObjectNotExist",
+    "BadOperation",
+    "CommFailure",
+    "Transient",
+    "Marshal",
+    "UserException",
+    "system_exception_by_name",
+]
+
+
+class CORBAException(Exception):
+    """Base of everything the ORB raises on behalf of remote calls."""
+
+
+class SystemException(CORBAException):
+    """A CORBA standard system exception."""
+
+    repo_id = "IDL:omg.org/CORBA/SystemException:1.0"
+
+    def __init__(self, detail: str = ""):
+        super().__init__(detail)
+        self.detail = detail
+
+
+class ObjectNotExist(SystemException):
+    repo_id = "IDL:omg.org/CORBA/OBJECT_NOT_EXIST:1.0"
+
+
+class BadOperation(SystemException):
+    repo_id = "IDL:omg.org/CORBA/BAD_OPERATION:1.0"
+
+
+class CommFailure(SystemException):
+    repo_id = "IDL:omg.org/CORBA/COMM_FAILURE:1.0"
+
+
+class Transient(SystemException):
+    repo_id = "IDL:omg.org/CORBA/TRANSIENT:1.0"
+
+
+class Marshal(SystemException):
+    repo_id = "IDL:omg.org/CORBA/MARSHAL:1.0"
+
+
+_BY_ID = {
+    cls.repo_id: cls
+    for cls in (SystemException, ObjectNotExist, BadOperation, CommFailure,
+                Transient, Marshal)
+}
+
+
+def system_exception_by_name(repo_id: str) -> type:
+    """Map a repository id back to an exception class (client-side raise)."""
+    return _BY_ID.get(repo_id, SystemException)
+
+
+class UserException(CORBAException):
+    """An application-defined exception raised by a servant."""
+
+    def __init__(self, name: str, detail: str = ""):
+        super().__init__(f"{name}: {detail}" if detail else name)
+        self.name = name
+        self.detail = detail

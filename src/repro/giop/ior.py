@@ -1,0 +1,76 @@
+"""Object references.
+
+A CORBA IOR names an object by repository type id plus transport profiles.
+Our mini-ORB needs two flavours:
+
+* a *singleton* reference: reach one servant over a point-to-point
+  (IIOP-style) channel — identified by processor id + object key;
+* a *group* reference: reach an object group over FTMP — identified by a
+  fault tolerance domain id and an object group id (plus the object key
+  within the group), the same identifiers FTMP's connection ids use (§4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .cdr import CDRDecoder, CDREncoder, MarshalError
+
+__all__ = ["ObjectRef", "GroupRef"]
+
+
+@dataclass(frozen=True)
+class ObjectRef:
+    """Reference to a single (unreplicated) object on one processor."""
+
+    type_id: str
+    processor: int
+    object_key: bytes
+
+    def stringify(self) -> str:
+        return f"corbaloc:sim:{self.processor}/{self.object_key.hex()}#{self.type_id}"
+
+    def encode(self) -> bytes:
+        enc = CDREncoder()
+        enc.octet(0)  # profile tag: singleton
+        enc.string(self.type_id)
+        enc.ulong(self.processor)
+        enc.octets(self.object_key)
+        return enc.getvalue()
+
+
+@dataclass(frozen=True)
+class GroupRef:
+    """Reference to a replicated object group reachable over FTMP."""
+
+    type_id: str
+    domain: int
+    object_group: int
+    object_key: bytes
+
+    def stringify(self) -> str:
+        return (
+            f"corbaloc:ftmp:{self.domain}/{self.object_group}"
+            f"/{self.object_key.hex()}#{self.type_id}"
+        )
+
+    def encode(self) -> bytes:
+        enc = CDREncoder()
+        enc.octet(1)  # profile tag: group
+        enc.string(self.type_id)
+        enc.ulong(self.domain)
+        enc.ulong(self.object_group)
+        enc.octets(self.object_key)
+        return enc.getvalue()
+
+
+def decode_ref(data: bytes):
+    """Decode either reference flavour from its binary form."""
+    dec = CDRDecoder(data)
+    tag = dec.octet()
+    if tag == 0:
+        return ObjectRef(dec.string(), dec.ulong(), dec.octets())
+    if tag == 1:
+        return GroupRef(dec.string(), dec.ulong(), dec.ulong(), dec.octets())
+    raise MarshalError(f"unknown reference profile tag {tag}")

@@ -1,0 +1,118 @@
+"""Self-describing value marshaling for invocation parameters.
+
+A real ORB marshals parameters against IDL-derived TypeCodes.  This
+reproduction has no IDL compiler, so method arguments and results travel
+as *tagged CDR values* — a small TypeCode-like convention covering the
+Python types our examples and tests need:
+
+========  ======================  ==============================
+tag       IDL analogue            Python type
+========  ======================  ==============================
+0         void/null               ``None``
+1         boolean                 ``bool``
+2         long long               ``int``
+3         double                  ``float``
+4         string                  ``str``
+5         sequence<octet>         ``bytes``
+6         sequence<any>           ``list`` / ``tuple``
+7         struct (name/value)     ``dict[str, any]``
+========  ======================  ==============================
+
+Nested arbitrarily.  ``encode_values``/``decode_values`` handle the
+argument lists used by Request/Reply bodies.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+from .cdr import CDRDecoder, CDREncoder, MarshalError
+
+__all__ = ["encode_value", "decode_value", "encode_values", "decode_values"]
+
+_TAG_NULL = 0
+_TAG_BOOL = 1
+_TAG_INT = 2
+_TAG_DOUBLE = 3
+_TAG_STRING = 4
+_TAG_BYTES = 5
+_TAG_SEQ = 6
+_TAG_STRUCT = 7
+
+_INT64_MIN = -(2**63)
+_INT64_MAX = 2**63 - 1
+
+
+def encode_value(enc: CDREncoder, value: Any) -> None:
+    """Append one tagged value to a CDR stream."""
+    if value is None:
+        enc.octet(_TAG_NULL)
+    elif isinstance(value, bool):  # before int: bool is an int subclass
+        enc.octet(_TAG_BOOL)
+        enc.boolean(value)
+    elif isinstance(value, int):
+        if not _INT64_MIN <= value <= _INT64_MAX:
+            raise MarshalError(f"integer out of 64-bit range: {value}")
+        enc.octet(_TAG_INT)
+        enc.longlong(value)
+    elif isinstance(value, float):
+        enc.octet(_TAG_DOUBLE)
+        enc.double(value)
+    elif isinstance(value, str):
+        enc.octet(_TAG_STRING)
+        enc.string(value)
+    elif isinstance(value, (bytes, bytearray)):
+        enc.octet(_TAG_BYTES)
+        enc.octets(bytes(value))
+    elif isinstance(value, (list, tuple)):
+        enc.octet(_TAG_SEQ)
+        enc.ulong(len(value))
+        for v in value:
+            encode_value(enc, v)
+    elif isinstance(value, dict):
+        enc.octet(_TAG_STRUCT)
+        enc.ulong(len(value))
+        for k, v in value.items():
+            if not isinstance(k, str):
+                raise MarshalError("struct keys must be strings")
+            enc.string(k)
+            encode_value(enc, v)
+    else:
+        raise MarshalError(f"unmarshalable type {type(value).__name__}")
+
+
+def decode_value(dec: CDRDecoder) -> Any:
+    """Read one tagged value from a CDR stream."""
+    tag = dec.octet()
+    if tag == _TAG_NULL:
+        return None
+    if tag == _TAG_BOOL:
+        return dec.boolean()
+    if tag == _TAG_INT:
+        return dec.longlong()
+    if tag == _TAG_DOUBLE:
+        return dec.double()
+    if tag == _TAG_STRING:
+        return dec.string()
+    if tag == _TAG_BYTES:
+        return dec.octets()
+    if tag == _TAG_SEQ:
+        return [decode_value(dec) for _ in range(dec.ulong())]
+    if tag == _TAG_STRUCT:
+        return {dec.string(): decode_value(dec) for _ in range(dec.ulong())}
+    raise MarshalError(f"unknown value tag {tag}")
+
+
+def encode_values(values: Sequence[Any], little_endian: bool = True) -> bytes:
+    """Encode an argument/result list as a standalone CDR body."""
+    enc = CDREncoder(little_endian)
+    enc.ulong(len(values))
+    for v in values:
+        encode_value(enc, v)
+    return enc.getvalue()
+
+
+def decode_values(data: bytes, little_endian: bool = True) -> List[Any]:
+    """Decode an argument/result list encoded by :func:`encode_values`."""
+    dec = CDRDecoder(data, little_endian)
+    return [decode_value(dec) for _ in range(dec.ulong())]

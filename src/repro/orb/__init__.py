@@ -1,0 +1,31 @@
+"""Miniature ORB: POA, proxies, IIOP baseline, and the GIOP->FTMP adapter."""
+
+from .ftiop import ClientIdentity, FTMPAdapter
+from .futures import FutureError, InvocationFuture
+from .iiop import IIOPNetwork
+from .events import EventChannel
+from .interfaces import InterfaceDef, OperationDef, TypedProxy
+from .naming import NAMING_OBJECT_KEY, NamingClient, NamingContext
+from .orb import ORB, Proxy
+from .poa import GET_STATE_OP, SET_STATE_OP, POA, ServantEntry
+
+__all__ = [
+    "ORB",
+    "Proxy",
+    "POA",
+    "ServantEntry",
+    "GET_STATE_OP",
+    "SET_STATE_OP",
+    "IIOPNetwork",
+    "InterfaceDef",
+    "OperationDef",
+    "TypedProxy",
+    "NamingContext",
+    "NamingClient",
+    "NAMING_OBJECT_KEY",
+    "EventChannel",
+    "FTMPAdapter",
+    "ClientIdentity",
+    "InvocationFuture",
+    "FutureError",
+]

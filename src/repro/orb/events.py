@@ -1,0 +1,115 @@
+"""A CORBA Event Service channel (pull model), replication-ready.
+
+The related work the paper cites built "Reliable CORBA Event Channels" on
+group communication; this is that idea on FTMP.  The channel is a
+deterministic servant (replicable with ``get_state``/``set_state``):
+suppliers ``push`` events into it, consumers register and ``try_pull``
+their private queues.  The pull model keeps all invocations
+client-initiated, which composes cleanly with active replication — every
+replica's queues evolve identically because they see the same total order
+of pushes and pulls.
+
+Queues are bounded; on overflow the oldest event is dropped and counted
+(back-pressure would require callbacks, which the pull model avoids).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..giop import UserException
+
+__all__ = ["EventChannel", "DEFAULT_QUEUE_LIMIT"]
+
+DEFAULT_QUEUE_LIMIT = 256
+
+
+class EventChannel:
+    """The replicated servant."""
+
+    def __init__(self, queue_limit: int = DEFAULT_QUEUE_LIMIT):
+        self._queue_limit = queue_limit
+        self._queues: Dict[str, List[Any]] = {}
+        self._dropped: Dict[str, int] = {}
+        self.pushed = 0
+
+    # ------------------------------------------------------------------
+    # consumer administration
+    # ------------------------------------------------------------------
+    def connect_consumer(self, consumer_id: str) -> bool:
+        if consumer_id in self._queues:
+            raise UserException("AlreadyConnected", consumer_id)
+        self._queues[consumer_id] = []
+        self._dropped[consumer_id] = 0
+        return True
+
+    def disconnect_consumer(self, consumer_id: str) -> bool:
+        if self._queues.pop(consumer_id, None) is None:
+            raise UserException("NotConnected", consumer_id)
+        self._dropped.pop(consumer_id, None)
+        return True
+
+    def consumers(self) -> List[str]:
+        return sorted(self._queues)
+
+    # ------------------------------------------------------------------
+    # supplier side
+    # ------------------------------------------------------------------
+    def push(self, event: Any) -> int:
+        """Fan an event out to every connected consumer's queue.
+
+        Returns the number of consumers that received it.
+        """
+        self.pushed += 1
+        for cid, q in self._queues.items():
+            q.append(event)
+            if len(q) > self._queue_limit:
+                q.pop(0)
+                self._dropped[cid] += 1
+        return len(self._queues)
+
+    # ------------------------------------------------------------------
+    # consumer side
+    # ------------------------------------------------------------------
+    def try_pull(self, consumer_id: str) -> Any:
+        """Dequeue the next event, or None if the queue is empty."""
+        q = self._queues.get(consumer_id)
+        if q is None:
+            raise UserException("NotConnected", consumer_id)
+        if not q:
+            return None
+        return q.pop(0)
+
+    def pull_batch(self, consumer_id: str, limit: int) -> List[Any]:
+        """Dequeue up to ``limit`` events at once."""
+        q = self._queues.get(consumer_id)
+        if q is None:
+            raise UserException("NotConnected", consumer_id)
+        batch, self._queues[consumer_id] = q[:limit], q[limit:]
+        return batch
+
+    def pending(self, consumer_id: str) -> int:
+        q = self._queues.get(consumer_id)
+        if q is None:
+            raise UserException("NotConnected", consumer_id)
+        return len(q)
+
+    def dropped(self, consumer_id: str) -> int:
+        return self._dropped.get(consumer_id, 0)
+
+    # ------------------------------------------------------------------
+    # replication hooks
+    # ------------------------------------------------------------------
+    def get_state(self) -> dict:
+        return {
+            "limit": self._queue_limit,
+            "queues": {c: list(q) for c, q in self._queues.items()},
+            "dropped": dict(self._dropped),
+            "pushed": self.pushed,
+        }
+
+    def set_state(self, state: dict) -> None:
+        self._queue_limit = state["limit"]
+        self._queues = {c: list(q) for c, q in state["queues"].items()}
+        self._dropped = dict(state["dropped"])
+        self.pushed = state["pushed"]

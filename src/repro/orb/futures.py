@@ -1,0 +1,63 @@
+"""Futures for event-driven invocations.
+
+The simulator is single-threaded, so a "pending reply" is just a value
+slot plus callbacks; :meth:`ORB.wait` (in :mod:`repro.orb.orb`) pumps the
+scheduler until the slot fills.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+__all__ = ["InvocationFuture", "FutureError"]
+
+
+class FutureError(Exception):
+    """Raised when waiting on a future that can never complete."""
+
+
+class InvocationFuture:
+    """Completion slot for one remote invocation."""
+
+    def __init__(self) -> None:
+        self._done = False
+        self._result: Any = None
+        self._exception: Optional[BaseException] = None
+        self._callbacks: List[Callable[["InvocationFuture"], None]] = []
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    def set_result(self, value: Any) -> None:
+        if self._done:
+            return  # duplicate replies are suppressed upstream; be safe
+        self._done = True
+        self._result = value
+        self._fire()
+
+    def set_exception(self, exc: BaseException) -> None:
+        if self._done:
+            return
+        self._done = True
+        self._exception = exc
+        self._fire()
+
+    def result(self) -> Any:
+        """Return the value (or raise the recorded exception)."""
+        if not self._done:
+            raise FutureError("invocation has not completed")
+        if self._exception is not None:
+            raise self._exception
+        return self._result
+
+    def add_done_callback(self, cb: Callable[["InvocationFuture"], None]) -> None:
+        if self._done:
+            cb(self)
+        else:
+            self._callbacks.append(cb)
+
+    def _fire(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            cb(self)

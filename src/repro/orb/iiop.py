@@ -1,0 +1,70 @@
+"""IIOP-style point-to-point transport (the unreplicated baseline).
+
+CORBA's IIOP runs GIOP over TCP: a reliable, FIFO, point-to-point byte
+stream.  :class:`IIOPNetwork` models exactly that on the discrete-event
+scheduler — per-message latency with per-connection FIFO enforcement and
+no loss (TCP's retransmission is abstracted away, as the paper does when
+it contrasts IIOP's "physical connection" with FTMP's logical one, §4).
+
+This is the baseline transport for experiment E8 (end-to-end GIOP
+request/reply latency, FTMP vs point-to-point).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Tuple
+
+from ..simnet.scheduler import Scheduler
+
+__all__ = ["IIOPNetwork"]
+
+
+@dataclass
+class IIOPStats:
+    messages: int = 0
+    bytes: int = 0
+
+
+class IIOPNetwork:
+    """Reliable FIFO unicast fabric between ORB endpoints."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        latency: float = 0.0001,
+        jitter: float = 0.00005,
+        seed: int = 0,
+    ):
+        self._sched = scheduler
+        self.latency = latency
+        self.jitter = jitter
+        self._rng = random.Random(seed)
+        self._handlers: Dict[int, Callable[[int, bytes], None]] = {}
+        #: per (src, dst) earliest next delivery time (FIFO enforcement)
+        self._stream_clock: Dict[Tuple[int, int], float] = {}
+        self.stats = IIOPStats()
+
+    def attach(self, pid: int, handler: Callable[[int, bytes], None]) -> None:
+        """Register a processor's receive handler(src_pid, data)."""
+        self._handlers[pid] = handler
+
+    def detach(self, pid: int) -> None:
+        self._handlers.pop(pid, None)
+
+    def send(self, src: int, dst: int, data: bytes) -> None:
+        """Reliable in-order delivery of ``data`` from src to dst."""
+        if dst not in self._handlers:
+            raise KeyError(f"no IIOP endpoint attached for processor {dst}")
+        delay = self.latency + self._rng.uniform(0.0, self.jitter)
+        at = max(self._sched.now + delay, self._stream_clock.get((src, dst), 0.0))
+        self._stream_clock[(src, dst)] = at + 1e-9
+        self.stats.messages += 1
+        self.stats.bytes += len(data)
+        self._sched.at(at, self._deliver, src, dst, data)
+
+    def _deliver(self, src: int, dst: int, data: bytes) -> None:
+        handler = self._handlers.get(dst)
+        if handler is not None:
+            handler(src, data)

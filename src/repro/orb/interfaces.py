@@ -1,0 +1,134 @@
+"""IDL-like interface definitions.
+
+Real CORBA generates stubs and skeletons from IDL; this reproduction has
+no IDL compiler, so :class:`InterfaceDef` provides the part that matters
+for correctness: a declared contract (operation names and arities) that
+is checked *locally* — client-side before a Request is marshaled, and
+server-side when a servant claims to implement the interface — instead of
+surfacing as a remote BAD_OPERATION after a round trip.
+
+>>> bank = InterfaceDef("IDL:Bank:1.0", operations={
+...     "open":     OperationDef(params=1),
+...     "deposit":  OperationDef(params=2),
+...     "audit":    OperationDef(params=0, oneway=True),
+... })
+>>> bank.validate_servant(BankImpl())     # raises if methods are missing
+>>> proxy = bank.bind(orb.proxy(ref))     # arity-checked stub
+>>> proxy.deposit("alice", 100)           # OK -> future
+>>> proxy.deposit("alice")                # raises BadOperation locally
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+from ..giop import BadOperation
+from .orb import Proxy
+
+__all__ = ["OperationDef", "InterfaceDef", "TypedProxy"]
+
+
+@dataclass(frozen=True)
+class OperationDef:
+    """One declared operation."""
+
+    params: int  #: number of parameters (excluding self)
+    oneway: bool = False  #: fire-and-forget (no Reply expected)
+
+
+@dataclass(frozen=True)
+class InterfaceDef:
+    """A declared remote interface."""
+
+    type_id: str
+    operations: Dict[str, OperationDef] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def check_call(self, operation: str, args: tuple) -> OperationDef:
+        """Validate an outgoing invocation; returns the operation def."""
+        op = self.operations.get(operation)
+        if op is None:
+            raise BadOperation(
+                f"{self.type_id} has no operation {operation!r}; "
+                f"declared: {sorted(self.operations)}"
+            )
+        if len(args) != op.params:
+            raise BadOperation(
+                f"{self.type_id}.{operation} takes {op.params} argument(s), "
+                f"got {len(args)}"
+            )
+        return op
+
+    # ------------------------------------------------------------------
+    def validate_servant(self, servant: Any) -> None:
+        """Raise if the servant does not implement every declared operation."""
+        problems = []
+        for name, op in self.operations.items():
+            method = getattr(servant, name, None)
+            if method is None or not callable(method):
+                problems.append(f"missing operation {name!r}")
+                continue
+            try:
+                sig = inspect.signature(method)
+            except (TypeError, ValueError):  # builtins etc.: skip arity check
+                continue
+            positional = [
+                p
+                for p in sig.parameters.values()
+                if p.kind
+                in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)
+            ]
+            has_varargs = any(
+                p.kind == p.VAR_POSITIONAL for p in sig.parameters.values()
+            )
+            required = sum(1 for p in positional if p.default is p.empty)
+            if not has_varargs and not (required <= op.params <= len(positional)):
+                problems.append(
+                    f"{name!r} accepts {required}..{len(positional)} "
+                    f"argument(s), interface declares {op.params}"
+                )
+        if problems:
+            raise BadOperation(
+                f"servant {type(servant).__name__} does not implement "
+                f"{self.type_id}: " + "; ".join(problems)
+            )
+
+    # ------------------------------------------------------------------
+    def bind(self, proxy: Proxy) -> "TypedProxy":
+        """Wrap a raw proxy with this interface's call validation."""
+        return TypedProxy(self, proxy)
+
+
+class TypedProxy:
+    """Arity-checked client stub for one interface."""
+
+    def __init__(self, interface: InterfaceDef, proxy: Proxy):
+        self._interface = interface
+        self._proxy = proxy
+
+    def __getattr__(self, name: str):
+        if name.startswith("_"):
+            raise AttributeError(name)
+        if name not in self._interface.operations:
+            raise BadOperation(
+                f"{self._interface.type_id} has no operation {name!r}"
+            )
+
+        def call(*args):
+            op = self._interface.check_call(name, args)
+            if op.oneway:
+                self._proxy._oneway(name, *args)
+                return None
+            return getattr(self._proxy, name)(*args)
+
+        return call
+
+    @property
+    def interface(self) -> InterfaceDef:
+        return self._interface
+
+    @property
+    def raw(self) -> Proxy:
+        return self._proxy

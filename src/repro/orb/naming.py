@@ -1,0 +1,111 @@
+"""A CORBA Naming Service, replication-ready.
+
+The classic first service of any ORB: maps hierarchical names
+("accounts/savings/alice") to object references.  The servant here is
+deterministic and implements the ``get_state``/``set_state`` hooks, so it
+can be actively replicated over FTMP exactly like any application object
+— which is how a fault-tolerant deployment bootstraps: clients resolve
+every other service through a naming service that is itself replicated.
+
+``NamingClient`` wraps a proxy with encode/decode of object references
+(:mod:`repro.giop.ior`) so callers bind and resolve real ``GroupRef`` /
+``ObjectRef`` objects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from ..giop import UserException
+from ..giop.ior import GroupRef, ObjectRef, decode_ref
+from .orb import ORB, Proxy
+
+__all__ = ["NamingContext", "NamingClient", "NAMING_OBJECT_KEY"]
+
+#: conventional object key servants of this service are activated under
+NAMING_OBJECT_KEY = b"NameService"
+
+
+class NamingContext:
+    """The replicated servant: a hierarchical name -> reference registry."""
+
+    def __init__(self) -> None:
+        self._bindings: Dict[str, bytes] = {}
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _validate(name: str) -> str:
+        if not name or name.startswith("/") or name.endswith("/") or "//" in name:
+            raise UserException("InvalidName", name)
+        return name
+
+    def bind(self, name: str, ref_bytes: bytes) -> bool:
+        """Bind a name; raises AlreadyBound if taken."""
+        name = self._validate(name)
+        if name in self._bindings:
+            raise UserException("AlreadyBound", name)
+        self._bindings[name] = ref_bytes
+        return True
+
+    def rebind(self, name: str, ref_bytes: bytes) -> bool:
+        """Bind a name, replacing any existing binding."""
+        self._bindings[self._validate(name)] = ref_bytes
+        return True
+
+    def resolve(self, name: str) -> bytes:
+        """Look a name up; raises NotFound."""
+        ref = self._bindings.get(self._validate(name))
+        if ref is None:
+            raise UserException("NotFound", name)
+        return ref
+
+    def unbind(self, name: str) -> bool:
+        if self._bindings.pop(self._validate(name), None) is None:
+            raise UserException("NotFound", name)
+        return True
+
+    def list(self, prefix: str = "") -> List[str]:
+        """All bound names under a prefix ('' = everything)."""
+        if prefix:
+            prefix = self._validate(prefix) + "/"
+        return sorted(n for n in self._bindings if n.startswith(prefix) or n == prefix[:-1])
+
+    # ------------------------------------------------------------------
+    # replication hooks
+    # ------------------------------------------------------------------
+    def get_state(self) -> dict:
+        return {n: bytes(r) for n, r in self._bindings.items()}
+
+    def set_state(self, state: dict) -> None:
+        self._bindings = {n: bytes(r) for n, r in state.items()}
+
+
+class NamingClient:
+    """Typed client wrapper: binds and resolves decoded references."""
+
+    def __init__(self, orb: ORB, proxy: Proxy, timeout: float = 5.0):
+        self._orb = orb
+        self._proxy = proxy
+        self._timeout = timeout
+
+    def bind(self, name: str, ref: Union[ObjectRef, GroupRef]) -> None:
+        self._orb.call(self._proxy, "bind", name, ref.encode(),
+                       timeout=self._timeout)
+
+    def rebind(self, name: str, ref: Union[ObjectRef, GroupRef]) -> None:
+        self._orb.call(self._proxy, "rebind", name, ref.encode(),
+                       timeout=self._timeout)
+
+    def resolve(self, name: str) -> Union[ObjectRef, GroupRef]:
+        raw = self._orb.call(self._proxy, "resolve", name, timeout=self._timeout)
+        return decode_ref(raw)
+
+    def unbind(self, name: str) -> None:
+        self._orb.call(self._proxy, "unbind", name, timeout=self._timeout)
+
+    def list(self, prefix: str = "") -> List[str]:
+        return self._orb.call(self._proxy, "list", prefix, timeout=self._timeout)
+
+    def resolve_proxy(self, name: str) -> Proxy:
+        """Resolve a name straight to an invocable proxy."""
+        return self._orb.proxy(self.resolve(name))

@@ -1,0 +1,149 @@
+"""POA — a miniature Portable Object Adapter.
+
+Maps object keys to *servants* (plain Python objects) and dispatches GIOP
+Requests to them: arguments arrive as tagged CDR values
+(:mod:`repro.giop.values`), the servant method runs, and the result (or
+exception) is marshaled into a Reply.
+
+Method name restrictions: only public methods (no leading underscore) are
+invocable, except the replication hooks ``__get_state__``/``__set_state__``
+which the FT infrastructure invokes through reserved operation names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from ..giop import (
+    BadOperation,
+    GIOPHeader,
+    GIOPMessageType,
+    MarshalError,
+    ObjectNotExist,
+    ReplyMessage,
+    ReplyStatus,
+    RequestMessage,
+    SystemException,
+    UserException,
+    decode_values,
+    encode_values,
+)
+
+__all__ = ["POA", "ServantEntry"]
+
+#: reserved operation names used by the replication infrastructure
+GET_STATE_OP = "_get_state"
+SET_STATE_OP = "_set_state"
+
+
+@dataclass
+class ServantEntry:
+    """One activated object."""
+
+    object_key: bytes
+    servant: Any
+    type_id: str = ""
+
+
+class POA:
+    """Object adapter: object key -> servant, plus request dispatch."""
+
+    def __init__(self) -> None:
+        self._servants: Dict[bytes, ServantEntry] = {}
+        self.requests_dispatched = 0
+        self.errors_returned = 0
+
+    # ------------------------------------------------------------------
+    # activation
+    # ------------------------------------------------------------------
+    def activate(self, object_key: bytes, servant: Any, type_id: str = "") -> ServantEntry:
+        """Register a servant under an object key."""
+        if object_key in self._servants:
+            raise ValueError(f"object key {object_key!r} already active")
+        entry = ServantEntry(object_key, servant, type_id)
+        self._servants[object_key] = entry
+        return entry
+
+    def deactivate(self, object_key: bytes) -> None:
+        self._servants.pop(object_key, None)
+
+    def servant(self, object_key: bytes) -> Optional[Any]:
+        entry = self._servants.get(object_key)
+        return entry.servant if entry is not None else None
+
+    def keys(self):
+        return list(self._servants)
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def dispatch(self, request: RequestMessage) -> Optional[ReplyMessage]:
+        """Execute a Request; returns the Reply (None for oneway calls)."""
+        self.requests_dispatched += 1
+        little = request.header.little_endian
+        try:
+            result = self._invoke(request)
+            status, body = ReplyStatus.NO_EXCEPTION, encode_values([result], little)
+        except UserException as exc:
+            status = ReplyStatus.USER_EXCEPTION
+            body = encode_values([exc.name, exc.detail], little)
+            self.errors_returned += 1
+        except SystemException as exc:
+            status = ReplyStatus.SYSTEM_EXCEPTION
+            body = encode_values([exc.repo_id, exc.detail], little)
+            self.errors_returned += 1
+        except Exception as exc:  # servant bug -> CORBA system exception
+            status = ReplyStatus.SYSTEM_EXCEPTION
+            body = encode_values(
+                [SystemException.repo_id, f"{type(exc).__name__}: {exc}"], little
+            )
+            self.errors_returned += 1
+        if not request.response_expected:
+            return None
+        return ReplyMessage(
+            header=GIOPHeader(GIOPMessageType.REPLY, little_endian=little),
+            request_id=request.request_id,
+            reply_status=status,
+            body=body,
+        )
+
+    def _invoke(self, request: RequestMessage) -> Any:
+        entry = self._servants.get(request.object_key)
+        if entry is None:
+            raise ObjectNotExist(f"no servant for key {request.object_key!r}")
+        servant = entry.servant
+        op = request.operation
+        if op == GET_STATE_OP:
+            return self._get_state(servant)
+        if op == SET_STATE_OP:
+            (state,) = decode_values(request.body, request.header.little_endian)
+            self._set_state(servant, state)
+            return None
+        if op.startswith("_"):
+            raise BadOperation(f"operation {op!r} is not invocable")
+        method = getattr(servant, op, None)
+        if method is None or not callable(method):
+            raise BadOperation(f"servant has no operation {op!r}")
+        try:
+            args = decode_values(request.body, request.header.little_endian)
+        except MarshalError as exc:
+            raise BadOperation(f"cannot unmarshal arguments: {exc}") from exc
+        return method(*args)
+
+    # ------------------------------------------------------------------
+    # replication hooks
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _get_state(servant: Any) -> Any:
+        getter = getattr(servant, "get_state", None)
+        if getter is None:
+            raise BadOperation("servant does not support state transfer")
+        return getter()
+
+    @staticmethod
+    def _set_state(servant: Any, state: Any) -> None:
+        setter = getattr(servant, "set_state", None)
+        if setter is None:
+            raise BadOperation("servant does not support state transfer")
+        setter(state)

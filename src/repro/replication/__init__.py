@@ -1,0 +1,32 @@
+"""Fault tolerance infrastructure above FTMP.
+
+Object groups, active replication with duplicate suppression, replica
+management with consistent-cut state transfer, message logging/replay,
+and fault-injection scenario helpers.
+"""
+
+from .checkpointing import Checkpoint, CheckpointingLog, CheckpointStore
+from .failover import LogReplayer, ReplayReport
+from .fault_injection import FaultInjector, Injection
+from .message_log import LoggedRequest, MessageLog
+from .object_group import ObjectGroupRegistry, ObjectGroupSpec
+from .passive import PassiveReplicaController, STATE_UPDATE_OP
+from .replica_manager import ProcessorHost, ReplicaManager
+
+__all__ = [
+    "ObjectGroupSpec",
+    "ObjectGroupRegistry",
+    "ReplicaManager",
+    "ProcessorHost",
+    "MessageLog",
+    "LoggedRequest",
+    "FaultInjector",
+    "Injection",
+    "LogReplayer",
+    "ReplayReport",
+    "PassiveReplicaController",
+    "Checkpoint",
+    "CheckpointStore",
+    "CheckpointingLog",
+    "STATE_UPDATE_OP",
+]

@@ -1,0 +1,152 @@
+"""Checkpointing and log truncation.
+
+The §4 replay story (see :mod:`repro.replication.failover`) rebuilds a
+replacement server by replaying the *entire* request log — unbounded work
+and unbounded log growth.  The standard remedy, which the authors'
+Eternal system employed, is periodic checkpointing: capture servant state
+every N executed requests, then truncate the log prefix the checkpoint
+covers.  Recovery becomes *checkpoint + tail replay*, both bounded by N.
+
+The checkpoint must name its position in the total order; here that is
+the per-connection request-number watermark at capture time — the same
+cut discipline used everywhere else in this repository.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core import ConnectionId
+from ..giop import decode_values, encode_values
+from .message_log import LoggedRequest, MessageLog
+
+__all__ = ["Checkpoint", "CheckpointStore", "CheckpointingLog"]
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """A captured servant state plus its position in the request stream."""
+
+    state: Any
+    #: highest contiguous request number covered, per connection key
+    watermark: Dict[str, int]
+    sequence: int  #: checkpoint generation number
+    captured_at: float
+
+    @staticmethod
+    def cid_key(cid: ConnectionId) -> str:
+        return (f"{cid.client_domain}:{cid.client_group}:"
+                f"{cid.server_domain}:{cid.server_group}")
+
+    def covers(self, cid: ConnectionId, request_num: int) -> bool:
+        return request_num <= self.watermark.get(self.cid_key(cid), 0)
+
+    # -- serialization (stable storage stand-in) ------------------------
+    def encode(self) -> bytes:
+        return encode_values([self.state, self.watermark, self.sequence,
+                              self.captured_at])
+
+    @staticmethod
+    def decode(data: bytes) -> "Checkpoint":
+        state, watermark, sequence, captured_at = decode_values(data)
+        return Checkpoint(state=state, watermark=watermark,
+                          sequence=int(sequence), captured_at=captured_at)
+
+
+class CheckpointStore:
+    """Keeps the most recent checkpoints (stable storage stand-in)."""
+
+    def __init__(self, keep: int = 2):
+        self.keep = keep
+        self._checkpoints: List[bytes] = []
+
+    def save(self, cp: Checkpoint) -> None:
+        self._checkpoints.append(cp.encode())
+        del self._checkpoints[:-self.keep]
+
+    def latest(self) -> Optional[Checkpoint]:
+        if not self._checkpoints:
+            return None
+        return Checkpoint.decode(self._checkpoints[-1])
+
+    def __len__(self) -> int:
+        return len(self._checkpoints)
+
+
+class CheckpointingLog:
+    """Couples a :class:`MessageLog` with periodic checkpoints.
+
+    Use on a server replica (or a monitoring host that sees the request
+    stream): call :meth:`note_executed` after each request execution; the
+    servant's state is captured every ``interval`` requests, and the log
+    entries the checkpoint covers are truncated.
+
+    Recovery: :meth:`recovery_plan` returns (checkpoint, tail) —
+    ``servant.set_state(checkpoint.state)`` then replay ``tail`` in order.
+    """
+
+    def __init__(self, servant: Any, log: MessageLog, interval: int = 50,
+                 store: Optional[CheckpointStore] = None,
+                 now_fn=lambda: 0.0):
+        self.servant = servant
+        self.log = log
+        self.interval = interval
+        self.store = store if store is not None else CheckpointStore()
+        self._now = now_fn
+        self._since_checkpoint = 0
+        self._sequence = 0
+        self._watermark: Dict[str, int] = {}
+        self.truncated_total = 0
+
+    # ------------------------------------------------------------------
+    def note_executed(self, cid: ConnectionId, request_num: int) -> Optional[Checkpoint]:
+        """Record one executed request; checkpoint when the interval fills."""
+        key = Checkpoint.cid_key(cid)
+        self._watermark[key] = max(self._watermark.get(key, 0), request_num)
+        self._since_checkpoint += 1
+        if self._since_checkpoint >= self.interval:
+            return self.checkpoint_now()
+        return None
+
+    def checkpoint_now(self) -> Checkpoint:
+        """Capture state, persist it, truncate the covered log prefix."""
+        self._sequence += 1
+        cp = Checkpoint(
+            state=self.servant.get_state(),
+            watermark=dict(self._watermark),
+            sequence=self._sequence,
+            captured_at=self._now(),
+        )
+        self.store.save(cp)
+        self._since_checkpoint = 0
+        self.truncated_total += self._truncate(cp)
+        return cp
+
+    def _truncate(self, cp: Checkpoint) -> int:
+        """Drop answered log entries the checkpoint covers."""
+        dead = [
+            (e.connection_id, e.request_num)
+            for e in self.log.entries()
+            if e.answered and cp.covers(e.connection_id, e.request_num)
+        ]
+        for key in dead:
+            self.log._log.pop(key, None)
+            try:
+                self.log._order.remove(key)
+            except ValueError:
+                pass
+        return len(dead)
+
+    # ------------------------------------------------------------------
+    def recovery_plan(self) -> Tuple[Optional[Checkpoint], List[LoggedRequest]]:
+        """What a replacement replica needs: latest checkpoint + log tail."""
+        cp = self.store.latest()
+        if cp is None:
+            return None, self.log.entries()
+        tail = [
+            e
+            for e in self.log.entries()
+            if e.request_payload and not cp.covers(e.connection_id, e.request_num)
+        ]
+        return cp, tail

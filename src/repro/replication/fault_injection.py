@@ -1,0 +1,78 @@
+"""Fault injection for experiments and tests.
+
+Thin scenario layer over :class:`~repro.simnet.network.Network`: schedule
+crashes, transient partitions, and loss bursts at simulated times, and
+record what was injected so experiment reports can cite it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Set, Tuple
+
+from ..simnet import Network
+
+__all__ = ["Injection", "FaultInjector"]
+
+
+@dataclass(frozen=True)
+class Injection:
+    """One injected fault, for the experiment record."""
+
+    kind: str  #: "crash" | "partition" | "heal" | "loss"
+    at: float
+    detail: str
+
+
+@dataclass
+class FaultInjector:
+    """Schedules faults against a simulated network."""
+
+    net: Network
+    injected: List[Injection] = field(default_factory=list)
+
+    def crash_at(self, time: float, pid: int) -> None:
+        """Crash-fault ``pid`` at an absolute simulated time."""
+        self.net.scheduler.at(time, self._crash, pid)
+
+    def _crash(self, pid: int) -> None:
+        self.net.crash(pid)
+        self.injected.append(
+            Injection("crash", self.net.scheduler.now, f"processor {pid}")
+        )
+
+    def partition_at(self, time: float, *components: Set[int]) -> None:
+        """Split the network into components at an absolute time."""
+        self.net.scheduler.at(time, self._partition, components)
+
+    def _partition(self, components: Tuple[Set[int], ...]) -> None:
+        self.net.partition(*components)
+        self.injected.append(
+            Injection("partition", self.net.scheduler.now, str(components))
+        )
+
+    def heal_at(self, time: float) -> None:
+        self.net.scheduler.at(time, self._heal)
+
+    def _heal(self) -> None:
+        self.net.heal()
+        self.injected.append(Injection("heal", self.net.scheduler.now, ""))
+
+    def loss_burst(self, start: float, stop: float, loss: float) -> None:
+        """Raise the uniform loss rate during [start, stop)."""
+        previous = self.net.topology.default.loss
+
+        def begin() -> None:
+            self.net.topology.set_loss(loss)
+            self.injected.append(
+                Injection("loss", self.net.scheduler.now, f"loss={loss}")
+            )
+
+        def end() -> None:
+            self.net.topology.set_loss(previous)
+            self.injected.append(
+                Injection("loss", self.net.scheduler.now, f"loss={previous}")
+            )
+
+        self.net.scheduler.at(start, begin)
+        self.net.scheduler.at(stop, end)

@@ -1,0 +1,104 @@
+"""Message logging and replay (paper §4).
+
+"[Connection identifiers and request numbers] are also used to match a
+request with its corresponding reply which is necessary, for example,
+when replaying messages from a log."  :class:`MessageLog` records the
+GIOP traffic of logical connections and answers exactly that query:
+which requests have no matching reply, and what should be replayed after
+a client failover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core import ConnectionId, Delivery, Listener
+
+__all__ = ["LoggedRequest", "MessageLog"]
+
+
+@dataclass
+class LoggedRequest:
+    """One request (and, once seen, its reply) on a logical connection."""
+
+    connection_id: ConnectionId
+    request_num: int
+    request_payload: bytes
+    requested_at: float
+    reply_payload: Optional[bytes] = None
+    replied_at: Optional[float] = None
+
+    @property
+    def answered(self) -> bool:
+        return self.reply_payload is not None
+
+
+class MessageLog(Listener):
+    """Listener recording request/reply pairs per connection.
+
+    Install as (or chain from) an adapter's ``downstream`` listener, or
+    feed it deliveries explicitly with :meth:`record`.
+    """
+
+    def __init__(self) -> None:
+        self._log: Dict[Tuple[ConnectionId, int], LoggedRequest] = {}
+        self._order: List[Tuple[ConnectionId, int]] = []
+
+    # ------------------------------------------------------------------
+    def on_deliver(self, delivery: Delivery) -> None:
+        self.record(delivery)
+
+    def record(self, delivery: Delivery) -> None:
+        """Classify a delivery as request or reply by GIOP message type."""
+        if delivery.connection_id == ConnectionId.none():
+            return
+        payload = delivery.payload
+        if len(payload) < 8 or payload[:4] != b"GIOP":
+            return
+        giop_type = payload[7]
+        key = (delivery.connection_id, delivery.request_num)
+        if giop_type == 0:  # Request
+            if key not in self._log:
+                self._log[key] = LoggedRequest(
+                    connection_id=delivery.connection_id,
+                    request_num=delivery.request_num,
+                    request_payload=payload,
+                    requested_at=delivery.delivered_at,
+                )
+                self._order.append(key)
+        elif giop_type == 1:  # Reply
+            entry = self._log.get(key)
+            if entry is None:
+                # reply whose request we never logged: synthesize the pair
+                entry = self._log[key] = LoggedRequest(
+                    connection_id=delivery.connection_id,
+                    request_num=delivery.request_num,
+                    request_payload=b"",
+                    requested_at=delivery.delivered_at,
+                )
+                self._order.append(key)
+            if entry.reply_payload is None:
+                entry.reply_payload = payload
+                entry.replied_at = delivery.delivered_at
+
+    # ------------------------------------------------------------------
+    def entries(self) -> List[LoggedRequest]:
+        """All logged requests in arrival order."""
+        return [self._log[k] for k in self._order]
+
+    def unanswered(self, cid: Optional[ConnectionId] = None) -> List[LoggedRequest]:
+        """Requests with no matching reply — the replay set after failover."""
+        return [
+            e
+            for e in self.entries()
+            if not e.answered and (cid is None or e.connection_id == cid)
+        ]
+
+    def reply_for(self, cid: ConnectionId, request_num: int) -> Optional[bytes]:
+        """The logged reply for a request (duplicate-request short-circuit)."""
+        entry = self._log.get((cid, request_num))
+        return entry.reply_payload if entry is not None else None
+
+    def __len__(self) -> int:
+        return len(self._log)

@@ -1,0 +1,61 @@
+"""Object groups: the unit of replication (paper §1).
+
+"The replicas of an object form an object group."  An
+:class:`ObjectGroupSpec` names the group (fault tolerance domain id +
+object group id, as in FTMP connection identifiers), the object key its
+servants are activated under, the factory that creates replica servants,
+and the processors currently hosting replicas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Set, Tuple
+
+__all__ = ["ObjectGroupSpec", "ObjectGroupRegistry"]
+
+
+@dataclass
+class ObjectGroupSpec:
+    """One replicated object group."""
+
+    domain: int
+    object_group: int
+    object_key: bytes
+    type_id: str
+    factory: Callable[[], Any]
+    replicas: Set[int] = field(default_factory=set)
+    #: minimum number of replicas the manager tries to maintain
+    target_replication: int = 0
+
+    @property
+    def identity(self) -> Tuple[int, int]:
+        return (self.domain, self.object_group)
+
+
+class ObjectGroupRegistry:
+    """All object groups known to one fault tolerance infrastructure."""
+
+    def __init__(self) -> None:
+        self._groups: Dict[Tuple[int, int], ObjectGroupSpec] = {}
+
+    def register(self, spec: ObjectGroupSpec) -> None:
+        if spec.identity in self._groups:
+            raise ValueError(f"object group {spec.identity} already registered")
+        self._groups[spec.identity] = spec
+
+    def get(self, domain: int, object_group: int) -> Optional[ObjectGroupSpec]:
+        return self._groups.get((domain, object_group))
+
+    def require(self, domain: int, object_group: int) -> ObjectGroupSpec:
+        spec = self.get(domain, object_group)
+        if spec is None:
+            raise KeyError(f"unknown object group ({domain}, {object_group})")
+        return spec
+
+    def groups_on(self, pid: int):
+        """Object groups with a replica hosted on processor ``pid``."""
+        return [s for s in self._groups.values() if pid in s.replicas]
+
+    def all(self):
+        return list(self._groups.values())

@@ -1,0 +1,195 @@
+"""Warm-passive (primary/backup) replication over FTMP.
+
+Active replication (the default in this repository) executes every
+request at every replica.  The FT-CORBA lineage that grew out of this
+paper equally supported **warm passive** replication: only the primary
+executes; backups receive the same totally-ordered request stream but
+buffer it, applying the primary's post-execution *state updates* instead.
+On primary failure a backup already holds (a) the last published state
+and (b) the exact suffix of requests ordered after it — so it re-executes
+that suffix and takes over without client involvement.
+
+Why FTMP makes this work: requests and state updates share one total
+order, so "the requests after the last state update" is the same set at
+every backup; duplicate suppression and the reply cache make re-executed
+requests after failover invisible to clients (a still-pending client
+future is resolved by the new primary's reply; an already-answered one
+suppresses it as a duplicate).
+
+Mechanics (all riding the existing adapter):
+
+* the primary (lowest surviving replica pid) executes delivered requests
+  normally and, after each, multicasts a reserved ``_state_update``
+  Request carrying ``(state, per-connection watermark)``;
+* backups buffer delivered requests; a ``_state_update`` applies the
+  state and discards buffered requests at or below the watermark;
+* on a view change that removes the primary, the lowest surviving backup
+  executes its buffered suffix and takes over.
+
+Trade-off measured in E13: passive saves the backups' execution work,
+but failover pays for the buffered-suffix replay, while active
+replication's failover is free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..core import ConnectionId, ViewChange
+from ..giop import (
+    GIOPHeader,
+    GIOPMessageType,
+    RequestMessage,
+    decode_values,
+    encode_giop,
+    encode_values,
+)
+from ..orb import FTMPAdapter
+
+__all__ = ["PassiveReplicaController", "STATE_UPDATE_OP"]
+
+#: reserved operation carrying (state, watermark) from the primary
+STATE_UPDATE_OP = "_state_update"
+
+#: request numbers for primary-originated state updates (disjoint range)
+_UPDATE_NUM_BASE = 1 << 40
+
+
+def _cid_key(cid: ConnectionId) -> str:
+    return f"{cid.client_domain}:{cid.client_group}:{cid.server_domain}:{cid.server_group}"
+
+
+@dataclass
+class _BufferedRequest:
+    cid: ConnectionId
+    group: int
+    request_num: int
+    message: RequestMessage
+
+
+class PassiveReplicaController:
+    """Installs primary/backup semantics for one object key on an adapter.
+
+    Create one per (adapter, object key) on every replica processor with
+    the same ``replicas`` tuple; the lowest pid is the initial primary.
+    """
+
+    def __init__(self, adapter: FTMPAdapter, object_key: bytes,
+                 replicas: Tuple[int, ...]):
+        self.adapter = adapter
+        self.object_key = object_key
+        self.replicas = tuple(sorted(replicas))
+        self._buffered: List[_BufferedRequest] = []
+        #: per-connection watermark of request numbers covered by state
+        self._applied: Dict[str, int] = {}
+        self._update_counter = 0
+        self.stats_executed = 0
+        self.stats_buffered = 0
+        self.stats_updates_published = 0
+        self.stats_updates_applied = 0
+        self.stats_failover_replays = 0
+        # interpose on the adapter's execute path
+        self._inner_execute = adapter._execute
+        adapter._execute = self._execute  # type: ignore[method-assign]
+        adapter.view_callbacks.append(self._on_view)
+
+    # ------------------------------------------------------------------
+    @property
+    def pid(self) -> int:
+        return self.adapter.stack.pid
+
+    @property
+    def is_primary(self) -> bool:
+        return bool(self.replicas) and self.pid == self.replicas[0]
+
+    # ------------------------------------------------------------------
+    # interposed execution path
+    # ------------------------------------------------------------------
+    def _execute(self, cid: ConnectionId, group: int, request_num: int,
+                 msg: RequestMessage) -> None:
+        if msg.object_key != self.object_key:
+            self._inner_execute(cid, group, request_num, msg)
+            return
+        if msg.operation == STATE_UPDATE_OP:
+            self._apply_update(msg)
+            return
+        if self.is_primary:
+            self.stats_executed += 1
+            self._inner_execute(cid, group, request_num, msg)
+            key = _cid_key(cid)
+            self._applied[key] = max(self._applied.get(key, 0), request_num)
+            self._publish_state(cid, group)
+        else:
+            self.stats_buffered += 1
+            self._buffered.append(_BufferedRequest(cid, group, request_num, msg))
+
+    # ------------------------------------------------------------------
+    # primary: state publication
+    # ------------------------------------------------------------------
+    def _publish_state(self, cid: ConnectionId, group: int) -> None:
+        servant = self.adapter.orb.poa.servant(self.object_key)
+        state = servant.get_state()
+        self._update_counter += 1
+        update_num = _UPDATE_NUM_BASE + self.pid * (1 << 20) + self._update_counter
+        little = self.adapter.stack.config.little_endian
+        req = RequestMessage(
+            header=GIOPHeader(GIOPMessageType.REQUEST, little_endian=little),
+            request_id=update_num & 0xFFFFFFFF,
+            response_expected=False,
+            object_key=self.object_key,
+            operation=STATE_UPDATE_OP,
+            body=encode_values([state, dict(self._applied)], little),
+        )
+        self.stats_updates_published += 1
+        self.adapter.stack.multicast(group, encode_giop(req), cid, update_num)
+
+    # ------------------------------------------------------------------
+    # backup: state application
+    # ------------------------------------------------------------------
+    def _apply_update(self, msg: RequestMessage) -> None:
+        if self.is_primary:
+            return  # our own update looping back
+        state, watermark = decode_values(msg.body, msg.header.little_endian)
+        servant = self.adapter.orb.poa.servant(self.object_key)
+        servant.set_state(state)
+        self.stats_updates_applied += 1
+        for key, num in watermark.items():
+            self._applied[key] = max(self._applied.get(key, 0), num)
+        self._buffered = [
+            b
+            for b in self._buffered
+            if b.request_num > self._applied.get(_cid_key(b.cid), 0)
+        ]
+
+    # ------------------------------------------------------------------
+    # failover
+    # ------------------------------------------------------------------
+    def _on_view(self, view: ViewChange) -> None:
+        if not view.removed:
+            return
+        removed = set(view.removed)
+        if not (removed & set(self.replicas)):
+            return
+        was_primary = self.is_primary
+        old_head = self.replicas[0] if self.replicas else None
+        self.replicas = tuple(p for p in self.replicas if p not in removed)
+        if (
+            not was_primary
+            and self.replicas
+            and self.pid == self.replicas[0]
+            and old_head in removed
+        ):
+            self._promote()
+
+    def _promote(self) -> None:
+        """A backup becomes primary: replay the buffered suffix, resume."""
+        pending, self._buffered = self._buffered, []
+        for b in sorted(pending, key=lambda x: x.request_num):
+            self.stats_failover_replays += 1
+            self.stats_executed += 1
+            self._inner_execute(b.cid, b.group, b.request_num, b.message)
+            key = _cid_key(b.cid)
+            self._applied[key] = max(self._applied.get(key, 0), b.request_num)
+            # publish so any remaining backups converge on the replayed state
+            self._publish_state(b.cid, b.group)

@@ -1,0 +1,243 @@
+"""The fault tolerance infrastructure above FTMP.
+
+The paper repeatedly defers to "the fault tolerance infrastructure": it
+creates object groups, adds/removes object replicas (driving PGMP's
+AddProcessor/RemoveProcessor), and reacts to fault reports by removing
+affected replicas and activating backups.  :class:`ReplicaManager` is that
+infrastructure for the simulated cluster: a management-plane orchestrator
+holding every processor's (ORB, FTMP stack, adapter) triple.
+
+Replica addition uses a consistent-cut state transfer:
+
+1. the new processor's servant is activated and its adapter set to buffer
+   the object's Requests (``await_state``);
+2. the new processor joins the connection's processor group as a new
+   member (PGMP AddProcessor), which fixes the *cut*: the new member
+   delivers exactly the suffix of the total order after the AddProcessor;
+3. the donor replica (lowest surviving pid) captures servant state the
+   moment it observes the view change — the same cut — and ships it in a
+   reserved ``_set_state`` Request over the connection;
+4. the new replica applies the state, replays its buffered Requests, and
+   is thereafter indistinguishable from the others.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..core import ConnectionId, FaultReport, FTMPConfig, FTMPStack, ViewChange
+from ..giop import GroupRef
+from ..orb import ORB, ClientIdentity, FTMPAdapter, Proxy
+from ..simnet import Network
+from .object_group import ObjectGroupRegistry, ObjectGroupSpec
+
+__all__ = ["ProcessorHost", "ReplicaManager"]
+
+
+@dataclass
+class ProcessorHost:
+    """Everything running on one processor."""
+
+    pid: int
+    orb: ORB
+    stack: FTMPStack
+    adapter: FTMPAdapter
+
+
+class ReplicaManager:
+    """Management plane: creates groups, handles faults, adds replicas."""
+
+    def __init__(self, net: Network, config: Optional[FTMPConfig] = None):
+        self.net = net
+        self.config = config if config is not None else FTMPConfig()
+        self.registry = ObjectGroupRegistry()
+        self.hosts: Dict[int, ProcessorHost] = {}
+        #: (domain, object_group) -> a connection id serving that group
+        self._group_connections: Dict[Tuple[int, int], ConnectionId] = {}
+        self.fault_log: list = []
+        #: spare processors available for automatic recovery
+        self.spares: list = []
+        self.auto_recover = False
+
+    # ------------------------------------------------------------------
+    # hosts
+    # ------------------------------------------------------------------
+    def add_host(self, pid: int, config: Optional[FTMPConfig] = None) -> ProcessorHost:
+        """Provision ORB + FTMP stack + adapter on a processor."""
+        if pid in self.hosts:
+            return self.hosts[pid]
+        orb = ORB(pid, self.net.scheduler)
+        stack = FTMPStack(self.net.endpoint(pid), config or self.config)
+        adapter = FTMPAdapter(orb, stack)
+        adapter.view_callbacks.append(lambda v, p=pid: self._on_view(p, v))
+        adapter.fault_callbacks.append(lambda r, p=pid: self._on_fault(p, r))
+        host = ProcessorHost(pid, orb, stack, adapter)
+        self.hosts[pid] = host
+        return host
+
+    def add_spare(self, pid: int) -> ProcessorHost:
+        """Provision a processor kept in reserve for recovery."""
+        host = self.add_host(pid)
+        if pid not in self.spares:
+            self.spares.append(pid)
+        return host
+
+    # ------------------------------------------------------------------
+    # server object groups
+    # ------------------------------------------------------------------
+    def create_server_group(
+        self,
+        domain: int,
+        object_group: int,
+        object_key: bytes,
+        factory: Callable[[], Any],
+        pids: Tuple[int, ...],
+        type_id: str = "",
+        target_replication: Optional[int] = None,
+    ) -> GroupRef:
+        """Replicate a servant across ``pids`` and export the group."""
+        spec = ObjectGroupSpec(
+            domain=domain,
+            object_group=object_group,
+            object_key=object_key,
+            type_id=type_id,
+            factory=factory,
+            replicas=set(pids),
+            target_replication=(
+                target_replication if target_replication is not None else len(pids)
+            ),
+        )
+        self.registry.register(spec)
+        for pid in pids:
+            host = self.add_host(pid)
+            host.orb.poa.activate(object_key, factory(), type_id)
+            host.adapter.export(domain, object_group, tuple(sorted(pids)))
+        return GroupRef(type_id=type_id, domain=domain, object_group=object_group,
+                        object_key=object_key)
+
+    # ------------------------------------------------------------------
+    # clients
+    # ------------------------------------------------------------------
+    def create_client(
+        self,
+        pid: int,
+        client_domain: int,
+        client_group: int,
+        peers: Tuple[int, ...] = (),
+    ) -> ProcessorHost:
+        """Provision a client processor with a client object-group identity.
+
+        ``peers`` lists all processors of the client object group (for
+        replicated clients); defaults to just this processor.
+        """
+        host = self.add_host(pid)
+        ids = tuple(sorted(set(peers) | {pid}))
+        host.adapter.set_client(ClientIdentity(client_domain, client_group, ids))
+        return host
+
+    def proxy(self, client_pid: int, ref: GroupRef) -> Proxy:
+        """A client-side proxy for a replicated server group."""
+        host = self.hosts[client_pid]
+        cid = host.adapter.connection_id_for(ref)
+        self._group_connections.setdefault((ref.domain, ref.object_group), cid)
+        return host.orb.proxy(ref)
+
+    # ------------------------------------------------------------------
+    # replica addition (state transfer)
+    # ------------------------------------------------------------------
+    def add_replica(self, domain: int, object_group: int, new_pid: int) -> None:
+        """Activate a backup replica on ``new_pid`` with state transfer."""
+        spec = self.registry.require(domain, object_group)
+        cid = self._group_connections.get((domain, object_group))
+        if cid is None:
+            raise RuntimeError(
+                "no connection established for this object group yet; "
+                "state transfer needs the connection's total order"
+            )
+        donor_pid = min(spec.replicas)
+        donor = self.hosts[donor_pid]
+        binding = donor.stack.connection_binding(cid)
+        if binding is None:
+            raise RuntimeError(f"donor {donor_pid} has no binding for {cid}")
+
+        new_host = self.add_host(new_pid)
+        if new_host.orb.poa.servant(spec.object_key) is None:
+            new_host.orb.poa.activate(spec.object_key, spec.factory(), spec.type_id)
+        new_host.adapter.await_state(spec.object_key)
+        new_pids = tuple(sorted(spec.replicas | {new_pid}))
+        new_host.adapter.export(domain, object_group, new_pids)
+
+        # donor ships state at the cut defined by the membership change
+        def on_donor_view(view: ViewChange, _donor=donor, _spec=spec, _cid=cid,
+                          _gid=binding.group_id, _new=new_pid) -> None:
+            if view.group == _gid and _new in view.added:
+                servant = _donor.orb.poa.servant(_spec.object_key)
+                state = servant.get_state()
+                _donor.adapter.send_state(_cid, _spec.object_key, state)
+                _donor.adapter.view_callbacks.remove(on_donor_view)
+
+        donor.adapter.view_callbacks.append(on_donor_view)
+
+        # PGMP: the new processor joins the connection's processor group
+        new_host.stack.join_as_new_member(binding.group_id, binding.address)
+        donor.stack.add_processor(binding.group_id, new_pid)
+        spec.replicas.add(new_pid)
+
+    def remove_replica(self, domain: int, object_group: int, pid: int) -> None:
+        """Gracefully retire a replica (RemoveProcessor path, §7.1)."""
+        spec = self.registry.require(domain, object_group)
+        if pid not in spec.replicas:
+            raise ValueError(f"no replica of {spec.identity} on {pid}")
+        cid = self._group_connections.get((domain, object_group))
+        spec.replicas.discard(pid)
+        # "before a processor is removed from a processor group, the fault
+        # tolerance infrastructure must remove all object replicas on that
+        # processor from their object groups" (§7.1)
+        host = self.hosts[pid]
+        host.orb.poa.deactivate(spec.object_key)
+        if cid is not None:
+            donor = self.hosts[min(spec.replicas)] if spec.replicas else None
+            binding = (donor or host).stack.connection_binding(cid)
+            if binding is not None:
+                initiator = donor if donor is not None else host
+                initiator.stack.remove_processor(binding.group_id, pid)
+
+    # ------------------------------------------------------------------
+    # fault handling
+    # ------------------------------------------------------------------
+    def _on_fault(self, reporter_pid: int, report: FaultReport) -> None:
+        self.fault_log.append((reporter_pid, report))
+        for convicted in report.convicted:
+            for spec in self.registry.groups_on(convicted):
+                spec.replicas.discard(convicted)
+                if (
+                    self.auto_recover
+                    and self.spares
+                    and len(spec.replicas) < spec.target_replication
+                    # only one manager action per conviction: drive it from
+                    # the lowest surviving replica's report
+                    and spec.replicas
+                    and reporter_pid == min(spec.replicas)
+                ):
+                    spare = self.spares.pop(0)
+                    self.net.scheduler.schedule(
+                        0.0, self._recover, spec.domain, spec.object_group, spare
+                    )
+
+    def _recover(self, domain: int, object_group: int, spare: int) -> None:
+        try:
+            self.add_replica(domain, object_group, spare)
+        except RuntimeError:
+            self.spares.insert(0, spare)  # retry later / surface to caller
+
+    def _on_view(self, pid: int, view: ViewChange) -> None:
+        pass  # hook point for tests and experiments
+
+    # ------------------------------------------------------------------
+    def replicas_of(self, domain: int, object_group: int):
+        return set(self.registry.require(domain, object_group).replicas)
+
+    def servant(self, pid: int, domain: int, object_group: int):
+        spec = self.registry.require(domain, object_group)
+        return self.hosts[pid].orb.poa.servant(spec.object_key)

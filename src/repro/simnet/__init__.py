@@ -1,0 +1,39 @@
+"""Simulated (and real-UDP) IP-Multicast substrate for FTMP.
+
+Public surface:
+
+* :class:`Scheduler` — discrete-event engine (simulated seconds);
+* :class:`Network` / :class:`SimEndpoint` — deterministic multicast fabric
+  with loss, jitter, partitions and crash faults;
+* :class:`Topology` / :class:`LinkModel` and the :func:`lan`, :func:`wan`,
+  :func:`lossy_lan`, :func:`two_site_wan` presets;
+* :class:`Endpoint` — the abstract transport the protocol stacks target;
+* :class:`UdpFabric` / :class:`UdpEndpoint` — real sockets over loopback.
+"""
+
+from .scheduler import Event, Scheduler, SimTimeError
+from .topology import LinkModel, Topology, lan, lossy_lan, two_site_wan, wan
+from .trace import NetworkTrace, PacketRecord
+from .transport import Endpoint, TimerHandle
+from .network import Network, SimEndpoint
+from .udp import UdpEndpoint, UdpFabric
+
+__all__ = [
+    "Event",
+    "Scheduler",
+    "SimTimeError",
+    "LinkModel",
+    "Topology",
+    "lan",
+    "lossy_lan",
+    "wan",
+    "two_site_wan",
+    "NetworkTrace",
+    "PacketRecord",
+    "Endpoint",
+    "TimerHandle",
+    "Network",
+    "SimEndpoint",
+    "UdpFabric",
+    "UdpEndpoint",
+]

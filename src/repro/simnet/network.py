@@ -1,0 +1,229 @@
+"""Simulated best-effort IP-Multicast network.
+
+This is the substitution for the paper's LAN testbed (DESIGN.md §4): a
+:class:`Network` owns a :class:`~repro.simnet.scheduler.Scheduler`, a
+:class:`~repro.simnet.topology.Topology` and a seeded RNG, and delivers
+multicast datagrams to every processor joined to a group address, subject to
+per-link latency, jitter, loss, partitions and crash faults.
+
+Exactly the properties FTMP assumes of IP Multicast hold here:
+
+* best-effort — packets may be dropped (never corrupted or duplicated);
+* unordered across sources — per-link jitter can reorder packets;
+* loopback — a sender receives its own multicasts;
+* open groups — any processor may send to a group it has not joined
+  (FTMP's ``ConnectRequest`` relies on this).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Optional, Set
+
+from .scheduler import Event, Scheduler
+from .topology import Topology
+from .trace import NetworkTrace
+from .transport import Endpoint
+
+__all__ = ["Network", "SimEndpoint"]
+
+ReceiveCallback = Callable[[bytes], None]
+
+
+class _Node:
+    """Internal per-processor state held by the network."""
+
+    __slots__ = ("pid", "receiver", "crashed", "joined")
+
+    def __init__(self, pid: int):
+        self.pid = pid
+        self.receiver: Optional[ReceiveCallback] = None
+        self.crashed = False
+        self.joined: Set[int] = set()
+
+
+class SimEndpoint(Endpoint):
+    """A processor's handle onto the simulated network.
+
+    Protocol stacks are written against the abstract
+    :class:`~repro.simnet.transport.Endpoint` interface, so the same stack
+    runs unmodified over the UDP transport (``repro.simnet.udp``).
+    """
+
+    def __init__(self, network: "Network", pid: int):
+        self._net = network
+        self._pid = pid
+
+    # -- identity ------------------------------------------------------
+    @property
+    def processor_id(self) -> int:
+        return self._pid
+
+    # -- time / timers -------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self._net.scheduler.now
+
+    def schedule(self, delay: float, fn: Callable[..., None], *args) -> Event:
+        return self._net.scheduler.schedule(delay, fn, *args)
+
+    # -- I/O -------------------------------------------------------------
+    def set_receiver(self, cb: ReceiveCallback) -> None:
+        self._net._node(self._pid).receiver = cb
+
+    def join(self, group_addr: int) -> None:
+        self._net.join(self._pid, group_addr)
+
+    def leave(self, group_addr: int) -> None:
+        self._net.leave(self._pid, group_addr)
+
+    def multicast(self, group_addr: int, data: bytes) -> None:
+        self._net.multicast(self._pid, group_addr, data)
+
+    def random(self) -> random.Random:
+        """Shared deterministic RNG (used for NACK-suppression backoff)."""
+        return self._net.rng
+
+    def close(self) -> None:
+        self._net._node(self._pid).receiver = None
+
+
+class Network:
+    """The simulated multicast fabric shared by all processors in a run."""
+
+    def __init__(
+        self,
+        topology: Optional[Topology] = None,
+        seed: int = 0,
+        scheduler: Optional[Scheduler] = None,
+        keep_packets: bool = False,
+    ):
+        self.scheduler = scheduler if scheduler is not None else Scheduler()
+        self.topology = topology if topology is not None else Topology()
+        self.rng = random.Random(seed)
+        self.trace = NetworkTrace(keep_packets=keep_packets)
+        self._nodes: Dict[int, _Node] = {}
+        self._groups: Dict[int, Set[int]] = {}
+        self._partition: Optional[Dict[int, int]] = None  # pid -> component id
+        #: per-sender egress busy-until time (NIC serialization model)
+        self._egress_free: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    # node management
+    # ------------------------------------------------------------------
+    def _node(self, pid: int) -> _Node:
+        node = self._nodes.get(pid)
+        if node is None:
+            node = self._nodes[pid] = _Node(pid)
+        return node
+
+    def endpoint(self, pid: int) -> SimEndpoint:
+        """Create (or re-create) the endpoint for processor ``pid``."""
+        self._node(pid)
+        return SimEndpoint(self, pid)
+
+    def crash(self, pid: int) -> None:
+        """Crash-fault ``pid``: it neither sends nor receives from now on."""
+        self._node(pid).crashed = True
+
+    def recover(self, pid: int) -> None:
+        """Undo :meth:`crash` (the processor rejoins with its old state)."""
+        self._node(pid).crashed = False
+
+    def is_crashed(self, pid: int) -> bool:
+        return self._node(pid).crashed
+
+    # ------------------------------------------------------------------
+    # group membership at the IP level
+    # ------------------------------------------------------------------
+    def join(self, pid: int, group_addr: int) -> None:
+        self._groups.setdefault(group_addr, set()).add(pid)
+        self._node(pid).joined.add(group_addr)
+
+    def leave(self, pid: int, group_addr: int) -> None:
+        self._groups.get(group_addr, set()).discard(pid)
+        self._node(pid).joined.discard(group_addr)
+
+    def members(self, group_addr: int) -> Set[int]:
+        """Processors currently joined to ``group_addr`` (IP-level, not PGMP)."""
+        return set(self._groups.get(group_addr, set()))
+
+    # ------------------------------------------------------------------
+    # partitions
+    # ------------------------------------------------------------------
+    def partition(self, *components: Set[int]) -> None:
+        """Split the network: packets only flow within a component.
+
+        Processors not named in any component form an implicit extra
+        component together.
+        """
+        mapping: Dict[int, int] = {}
+        for idx, comp in enumerate(components):
+            for pid in comp:
+                mapping[pid] = idx
+        self._partition = mapping
+
+    def heal(self) -> None:
+        """Remove any partition."""
+        self._partition = None
+
+    def _partitioned(self, src: int, dst: int) -> bool:
+        if self._partition is None:
+            return False
+        a = self._partition.get(src, -1)
+        b = self._partition.get(dst, -1)
+        return a != b
+
+    # ------------------------------------------------------------------
+    # datagram delivery
+    # ------------------------------------------------------------------
+    def multicast(self, src: int, group_addr: int, data: bytes) -> None:
+        """Best-effort multicast of ``data`` to every member of ``group_addr``."""
+        sender = self._node(src)
+        if sender.crashed:
+            return
+        # NIC serialization: the packet leaves the sender only when its
+        # egress is free; offered load beyond the bandwidth queues here
+        egress_delay = 0.0
+        bw = self.topology.egress_bandwidth
+        if bw:
+            now = self.scheduler.now
+            start = max(now, self._egress_free.get(src, 0.0))
+            finish = start + len(data) / bw
+            self._egress_free[src] = finish
+            egress_delay = finish - now
+        delivered = 0
+        dropped = 0
+        for pid in self._groups.get(group_addr, ()):  # deterministic set iteration
+            node = self._nodes[pid]
+            if node.crashed or node.receiver is None:
+                continue
+            if self._partitioned(src, pid):
+                dropped += 1
+                continue
+            if pid == src:
+                delay = self.topology.self_delay
+            else:
+                link = self.topology.link(src, pid)
+                if link.drops(self.rng):
+                    dropped += 1
+                    continue
+                delay = link.sample_delay(self.rng)
+            delivered += 1
+            self.scheduler.schedule(egress_delay + delay, self._deliver, pid, data)
+        self.trace.record_send(
+            self.scheduler.now, src, group_addr, len(data), delivered, dropped
+        )
+
+    def _deliver(self, pid: int, data: bytes) -> None:
+        node = self._nodes.get(pid)
+        if node is None or node.crashed or node.receiver is None:
+            return
+        node.receiver(data)
+
+    # ------------------------------------------------------------------
+    # convenience
+    # ------------------------------------------------------------------
+    def run_for(self, duration: float) -> None:
+        """Advance simulated time by ``duration`` seconds."""
+        self.scheduler.run_until(self.scheduler.now + duration)

@@ -1,0 +1,85 @@
+"""Packet accounting for the simulated network.
+
+Every experiment in EXPERIMENTS.md that talks about "network traffic"
+(notably E1, the heartbeat-interval tradeoff) reads these counters.  The
+trace distinguishes *sends* (one per multicast call) from *deliveries*
+(one per receiving processor) from *drops* (per-link losses), and can keep
+an optional per-packet log for debugging protocol runs.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+__all__ = ["PacketRecord", "NetworkTrace"]
+
+
+@dataclass
+class PacketRecord:
+    """One multicast packet as observed on the wire."""
+
+    time: float
+    src: int
+    group: int
+    size: int
+    delivered_to: int
+    dropped_at: int
+
+
+@dataclass
+class NetworkTrace:
+    """Aggregate packet counters plus an optional detailed log."""
+
+    keep_packets: bool = False
+    sends: int = 0
+    deliveries: int = 0
+    drops: int = 0
+    bytes_sent: int = 0
+    bytes_delivered: int = 0
+    sends_by_source: Counter = field(default_factory=Counter)
+    packets: List[PacketRecord] = field(default_factory=list)
+
+    def record_send(
+        self,
+        time: float,
+        src: int,
+        group: int,
+        size: int,
+        delivered_to: int,
+        dropped_at: int,
+    ) -> None:
+        """Account one multicast: fan-out counts come from the network."""
+        self.sends += 1
+        self.bytes_sent += size
+        self.deliveries += delivered_to
+        self.bytes_delivered += size * delivered_to
+        self.drops += dropped_at
+        self.sends_by_source[src] += 1
+        if self.keep_packets:
+            self.packets.append(
+                PacketRecord(time, src, group, size, delivered_to, dropped_at)
+            )
+
+    def reset(self) -> None:
+        """Zero all counters (keeps the ``keep_packets`` setting)."""
+        self.sends = 0
+        self.deliveries = 0
+        self.drops = 0
+        self.bytes_sent = 0
+        self.bytes_delivered = 0
+        self.sends_by_source.clear()
+        self.packets.clear()
+
+    def loss_fraction(self) -> float:
+        """Observed fraction of per-receiver packet copies that were dropped."""
+        total = self.deliveries + self.drops
+        return self.drops / total if total else 0.0
+
+    def summary(self) -> str:
+        """Human-readable one-line traffic summary."""
+        return (
+            f"sends={self.sends} deliveries={self.deliveries} drops={self.drops} "
+            f"bytes_sent={self.bytes_sent} loss={self.loss_fraction():.4f}"
+        )

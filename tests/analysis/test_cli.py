@@ -1,0 +1,35 @@
+"""CLI experiment-runner tests."""
+
+import subprocess
+import sys
+
+from repro.analysis.cli import EXPERIMENTS, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for key in EXPERIMENTS:
+        assert key in out
+
+
+def test_unknown_experiment_rejected(capsys):
+    assert main(["run", "E99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_every_registered_file_exists():
+    import pathlib
+
+    bench = pathlib.Path(__file__).resolve().parents[2] / "benchmarks"
+    for key, (fname, _desc) in EXPERIMENTS.items():
+        assert (bench / fname).is_file(), f"{key} -> {fname} missing"
+
+
+def test_run_one_experiment_subprocess():
+    # F2 is the fastest experiment; run it through the real CLI
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.analysis.cli", "run", "F2"],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr

@@ -1,0 +1,86 @@
+"""Statistics and reporting helpers."""
+
+import pytest
+
+from repro.analysis import LatencySummary, Table, format_series, percentile, summarize
+
+
+class TestPercentile:
+    def test_single_sample(self):
+        assert percentile([5.0], 50) == 5.0
+        assert percentile([5.0], 99) == 5.0
+
+    def test_median_even(self):
+        assert percentile([1, 2, 3, 4], 50) == 2.5
+
+    def test_extremes(self):
+        xs = list(range(101))
+        assert percentile(xs, 0) == 0
+        assert percentile(xs, 100) == 100
+        assert percentile(xs, 50) == 50
+
+    def test_interpolation(self):
+        assert percentile([0, 10], 25) == 2.5
+
+    def test_unsorted_input(self):
+        assert percentile([3, 1, 2], 50) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+
+class TestSummarize:
+    def test_basic(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.count == 3
+        assert s.mean == 2.0
+        assert s.p50 == 2.0
+        assert s.minimum == 1.0
+        assert s.maximum == 3.0
+
+    def test_scaled(self):
+        s = summarize([0.001, 0.002]).scaled(1e3)
+        assert s.mean == 1.5
+        assert s.count == 2
+
+    def test_str_format(self):
+        text = str(summarize([0.5]))
+        assert "n=1" in text and "mean=0.5" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestTable:
+    def test_render_alignment(self):
+        t = Table(["name", "value"], title="demo")
+        t.add_row("a", 1)
+        t.add_row("longer-name", 2.5)
+        out = t.render()
+        lines = out.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_float_formatting(self):
+        t = Table(["x"])
+        t.add_row(0.000123456)
+        assert "0.0001235" in t.render()
+
+    def test_row_width_mismatch(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_empty_table_renders_headers(self):
+        t = Table(["only"])
+        assert "only" in t.render()
+
+
+def test_format_series():
+    out = format_series("lat vs hb", [1, 2], [0.1, 0.2], "hb", "lat")
+    assert "lat vs hb" in out
+    assert "hb" in out and "lat" in out
+    assert "0.1" in out and "2" in out

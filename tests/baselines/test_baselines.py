@@ -1,0 +1,118 @@
+"""Baseline protocol tests: sequencer, token ring, point-to-point mesh."""
+
+import pytest
+
+from repro.baselines import (
+    FTMPProtocol,
+    PtpMeshProtocol,
+    SequencerProtocol,
+    TokenRingProtocol,
+    pack_frame,
+    unpack_frame,
+)
+from repro.simnet import Network, lan
+
+ORDERED = [SequencerProtocol, TokenRingProtocol, FTMPProtocol]
+ALL = ORDERED + [PtpMeshProtocol]
+
+
+def run_protocol(cls, pids=(1, 2, 3), msgs=10, seed=1, duration=1.0):
+    net = Network(lan(), seed=seed)
+    delivered = {p: [] for p in pids}
+    protos = {
+        p: cls(net.endpoint(p), 700, tuple(pids), delivered[p].append) for p in pids
+    }
+    for i in range(msgs):
+        for p in pids:
+            net.scheduler.at(0.001 * i + 0.0001 * p, protos[p].multicast,
+                             f"{p}:{i}".encode())
+    net.run_for(duration)
+    return net, protos, delivered
+
+
+def test_frame_round_trip():
+    frame = pack_frame(2, 7, 42, 99, b"body")
+    assert unpack_frame(frame) == (2, 7, 42, 99, b"body")
+
+
+def test_frame_rejects_garbage():
+    with pytest.raises(ValueError):
+        unpack_frame(b"xx")
+
+
+@pytest.mark.parametrize("cls", ALL, ids=lambda c: c.name)
+def test_all_messages_delivered(cls):
+    _net, _protos, delivered = run_protocol(cls)
+    for p in (1, 2, 3):
+        assert len(delivered[p]) == 30
+        assert {d.payload for d in delivered[p]} == {
+            f"{s}:{i}".encode() for s in (1, 2, 3) for i in range(10)
+        }
+
+
+@pytest.mark.parametrize("cls", ORDERED, ids=lambda c: c.name)
+def test_total_order_agreement(cls):
+    _net, _protos, delivered = run_protocol(cls)
+    orders = [[(d.source, d.payload) for d in delivered[p]] for p in (1, 2, 3)]
+    assert orders[0] == orders[1] == orders[2]
+
+
+@pytest.mark.parametrize("cls", ALL, ids=lambda c: c.name)
+def test_source_fifo(cls):
+    _net, _protos, delivered = run_protocol(cls)
+    for p in (1, 2, 3):
+        for s in (1, 2, 3):
+            own = [d.payload for d in delivered[p] if d.source == s]
+            assert own == [f"{s}:{i}".encode() for i in range(10)]
+
+
+def test_ptp_mesh_makes_no_total_order_promise():
+    # informational: with jitter, cross-source orders typically diverge;
+    # the protocol's contract is only per-source FIFO (checked above)
+    _net, protos, _delivered = run_protocol(PtpMeshProtocol)
+    assert protos[1].name == "ptp-mesh"
+
+
+def test_sequencer_is_lowest_member():
+    net = Network(lan(), seed=0)
+    protos = {
+        p: SequencerProtocol(net.endpoint(p), 700, (3, 1, 2), lambda d: None)
+        for p in (1, 2, 3)
+    }
+    assert protos[1].is_sequencer
+    assert not protos[2].is_sequencer
+
+
+def test_sequencer_orders_only_once_per_message():
+    net, protos, delivered = run_protocol(SequencerProtocol, msgs=5)
+    # one ORDER per DATA
+    assert protos[1].control_sent == 15
+
+
+def test_token_ring_latency_includes_token_wait():
+    # a message sent right after the token departs waits ~a full rotation
+    net = Network(lan(), seed=0)
+    delivered = {p: [] for p in (1, 2, 3)}
+    protos = {
+        p: TokenRingProtocol(net.endpoint(p), 700, (1, 2, 3), delivered[p].append)
+        for p in (1, 2, 3)
+    }
+    net.run_for(0.01)  # token circulating
+    t0 = net.scheduler.now
+    protos[2].multicast(b"probe")
+    net.run_for(0.05)
+    arrival = [d for d in delivered[1] if d.payload == b"probe"][0]
+    assert arrival.delivered_at > t0  # waited for the token, then delivered
+    assert len(delivered[1]) == 1
+
+
+def test_token_ring_counts_control_traffic():
+    net, protos, _d = run_protocol(TokenRingProtocol, msgs=2, duration=0.5)
+    # the token keeps rotating even when idle: control messages accumulate
+    assert sum(p.control_sent for p in protos.values()) > 10
+
+
+def test_ftmp_wrapper_exposes_stack():
+    net, protos, delivered = run_protocol(FTMPProtocol, msgs=3)
+    assert protos[1].stack.group(700) is not None
+    assert protos[1].messages_sent == 3

@@ -1,0 +1,94 @@
+"""Trans-style causal broadcast baseline tests."""
+
+from repro.baselines import CausalProtocol
+from repro.simnet import Network, lan
+
+
+def build(pids=(1, 2, 3), seed=1):
+    net = Network(lan(), seed=seed)
+    delivered = {p: [] for p in pids}
+    protos = {
+        p: CausalProtocol(net.endpoint(p), 700, tuple(pids), delivered[p].append)
+        for p in pids
+    }
+    return net, protos, delivered
+
+
+def test_all_messages_delivered():
+    net, protos, delivered = build()
+    for i in range(10):
+        for p in (1, 2, 3):
+            net.scheduler.at(0.001 * i, protos[p].multicast, f"{p}:{i}".encode())
+    net.run_for(1.0)
+    for p in (1, 2, 3):
+        assert len(delivered[p]) == 30
+        assert protos[p].held_back() == 0
+
+
+def test_source_fifo_is_a_special_case_of_causal():
+    net, protos, delivered = build()
+    for i in range(10):
+        net.scheduler.at(0.001 * i, protos[1].multicast, f"m{i}".encode())
+    net.run_for(0.5)
+    assert [d.payload for d in delivered[2]] == [f"m{i}".encode() for i in range(10)]
+
+
+def test_causal_request_reply_ordering():
+    # node 2 replies only after delivering node 1's request: every member
+    # must deliver request before reply (causality), even with jitter
+    net, protos, delivered = build(seed=9)
+
+    replied = []
+
+    def deliver_and_reply(d):
+        delivered[2].append(d)
+        if d.payload == b"request" and not replied:
+            replied.append(True)
+            protos[2].multicast(b"reply")
+
+    protos[2].on_deliver = deliver_and_reply
+    protos[1].multicast(b"request")
+    net.run_for(0.5)
+    for p in (1, 3):
+        payloads = [d.payload for d in delivered[p]]
+        assert payloads.index(b"request") < payloads.index(b"reply")
+
+
+def test_transitive_causality_chain():
+    net, protos, delivered = build()
+
+    # 1 -> (2 observes, sends) -> (3 observes, sends): chain a<b<c everywhere
+    def chain_2(d):
+        delivered[2].append(d)
+        if d.payload == b"a":
+            protos[2].multicast(b"b")
+
+    def chain_3(d):
+        delivered[3].append(d)
+        if d.payload == b"b":
+            protos[3].multicast(b"c")
+
+    protos[2].on_deliver = chain_2
+    protos[3].on_deliver = chain_3
+    protos[1].multicast(b"a")
+    net.run_for(0.5)
+    for p in (1, 2, 3):
+        payloads = [d.payload for d in delivered[p]]
+        assert payloads.index(b"a") < payloads.index(b"b") < payloads.index(b"c")
+
+
+def test_concurrent_messages_may_interleave_differently():
+    # causal order makes NO promise about concurrent messages; this test
+    # pins the (weaker) contract: same multiset, per-source FIFO
+    net, protos, delivered = build(seed=13)
+    for i in range(20):
+        for p in (1, 2, 3):
+            net.scheduler.at(0.0007 * i + 0.00003 * p, protos[p].multicast,
+                             f"{p}:{i}".encode())
+    net.run_for(1.0)
+    sets = [sorted(d.payload for d in delivered[p]) for p in (1, 2, 3)]
+    assert sets[0] == sets[1] == sets[2]
+    for p in (1, 2, 3):
+        for s in (1, 2, 3):
+            own = [d.payload for d in delivered[p] if d.source == s]
+            assert own == [f"{s}:{i}".encode() for i in range(20)]

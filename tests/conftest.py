@@ -1,0 +1,17 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.harness import Cluster, make_cluster  # noqa: F401
+
+
+@pytest.fixture
+def cluster3() -> Cluster:
+    return make_cluster((1, 2, 3))
+
+
+@pytest.fixture
+def cluster5() -> Cluster:
+    return make_cluster((1, 2, 3, 4, 5))

@@ -1,0 +1,70 @@
+"""FTMPConfig and listener-utility tests."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import (
+    ConnectionId,
+    Delivery,
+    FTMPConfig,
+    Listener,
+    RecordingListener,
+    ViewChange,
+)
+
+
+def test_config_is_frozen():
+    cfg = FTMPConfig()
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        cfg.heartbeat_interval = 1.0
+
+
+def test_with_creates_modified_copy():
+    cfg = FTMPConfig()
+    cfg2 = cfg.with_(heartbeat_interval=0.5, suspect_timeout=2.0)
+    assert cfg2.heartbeat_interval == 0.5
+    assert cfg2.suspect_timeout == 2.0
+    assert cfg.heartbeat_interval == 0.010  # original untouched
+    assert cfg2.nack_delay == cfg.nack_delay
+
+
+def test_default_listener_is_noop():
+    listener = Listener()
+    d = Delivery(group=1, source=1, sequence_number=1, timestamp=1,
+                 connection_id=ConnectionId.none(), request_num=0,
+                 payload=b"", delivered_at=0.0)
+    listener.on_deliver(d)  # must not raise
+    listener.on_view_change(None)
+    listener.on_fault_report(None)
+    listener.on_connection(None)
+
+
+def make_delivery(group, payload, ts=1, src=1):
+    return Delivery(group=group, source=src, sequence_number=1, timestamp=ts,
+                    connection_id=ConnectionId.none(), request_num=0,
+                    payload=payload, delivered_at=0.0)
+
+
+def test_recording_listener_filters_by_group():
+    lst = RecordingListener()
+    lst.on_deliver(make_delivery(1, b"a"))
+    lst.on_deliver(make_delivery(2, b"b"))
+    assert lst.payloads(1) == [b"a"]
+    assert lst.payloads(2) == [b"b"]
+    assert lst.payloads() == [b"a", b"b"]
+    assert lst.delivery_order(1) == [(1, 1)]
+
+
+def test_recording_listener_current_membership():
+    lst = RecordingListener()
+    assert lst.current_membership(1) is None
+    lst.on_view_change(ViewChange(group=1, membership=(1, 2),
+                                  view_timestamp=5, added=(), removed=(),
+                                  reason="bootstrap", installed_at=0.0))
+    lst.on_view_change(ViewChange(group=2, membership=(9,),
+                                  view_timestamp=6, added=(), removed=(),
+                                  reason="bootstrap", installed_at=0.0))
+    assert lst.current_membership(1) == (1, 2)
+    assert lst.current_membership(2) == (9,)
+    assert lst.current_membership(3) is None

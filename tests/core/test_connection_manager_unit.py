@@ -1,0 +1,71 @@
+"""ConnectionManager internals."""
+
+from repro.core import ConnectionId, FTMPConfig, FTMPStack, RecordingListener
+from repro.simnet import Network, lan
+
+CID = ConnectionId(3, 200, 7, 100)
+CID2 = ConnectionId(3, 201, 7, 100)
+
+
+def build():
+    net = Network(lan(), seed=0)
+    stacks = {}
+    for pid in (1, 2, 8):
+        stacks[pid] = FTMPStack(net.endpoint(pid), FTMPConfig(),
+                                RecordingListener())
+    for pid in (1, 2):
+        stacks[pid].serve(domain=7, object_group=100, server_pids=(1, 2))
+    return net, stacks
+
+
+def establish(net, stacks, cid=CID):
+    stacks[8].request_connection(cid, client_pids=(8,))
+    net.run_for(0.3)
+
+
+def test_drop_unknown_connection_is_noop():
+    net, stacks = build()
+    assert stacks[8].connections.drop(CID) is None
+
+
+def test_drop_returns_group_when_last_reference():
+    net, stacks = build()
+    establish(net, stacks)
+    binding = stacks[8].connection_binding(CID)
+    assert stacks[8].connections.drop(CID) == binding.group_id
+    assert stacks[8].connection_binding(CID) is None
+
+
+def test_drop_keeps_group_while_shared():
+    net, stacks = build()
+    establish(net, stacks, CID)
+    establish(net, stacks, CID2)
+    b1 = stacks[8].connection_binding(CID)
+    b2 = stacks[8].connection_binding(CID2)
+    assert b1.group_id == b2.group_id
+    assert stacks[8].connections.drop(CID) is None  # still shared
+    assert stacks[8].connections.drop(CID2) == b2.group_id
+
+
+def test_release_connection_local_removes_orphan_group():
+    net, stacks = build()
+    establish(net, stacks)
+    gid = stacks[8].connection_binding(CID).group_id
+    stacks[8].release_connection_local(CID)
+    assert stacks[8].group(gid) is None
+
+
+def test_request_is_idempotent():
+    net, stacks = build()
+    stacks[8].request_connection(CID, client_pids=(8,))
+    stacks[8].request_connection(CID, client_pids=(8,))  # no double pending
+    net.run_for(0.3)
+    assert stacks[8].connection_binding(CID).established
+
+
+def test_connect_request_for_foreign_group_ignored():
+    net, stacks = build()
+    foreign = ConnectionId(3, 200, 9, 999)  # domain we do not serve
+    stacks[8].request_connection(foreign, client_pids=(8,))
+    net.run_for(0.3)
+    assert stacks[8].connection_binding(foreign) is None

@@ -1,0 +1,159 @@
+"""PGMP §7.1: AddProcessor / RemoveProcessor for non-faulty processors."""
+
+from repro.core import FTMPConfig, FTMPStack, RecordingListener
+from repro.analysis.harness import make_cluster
+
+
+def add_member(cluster, new_pid, group=1, address=5001, initiator=None):
+    """Bring a fresh processor into an existing cluster's group."""
+    lst = RecordingListener()
+    st = FTMPStack(cluster.net.endpoint(new_pid), FTMPConfig(), lst)
+    cluster.stacks[new_pid] = st
+    cluster.listeners[new_pid] = lst
+    st.join_as_new_member(group, address)
+    init = initiator if initiator is not None else min(
+        p for p in cluster.stacks if p != new_pid
+    )
+    cluster.stacks[init].add_processor(group, new_pid)
+    return st, lst
+
+
+def test_add_processor_installs_view_everywhere():
+    c = make_cluster((1, 2, 3))
+    c.run_for(0.05)
+    add_member(c, 4)
+    c.run_for(0.3)
+    for pid in (1, 2, 3, 4):
+        assert c.listeners[pid].current_membership(1) == (1, 2, 3, 4)
+
+
+def test_new_member_participates_in_total_order():
+    c = make_cluster((1, 2, 3))
+    c.run_for(0.05)
+    add_member(c, 4)
+    c.run_for(0.3)
+    c.stacks[4].multicast(1, b"from-4")
+    c.stacks[1].multicast(1, b"from-1")
+    c.run_for(0.3)
+    orders = c.orders(1)
+    assert orders[1] == orders[2] == orders[3]
+    for pid in (1, 2, 3):
+        assert b"from-4" in c.listeners[pid].payloads(1)
+    assert b"from-4" in c.listeners[4].payloads(1)
+
+
+def test_new_member_delivery_is_suffix_of_old_members():
+    c = make_cluster((1, 2, 3))
+    for i in range(10):
+        c.net.scheduler.at(0.002 * i, c.stacks[1].multicast, 1, f"pre{i}".encode())
+    c.net.scheduler.at(0.008, lambda: add_member(c, 4))
+    for i in range(10):
+        c.net.scheduler.at(0.05 + 0.002 * i, c.stacks[2].multicast, 1, f"post{i}".encode())
+    c.run_for(1.0)
+    full = c.orders(1)[1]
+    suffix = c.orders(1)[4]
+    assert len(suffix) > 0
+    assert suffix == full[-len(suffix):]
+    # everything after the join point was delivered to the new member
+    assert all(f"post{i}".encode() in c.listeners[4].payloads(1) for i in range(10))
+
+
+def test_ordering_continues_during_add():
+    # §7.1: ordering "continues unaffected" by non-faulty changes.
+    c = make_cluster((1, 2, 3))
+    for i in range(30):
+        c.net.scheduler.at(0.001 * i, c.stacks[3].multicast, 1, f"m{i}".encode())
+    c.net.scheduler.at(0.012, lambda: add_member(c, 4))
+    c.run_for(1.0)
+    assert [p for p in c.listeners[1].payloads(1)] == [f"m{i}".encode() for i in range(30)]
+    orders = c.orders(1)
+    assert orders[1] == orders[2] == orders[3]
+    # the joiner's history is a suffix of the full order
+    assert orders[4] == orders[1][-len(orders[4]):]
+
+
+def test_remove_processor_shrinks_view_and_evicts():
+    c = make_cluster((1, 2, 3))
+    c.run_for(0.05)
+    c.stacks[1].remove_processor(1, 3)
+    c.run_for(0.3)
+    assert c.listeners[1].current_membership(1) == (1, 2)
+    assert c.listeners[2].current_membership(1) == (1, 2)
+    # the removed processor saw its own eviction and dropped the group
+    evicted_views = [v for v in c.listeners[3].views if v.reason == "remove"]
+    assert evicted_views and evicted_views[-1].removed == (3,)
+    assert c.stacks[3].group(1) is None
+
+
+def test_removed_processor_messages_after_remove_are_not_delivered():
+    c = make_cluster((1, 2, 3))
+    c.run_for(0.05)
+    c.stacks[1].remove_processor(1, 3)
+    c.run_for(0.3)
+    # node 3 is gone; survivors keep exchanging messages consistently
+    c.stacks[1].multicast(1, b"after")
+    c.run_for(0.2)
+    assert c.listeners[1].payloads(1) == [b"after"]
+    assert c.listeners[2].payloads(1) == [b"after"]
+
+
+def test_self_leave_via_remove():
+    c = make_cluster((1, 2, 3))
+    c.run_for(0.05)
+    c.stacks[2].leave_group(1)
+    c.run_for(0.3)
+    assert c.stacks[2].group(1) is None
+    assert c.listeners[1].current_membership(1) == (1, 3)
+
+
+def test_add_then_remove_round_trip():
+    c = make_cluster((1, 2))
+    c.run_for(0.05)
+    add_member(c, 3)
+    c.run_for(0.3)
+    assert c.listeners[1].current_membership(1) == (1, 2, 3)
+    c.stacks[1].remove_processor(1, 3)
+    c.run_for(0.3)
+    assert c.listeners[1].current_membership(1) == (1, 2)
+    c.stacks[1].multicast(1, b"still-works")
+    c.run_for(0.2)
+    assert c.listeners[2].payloads(1)[-1] == b"still-works"
+
+
+def test_add_retransmits_until_new_member_heard():
+    # Start the new member's stack *late*: the initiator must keep
+    # retransmitting the AddProcessor (§7.1, unreliable to the new member).
+    c = make_cluster((1, 2, 3))
+    c.run_for(0.05)
+    lst = RecordingListener()
+    st = FTMPStack(c.net.endpoint(4), FTMPConfig(), lst)
+    c.stacks[4] = st
+    c.listeners[4] = lst
+    # initiator announces the add before the new member starts listening
+    c.stacks[1].add_processor(1, 4)
+    c.net.scheduler.at(c.net.scheduler.now + 0.1, st.join_as_new_member, 1, 5001)
+    c.run_for(0.5)
+    assert lst.current_membership(1) == (1, 2, 3, 4)
+    st.multicast(1, b"late-joiner")
+    c.run_for(0.2)
+    assert b"late-joiner" in c.listeners[1].payloads(1)
+
+
+def test_duplicate_add_is_rejected():
+    c = make_cluster((1, 2, 3))
+    c.run_for(0.05)
+    import pytest
+
+    with pytest.raises(ValueError):
+        c.stacks[1].add_processor(1, 2)  # already a member
+    with pytest.raises(ValueError):
+        c.stacks[1].remove_processor(1, 99)  # not a member
+
+
+def test_view_timestamps_agree_across_members():
+    c = make_cluster((1, 2, 3))
+    c.run_for(0.05)
+    add_member(c, 4)
+    c.run_for(0.3)
+    stamps = {pid: c.listeners[pid].views[-1].view_timestamp for pid in (1, 2, 3, 4)}
+    assert len(set(stamps.values())) == 1

@@ -1,0 +1,87 @@
+"""Partition behaviour (primary-component semantics).
+
+The side of a partition holding a strict majority of the membership
+convicts and removes the other side and continues; minority components
+cannot convict and stall until the partition heals — so the total order
+never splits.  These semantics follow from the DESIGN.md §2 conviction
+rule and are pinned down here.
+"""
+
+from repro.analysis import make_cluster
+from repro.core import FTMPConfig
+
+
+def test_majority_side_continues_minority_stalls():
+    cfg = FTMPConfig(suspect_timeout=0.060)
+    c = make_cluster((1, 2, 3, 4, 5), config=cfg, seed=1)
+    c.run_for(0.05)
+    c.net.partition({1, 2, 3}, {4, 5})
+    c.run_for(1.5)
+    # majority component: convicted and removed the minority
+    for pid in (1, 2, 3):
+        assert c.listeners[pid].current_membership(1) == (1, 2, 3)
+    # majority keeps making progress
+    c.stacks[1].multicast(1, b"majority-works")
+    c.run_for(0.3)
+    assert b"majority-works" in c.listeners[3].payloads(1)
+    # minority (2 of 5): cannot reach a strict majority of the full
+    # membership, so no fault view forms there — it stalls
+    for pid in (4, 5):
+        fault_views = [v for v in c.listeners[pid].views if v.reason == "fault"]
+        assert fault_views == []
+    # a minority send is not delivered on the majority side
+    c.stacks[4].multicast(1, b"minority-cry")
+    c.run_for(0.3)
+    assert b"minority-cry" not in c.listeners[1].payloads(1)
+
+
+def test_even_split_no_side_can_convict():
+    cfg = FTMPConfig(suspect_timeout=0.060)
+    c = make_cluster((1, 2, 3, 4), config=cfg, seed=2)
+    c.run_for(0.05)
+    c.net.partition({1, 2}, {3, 4})
+    c.run_for(1.0)
+    # 2 votes is not a strict majority of 4: neither side convicts
+    for pid in (1, 2, 3, 4):
+        assert [v for v in c.listeners[pid].views if v.reason == "fault"] == []
+    # after healing, the group recovers with its full membership
+    c.net.heal()
+    c.run_for(1.5)
+    c.stacks[1].multicast(1, b"after-heal")
+    c.run_for(0.5)
+    for pid in (1, 2, 3, 4):
+        m = c.listeners[pid].current_membership(1)
+        assert m in (None, (1, 2, 3, 4))
+        assert b"after-heal" in c.listeners[pid].payloads(1)
+
+
+def test_short_partition_heals_without_eviction():
+    cfg = FTMPConfig(suspect_timeout=0.300)
+    c = make_cluster((1, 2, 3), config=cfg, seed=3)
+    c.run_for(0.05)
+    c.stacks[1].multicast(1, b"before")
+    c.run_for(0.05)
+    c.net.partition({1, 2}, {3})
+    c.stacks[1].multicast(1, b"during")
+    c.run_for(0.1)  # shorter than the suspect timeout
+    c.net.heal()
+    c.run_for(1.0)
+    # nobody was evicted; node 3 recovered the partition-era message
+    for pid in (1, 2, 3):
+        assert c.listeners[pid].current_membership(1) in (None, (1, 2, 3))
+        assert c.listeners[pid].payloads(1) == [b"before", b"during"]
+
+
+def test_evicted_minority_member_knows_it_was_removed():
+    cfg = FTMPConfig(suspect_timeout=0.060)
+    c = make_cluster((1, 2, 3), config=cfg, seed=4)
+    c.run_for(0.05)
+    c.net.partition({1, 2}, {3})
+    c.run_for(1.0)
+    c.net.heal()
+    c.run_for(1.0)
+    # the majority formed (1,2); when healed, node 3 receives their
+    # Membership traffic naming a view without it and evicts itself
+    assert c.listeners[1].current_membership(1) == (1, 2)
+    evicted = [v for v in c.listeners[3].views if v.reason == "evicted"]
+    assert evicted and c.stacks[3].group(1) is None

@@ -1,0 +1,65 @@
+"""Ranked responder failover for connection establishment."""
+
+from repro.core import ConnectionId, FTMPConfig, FTMPStack, RecordingListener
+from repro.core.connection import default_allocator
+from repro.simnet import Network, lan
+
+CID = ConnectionId(3, 200, 7, 100)
+
+
+def build(seed=0):
+    net = Network(lan(), seed=seed)
+    stacks = {}
+    for pid in (1, 2, 8):
+        stacks[pid] = FTMPStack(net.endpoint(pid), FTMPConfig(),
+                                RecordingListener())
+    for pid in (1, 2):
+        stacks[pid].serve(domain=7, object_group=100, server_pids=(1, 2))
+    return net, stacks
+
+
+def test_default_allocation_is_deterministic_in_membership():
+    a = default_allocator((1, 2, 8))
+    b = default_allocator((8, 2, 1))  # order-insensitive
+    assert a == b
+    assert a != default_allocator((1, 2, 9))
+
+
+def test_standby_answers_when_primary_responder_is_dead():
+    net, stacks = build()
+    net.crash(1)  # the would-be responder is gone before any request
+    stacks[8].request_connection(CID, client_pids=(8,))
+    net.run_for(1.0)
+    b8 = stacks[8].connection_binding(CID)
+    b2 = stacks[2].connection_binding(CID)
+    assert b8 is not None and b8.established
+    assert b2 is not None and b2.responder  # the standby stepped in
+    # and the connection actually works
+    stacks[8].send_on_connection(CID, b"via-standby", 1)
+    net.run_for(0.3)
+    payloads = [d.payload for d in stacks[2].listener.deliveries]
+    assert b"via-standby" in payloads
+
+
+def test_standby_does_not_answer_when_primary_is_alive():
+    net, stacks = build()
+    stacks[8].request_connection(CID, client_pids=(8,))
+    net.run_for(1.0)
+    b1 = stacks[1].connection_binding(CID)
+    b2 = stacks[2].connection_binding(CID)
+    assert b1 is not None and b1.responder
+    # the standby adopted the primary's Connect rather than answering
+    assert b2 is not None and not b2.responder
+
+
+def test_concurrent_answers_converge_on_one_group():
+    # even if primary and standby both answer (slow primary), the
+    # deterministic allocation makes their Connects identical
+    net, stacks = build()
+    g1 = stacks[1].allocate_connection_group((1, 2, 8))
+    g2 = stacks[2].allocate_connection_group((1, 2, 8))
+    assert g1 == g2
+    stacks[8].request_connection(CID, client_pids=(8,))
+    net.run_for(1.0)
+    gids = {stacks[p].connection_binding(CID).group_id for p in (1, 2, 8)}
+    assert len(gids) == 1

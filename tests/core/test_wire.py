@@ -1,0 +1,159 @@
+"""Codec tests: every FTMP message type round-trips, both byte orders."""
+
+import pytest
+
+from repro.core import (
+    HEADER_SIZE,
+    AddProcessorMessage,
+    CodecError,
+    ConnectionId,
+    ConnectMessage,
+    ConnectRequestMessage,
+    FTMPHeader,
+    HeartbeatMessage,
+    MembershipMessage,
+    MessageType,
+    RegularMessage,
+    RemoveProcessorMessage,
+    RetransmitRequestMessage,
+    SuspectMessage,
+    decode,
+    encode,
+    peek_header,
+)
+
+
+def header(mtype: MessageType, little: bool = True) -> FTMPHeader:
+    return FTMPHeader(
+        message_type=mtype,
+        source=7,
+        group=42,
+        sequence_number=1234,
+        timestamp=99,
+        ack_timestamp=55,
+        little_endian=little,
+    )
+
+
+CID = ConnectionId(1, 2, 3, 4)
+
+
+def sample_messages(little: bool):
+    return [
+        RegularMessage(header(MessageType.REGULAR, little), CID, 17, b"payload!"),
+        RetransmitRequestMessage(header(MessageType.RETRANSMIT_REQUEST, little), 9, 5, 11),
+        HeartbeatMessage(header(MessageType.HEARTBEAT, little)),
+        ConnectRequestMessage(header(MessageType.CONNECT_REQUEST, little), CID, (8, 9)),
+        ConnectMessage(header(MessageType.CONNECT, little), CID, 1000, 2000, 77, (1, 2, 8, 9)),
+        AddProcessorMessage(
+            header(MessageType.ADD_PROCESSOR, little), 77, (1, 2, 3), {1: 10, 2: 20, 3: 0}, 4
+        ),
+        RemoveProcessorMessage(header(MessageType.REMOVE_PROCESSOR, little), 2),
+        SuspectMessage(header(MessageType.SUSPECT, little), 77, (3,)),
+        MembershipMessage(
+            header(MessageType.MEMBERSHIP, little), 77, (1, 2, 3), {1: 10, 2: 20, 3: 5}, (1, 2)
+        ),
+    ]
+
+
+@pytest.mark.parametrize("little", [True, False], ids=["little-endian", "big-endian"])
+def test_all_types_round_trip(little):
+    for msg in sample_messages(little):
+        raw = encode(msg)
+        out = decode(raw)
+        assert type(out) is type(msg)
+        assert out.header.message_type == msg.header.message_type
+        assert out.header.source == msg.header.source
+        assert out.header.group == msg.header.group
+        assert out.header.sequence_number == msg.header.sequence_number
+        assert out.header.timestamp == msg.header.timestamp
+        assert out.header.ack_timestamp == msg.header.ack_timestamp
+        assert out.header.little_endian == little
+        # body fields
+        for f in vars(msg):
+            if f == "header":
+                continue
+            assert getattr(out, f) == getattr(msg, f), f
+
+
+def test_message_size_covers_header_and_body():
+    msg = RegularMessage(header(MessageType.REGULAR), CID, 1, b"x" * 100)
+    raw = encode(msg)
+    assert len(raw) == msg.header.message_size
+    assert msg.header.message_size > HEADER_SIZE + 100
+
+
+def test_heartbeat_is_header_only():
+    raw = encode(HeartbeatMessage(header(MessageType.HEARTBEAT)))
+    assert len(raw) == HEADER_SIZE
+
+
+def test_peek_header_without_body_decode():
+    msg = RegularMessage(header(MessageType.REGULAR), CID, 1, b"data")
+    h = peek_header(encode(msg))
+    assert h.message_type == MessageType.REGULAR
+    assert h.source == 7
+    assert h.sequence_number == 1234
+
+
+def test_retransmission_flag_round_trip():
+    h = header(MessageType.REGULAR)
+    h.retransmission = True
+    raw = encode(RegularMessage(h, CID, 1, b""))
+    assert decode(raw).header.retransmission is True
+
+
+def test_as_retransmission_copies_header():
+    h = header(MessageType.REGULAR)
+    h2 = h.as_retransmission()
+    assert h2.retransmission and not h.retransmission
+    assert h2.sequence_number == h.sequence_number
+
+
+def test_bad_magic_rejected():
+    raw = bytearray(encode(HeartbeatMessage(header(MessageType.HEARTBEAT))))
+    raw[0:4] = b"JUNK"
+    with pytest.raises(CodecError):
+        decode(bytes(raw))
+
+
+def test_truncated_datagram_rejected():
+    raw = encode(RegularMessage(header(MessageType.REGULAR), CID, 1, b"abcdef"))
+    with pytest.raises(CodecError):
+        decode(raw[: HEADER_SIZE + 2])
+    with pytest.raises(CodecError):
+        peek_header(raw[:10])
+
+
+def test_unknown_message_type_rejected():
+    raw = bytearray(encode(HeartbeatMessage(header(MessageType.HEARTBEAT))))
+    raw[7] = 200
+    with pytest.raises(CodecError):
+        decode(bytes(raw))
+
+
+def test_size_mismatch_rejected():
+    raw = encode(RegularMessage(header(MessageType.REGULAR), CID, 1, b"abc"))
+    with pytest.raises(CodecError):
+        decode(raw + b"extra")
+
+
+def test_empty_collections_round_trip():
+    msg = MembershipMessage(header(MessageType.MEMBERSHIP), 0, (), {}, ())
+    out = decode(encode(msg))
+    assert out.current_membership == ()
+    assert out.sequence_numbers == {}
+    assert out.new_membership == ()
+
+
+def test_connection_id_reversed():
+    assert CID.reversed() == ConnectionId(3, 4, 1, 2)
+    assert CID.reversed().reversed() == CID
+
+
+def test_large_payload_round_trip():
+    payload = bytes(range(256)) * 100
+    msg = RegularMessage(header(MessageType.REGULAR), CID, 2**63, payload)
+    out = decode(encode(msg))
+    assert out.payload == payload
+    assert out.request_num == 2**63

@@ -1,0 +1,113 @@
+"""Golden wire-format vectors.
+
+Pins the exact byte layout of the FTMP header and representative bodies,
+so accidental format changes (field order, widths, endianness handling)
+are caught even when encode/decode remain mutually consistent.
+"""
+
+from repro.core import (
+    ConnectionId,
+    FTMPHeader,
+    HeartbeatMessage,
+    MessageType,
+    RegularMessage,
+    RetransmitRequestMessage,
+    encode,
+)
+
+
+def test_heartbeat_little_endian_golden():
+    h = FTMPHeader(
+        message_type=MessageType.HEARTBEAT,
+        source=0x01020304,
+        group=0x0A0B0C0D,
+        sequence_number=0x11223344,
+        timestamp=0x0102030405060708,
+        ack_timestamp=0x1112131415161718,
+        little_endian=True,
+    )
+    raw = encode(HeartbeatMessage(h))
+    expected = (
+        b"FTMP"                     # magic
+        b"\x01\x00"                 # version 1.0
+        b"\x01"                     # flags: little endian
+        b"\x03"                     # type HEARTBEAT
+        b"\x28\x00\x00\x00"         # size = 40
+        b"\x04\x03\x02\x01"         # source (LE)
+        b"\x0d\x0c\x0b\x0a"         # group (LE)
+        b"\x44\x33\x22\x11"         # seq (LE)
+        b"\x08\x07\x06\x05\x04\x03\x02\x01"  # timestamp (LE)
+        b"\x18\x17\x16\x15\x14\x13\x12\x11"  # ack (LE)
+    )
+    assert raw == expected
+
+
+def test_heartbeat_big_endian_golden():
+    h = FTMPHeader(
+        message_type=MessageType.HEARTBEAT,
+        source=0x01020304,
+        group=0x0A0B0C0D,
+        sequence_number=0x11223344,
+        timestamp=0x0102030405060708,
+        ack_timestamp=0x1112131415161718,
+        little_endian=False,
+    )
+    raw = encode(HeartbeatMessage(h))
+    expected = (
+        b"FTMP"
+        b"\x01\x00"
+        b"\x00"                     # flags: big endian
+        b"\x03"
+        b"\x00\x00\x00\x28"
+        b"\x01\x02\x03\x04"
+        b"\x0a\x0b\x0c\x0d"
+        b"\x11\x22\x33\x44"
+        b"\x01\x02\x03\x04\x05\x06\x07\x08"
+        b"\x11\x12\x13\x14\x15\x16\x17\x18"
+    )
+    assert raw == expected
+
+
+def test_regular_body_golden():
+    h = FTMPHeader(
+        message_type=MessageType.REGULAR,
+        source=1, group=2, sequence_number=3, timestamp=4, ack_timestamp=5,
+        little_endian=True,
+    )
+    msg = RegularMessage(h, ConnectionId(0x0A, 0x0B, 0x0C, 0x0D), 0x0E, b"HI")
+    raw = encode(msg)
+    body = raw[40:]
+    assert body == (
+        b"\x0a\x00\x00\x00"          # client domain
+        b"\x0b\x00\x00\x00"          # client group
+        b"\x0c\x00\x00\x00"          # server domain
+        b"\x0d\x00\x00\x00"          # server group
+        b"\x0e\x00\x00\x00\x00\x00\x00\x00"  # request num (u64)
+        b"\x02\x00\x00\x00"          # payload length
+        b"HI"
+    )
+    assert len(raw) == 40 + 16 + 8 + 4 + 2
+
+
+def test_retransmit_request_body_golden():
+    h = FTMPHeader(
+        message_type=MessageType.RETRANSMIT_REQUEST,
+        source=1, group=2, sequence_number=3, timestamp=4, ack_timestamp=5,
+        little_endian=True,
+    )
+    raw = encode(RetransmitRequestMessage(h, processor_id=9, start_seq=10, stop_seq=12))
+    assert raw[40:] == (
+        b"\x09\x00\x00\x00"
+        b"\x0a\x00\x00\x00"
+        b"\x0c\x00\x00\x00"
+    )
+
+
+def test_retransmission_flag_bit_position():
+    h = FTMPHeader(
+        message_type=MessageType.HEARTBEAT, source=1, group=1,
+        sequence_number=1, timestamp=1, ack_timestamp=1,
+        little_endian=True, retransmission=True,
+    )
+    raw = encode(HeartbeatMessage(h))
+    assert raw[6] == 0x03  # little-endian bit | retransmission bit

@@ -1,0 +1,146 @@
+"""CDR marshaling unit tests: primitives, alignment, both byte orders."""
+
+import pytest
+
+from repro.giop import CDRDecoder, CDREncoder, MarshalError
+
+
+@pytest.mark.parametrize("little", [True, False])
+class TestPrimitives:
+    def roundtrip(self, little, write, read, value):
+        enc = CDREncoder(little)
+        write(enc, value)
+        dec = CDRDecoder(enc.getvalue(), little)
+        assert read(dec) == value
+
+    def test_octet(self, little):
+        self.roundtrip(little, lambda e, v: e.octet(v), lambda d: d.octet(), 200)
+
+    def test_boolean(self, little):
+        self.roundtrip(little, lambda e, v: e.boolean(v), lambda d: d.boolean(), True)
+        self.roundtrip(little, lambda e, v: e.boolean(v), lambda d: d.boolean(), False)
+
+    def test_char(self, little):
+        self.roundtrip(little, lambda e, v: e.char(v), lambda d: d.char(), "Z")
+
+    def test_short_negative(self, little):
+        self.roundtrip(little, lambda e, v: e.short(v), lambda d: d.short(), -12345)
+
+    def test_ushort(self, little):
+        self.roundtrip(little, lambda e, v: e.ushort(v), lambda d: d.ushort(), 65535)
+
+    def test_long(self, little):
+        self.roundtrip(little, lambda e, v: e.long(v), lambda d: d.long(), -(2**31))
+
+    def test_ulong(self, little):
+        self.roundtrip(little, lambda e, v: e.ulong(v), lambda d: d.ulong(), 2**32 - 1)
+
+    def test_longlong(self, little):
+        self.roundtrip(little, lambda e, v: e.longlong(v), lambda d: d.longlong(), -(2**63))
+
+    def test_ulonglong(self, little):
+        self.roundtrip(little, lambda e, v: e.ulonglong(v), lambda d: d.ulonglong(), 2**64 - 1)
+
+    def test_double(self, little):
+        self.roundtrip(little, lambda e, v: e.double(v), lambda d: d.double(), 3.14159265)
+
+    def test_string_unicode(self, little):
+        self.roundtrip(little, lambda e, v: e.string(v), lambda d: d.string(), "héllo wörld")
+
+    def test_empty_string(self, little):
+        self.roundtrip(little, lambda e, v: e.string(v), lambda d: d.string(), "")
+
+    def test_octets(self, little):
+        self.roundtrip(little, lambda e, v: e.octets(v), lambda d: d.octets(), bytes(range(50)))
+
+    def test_ulong_seq(self, little):
+        self.roundtrip(little, lambda e, v: e.ulong_seq(v), lambda d: d.ulong_seq(), [1, 2, 3])
+
+
+class TestAlignment:
+    def test_ulong_after_octet_is_padded(self):
+        enc = CDREncoder()
+        enc.octet(1)
+        enc.ulong(0x11223344)
+        data = enc.getvalue()
+        assert len(data) == 8  # 1 octet + 3 pad + 4
+        assert data[1:4] == b"\x00\x00\x00"
+        dec = CDRDecoder(data)
+        assert dec.octet() == 1
+        assert dec.ulong() == 0x11223344
+
+    def test_double_aligned_to_eight(self):
+        enc = CDREncoder()
+        enc.octet(1)
+        enc.double(1.5)
+        assert len(enc.getvalue()) == 16
+        dec = CDRDecoder(enc.getvalue())
+        dec.octet()
+        assert dec.double() == 1.5
+
+    def test_mixed_sequence_round_trip(self):
+        enc = CDREncoder()
+        enc.boolean(True)
+        enc.ushort(7)
+        enc.octet(3)
+        enc.ulonglong(12)
+        enc.string("x")
+        enc.short(-1)
+        dec = CDRDecoder(enc.getvalue())
+        assert dec.boolean() is True
+        assert dec.ushort() == 7
+        assert dec.octet() == 3
+        assert dec.ulonglong() == 12
+        assert dec.string() == "x"
+        assert dec.short() == -1
+
+
+class TestEncapsulation:
+    def test_round_trip_with_inner_endianness(self):
+        inner = CDREncoder(little_endian=False)
+        inner.ulong(99)
+        inner.string("nested")
+        outer = CDREncoder(little_endian=True)
+        outer.ulong(1)
+        outer.encapsulation(inner)
+        dec = CDRDecoder(outer.getvalue(), little_endian=True)
+        assert dec.ulong() == 1
+        inner_dec = dec.encapsulation()
+        assert inner_dec.little_endian is False
+        assert inner_dec.ulong() == 99
+        assert inner_dec.string() == "nested"
+
+    def test_empty_encapsulation_rejected(self):
+        enc = CDREncoder()
+        enc.octets(b"")
+        with pytest.raises(MarshalError):
+            CDRDecoder(enc.getvalue()).encapsulation()
+
+
+class TestErrors:
+    def test_truncated_stream(self):
+        with pytest.raises(MarshalError):
+            CDRDecoder(b"\x01\x02").ulong()
+
+    def test_truncated_string(self):
+        enc = CDREncoder()
+        enc.string("hello world")
+        with pytest.raises(MarshalError):
+            CDRDecoder(enc.getvalue()[:-5]).string()
+
+    def test_char_must_be_single(self):
+        with pytest.raises(MarshalError):
+            CDREncoder().char("ab")
+
+    def test_out_of_range_value(self):
+        with pytest.raises(MarshalError):
+            CDREncoder().octet(300)
+
+    def test_remaining_and_position(self):
+        enc = CDREncoder()
+        enc.ulong(1)
+        enc.raw(b"tail")
+        dec = CDRDecoder(enc.getvalue())
+        dec.ulong()
+        assert dec.remaining() == b"tail"
+        assert dec.position == 4

@@ -1,0 +1,39 @@
+"""Object reference tests."""
+
+import pytest
+
+from repro.giop import GroupRef, ObjectRef, MarshalError
+from repro.giop.ior import decode_ref
+
+
+def test_object_ref_round_trip():
+    ref = ObjectRef(type_id="IDL:Bank:1.0", processor=3, object_key=b"acct-1")
+    out = decode_ref(ref.encode())
+    assert out == ref
+
+
+def test_group_ref_round_trip():
+    ref = GroupRef(type_id="IDL:Bank:1.0", domain=7, object_group=100,
+                   object_key=b"acct-1")
+    out = decode_ref(ref.encode())
+    assert out == ref
+
+
+def test_stringified_forms_differ_by_profile():
+    o = ObjectRef("T", 3, b"\x01")
+    g = GroupRef("T", 7, 100, b"\x01")
+    assert o.stringify().startswith("corbaloc:sim:")
+    assert g.stringify().startswith("corbaloc:ftmp:")
+    assert "7/100" in g.stringify()
+
+
+def test_refs_are_hashable_and_comparable():
+    a = GroupRef("T", 1, 2, b"k")
+    b = GroupRef("T", 1, 2, b"k")
+    assert a == b and hash(a) == hash(b)
+    assert a != GroupRef("T", 1, 3, b"k")
+
+
+def test_unknown_profile_tag_rejected():
+    with pytest.raises(MarshalError):
+        decode_ref(b"\x07garbage")

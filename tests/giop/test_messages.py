@@ -1,0 +1,141 @@
+"""GIOP message tests: all eight types round-trip (paper §3.1)."""
+
+import pytest
+
+from repro.giop import (
+    CancelRequestMessage,
+    CloseConnectionMessage,
+    FragmentMessage,
+    GIOPHeader,
+    GIOPMessageType,
+    LocateReplyMessage,
+    LocateRequestMessage,
+    LocateStatus,
+    MarshalError,
+    MessageErrorMessage,
+    ReplyMessage,
+    ReplyStatus,
+    RequestMessage,
+    ServiceContext,
+    decode_giop,
+    encode_giop,
+    encode_values,
+)
+
+
+def hdr(t, little=True):
+    return GIOPHeader(message_type=t, little_endian=little)
+
+
+@pytest.mark.parametrize("little", [True, False], ids=["LE", "BE"])
+def test_request_round_trip(little):
+    msg = RequestMessage(
+        header=hdr(GIOPMessageType.REQUEST, little),
+        service_context=[ServiceContext(5, b"\x01\x02")],
+        request_id=42,
+        response_expected=True,
+        object_key=b"bank/account-1",
+        operation="deposit",
+        requesting_principal=b"alice",
+        body=encode_values([100, "memo"], little),
+    )
+    out = decode_giop(encode_giop(msg))
+    assert isinstance(out, RequestMessage)
+    assert out.request_id == 42
+    assert out.response_expected is True
+    assert out.object_key == b"bank/account-1"
+    assert out.operation == "deposit"
+    assert out.requesting_principal == b"alice"
+    assert out.service_context == [ServiceContext(5, b"\x01\x02")]
+    assert out.body == msg.body
+
+
+@pytest.mark.parametrize("status", list(ReplyStatus))
+def test_reply_round_trip_all_statuses(status):
+    msg = ReplyMessage(
+        header=hdr(GIOPMessageType.REPLY),
+        request_id=7,
+        reply_status=status,
+        body=encode_values([True]),
+    )
+    out = decode_giop(encode_giop(msg))
+    assert isinstance(out, ReplyMessage)
+    assert out.reply_status == status
+    assert out.request_id == 7
+
+
+def test_cancel_request_round_trip():
+    out = decode_giop(encode_giop(
+        CancelRequestMessage(header=hdr(GIOPMessageType.CANCEL_REQUEST), request_id=9)
+    ))
+    assert isinstance(out, CancelRequestMessage) and out.request_id == 9
+
+
+def test_locate_request_round_trip():
+    out = decode_giop(encode_giop(LocateRequestMessage(
+        header=hdr(GIOPMessageType.LOCATE_REQUEST), request_id=3, object_key=b"k"
+    )))
+    assert isinstance(out, LocateRequestMessage)
+    assert out.object_key == b"k"
+
+
+@pytest.mark.parametrize("status", list(LocateStatus))
+def test_locate_reply_round_trip(status):
+    out = decode_giop(encode_giop(LocateReplyMessage(
+        header=hdr(GIOPMessageType.LOCATE_REPLY), request_id=3, locate_status=status
+    )))
+    assert isinstance(out, LocateReplyMessage)
+    assert out.locate_status == status
+
+
+def test_close_connection_and_message_error():
+    for cls, t in (
+        (CloseConnectionMessage, GIOPMessageType.CLOSE_CONNECTION),
+        (MessageErrorMessage, GIOPMessageType.MESSAGE_ERROR),
+    ):
+        out = decode_giop(encode_giop(cls(header=hdr(t))))
+        assert isinstance(out, cls)
+        assert out.header.message_size == 0
+
+
+def test_fragment_round_trip():
+    out = decode_giop(encode_giop(FragmentMessage(
+        header=hdr(GIOPMessageType.FRAGMENT), data=b"partial-body"
+    )))
+    assert isinstance(out, FragmentMessage)
+    assert out.data == b"partial-body"
+
+
+def test_giop_magic_enforced():
+    raw = bytearray(encode_giop(CancelRequestMessage(
+        header=hdr(GIOPMessageType.CANCEL_REQUEST), request_id=1)))
+    raw[:4] = b"BLAH"
+    with pytest.raises(MarshalError):
+        decode_giop(bytes(raw))
+
+
+def test_size_field_validated():
+    raw = encode_giop(CancelRequestMessage(
+        header=hdr(GIOPMessageType.CANCEL_REQUEST), request_id=1))
+    with pytest.raises(MarshalError):
+        decode_giop(raw + b"x")
+
+
+def test_unknown_type_rejected():
+    raw = bytearray(encode_giop(CancelRequestMessage(
+        header=hdr(GIOPMessageType.CANCEL_REQUEST), request_id=1)))
+    raw[7] = 99
+    with pytest.raises(MarshalError):
+        decode_giop(bytes(raw))
+
+
+def test_size_excludes_header():
+    msg = CancelRequestMessage(header=hdr(GIOPMessageType.CANCEL_REQUEST), request_id=1)
+    raw = encode_giop(msg)
+    assert msg.header.message_size == len(raw) - 12
+
+
+def test_version_preserved():
+    msg = RequestMessage(header=GIOPHeader(GIOPMessageType.REQUEST, version=(1, 1)))
+    out = decode_giop(encode_giop(msg))
+    assert out.header.version == (1, 1)

@@ -1,0 +1,86 @@
+"""Tagged-value marshaling tests (the ORB's argument convention)."""
+
+import pytest
+
+from repro.giop import MarshalError, decode_values, encode_values
+from repro.giop.cdr import CDRDecoder, CDREncoder
+from repro.giop.values import decode_value, encode_value
+
+
+@pytest.mark.parametrize(
+    "value",
+    [
+        None,
+        True,
+        False,
+        0,
+        -1,
+        2**63 - 1,
+        -(2**63),
+        1.5,
+        -2.25,
+        "",
+        "text with spaces and ünïcode",
+        b"",
+        b"\x00\xff" * 10,
+        [],
+        [1, "two", 3.0, None],
+        [[1, 2], [3, [4]]],
+        {},
+        {"a": 1, "b": [True, None]},
+        {"nested": {"deep": {"deeper": "value"}}},
+    ],
+)
+def test_single_value_round_trip(value):
+    enc = CDREncoder()
+    encode_value(enc, value)
+    out = decode_value(CDRDecoder(enc.getvalue()))
+    assert out == value
+    assert type(out) is type(value) or isinstance(value, tuple)
+
+
+def test_tuple_decodes_as_list():
+    enc = CDREncoder()
+    encode_value(enc, (1, 2))
+    assert decode_value(CDRDecoder(enc.getvalue())) == [1, 2]
+
+
+def test_bool_not_confused_with_int():
+    out = decode_values(encode_values([True, 1, False, 0]))
+    assert out == [True, 1, False, 0]
+    assert [type(v) for v in out] == [bool, int, bool, int]
+
+
+def test_bytearray_encodes_as_bytes():
+    out = decode_values(encode_values([bytearray(b"xy")]))
+    assert out == [b"xy"]
+
+
+def test_value_list_round_trip_both_orders():
+    values = [1, "a", {"k": [2.5, None]}]
+    for little in (True, False):
+        assert decode_values(encode_values(values, little), little) == values
+
+
+def test_int_out_of_64bit_range_rejected():
+    with pytest.raises(MarshalError):
+        encode_values([2**63])
+
+
+def test_unsupported_type_rejected():
+    with pytest.raises(MarshalError):
+        encode_values([object()])
+
+
+def test_non_string_dict_key_rejected():
+    with pytest.raises(MarshalError):
+        encode_values([{1: "x"}])
+
+
+def test_unknown_tag_rejected():
+    with pytest.raises(MarshalError):
+        decode_value(CDRDecoder(b"\x63"))
+
+
+def test_empty_args_list():
+    assert decode_values(encode_values([])) == []

@@ -1,0 +1,41 @@
+"""Replicated invocations with safe-delivery mode end to end."""
+
+from repro.core import FTMPConfig
+from repro.replication import ReplicaManager
+from repro.simnet import Network, lan
+
+
+class Counter:
+    def __init__(self):
+        self.n = 0
+
+    def incr(self, by):
+        self.n += by
+        return self.n
+
+    def get_state(self):
+        return self.n
+
+    def set_state(self, s):
+        self.n = s
+
+
+def test_replicated_service_under_safe_delivery():
+    net = Network(lan(), seed=6)
+    mgr = ReplicaManager(net, config=FTMPConfig(delivery_mode="safe",
+                                                suspect_timeout=0.060))
+    ref = mgr.create_server_group(domain=7, object_group=100, object_key=b"c",
+                                  factory=Counter, pids=(1, 2, 3))
+    client = mgr.create_client(8, client_domain=3, client_group=200)
+    proxy = mgr.proxy(8, ref)
+    orb = client.orb
+    for i in range(1, 6):
+        assert orb.call(proxy, "incr", 1, timeout=10.0) == i
+    net.run_for(0.3)
+    assert all(mgr.servant(p, 7, 100).n == 5 for p in (1, 2, 3))
+    # a crash is still masked with safe semantics
+    net.crash(2)
+    net.run_for(1.5)
+    assert orb.call(proxy, "incr", 1, timeout=10.0) == 6
+    net.run_for(0.3)
+    assert mgr.servant(1, 7, 100).n == mgr.servant(3, 7, 100).n == 6

@@ -1,0 +1,73 @@
+"""The identical FTMP stack over real UDP sockets (loopback fan-out).
+
+These tests exercise actual socket I/O and wall-clock timers, so they use
+generous timeouts and poll for completion instead of fixed sleeps.
+"""
+
+import time
+
+import pytest
+
+from repro.core import FTMPConfig, FTMPStack, RecordingListener
+from repro.simnet import UdpFabric
+
+
+def wait_until(predicate, timeout=5.0, interval=0.01):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+@pytest.fixture
+def fabric():
+    f = UdpFabric()
+    yield f
+    f.close()
+
+
+def test_udp_total_order_three_nodes(fabric):
+    listeners, stacks = {}, {}
+    cfg = FTMPConfig(heartbeat_interval=0.02, suspect_timeout=5.0)
+    for pid in (1, 2, 3):
+        lst = RecordingListener()
+        st = FTMPStack(fabric.endpoint(pid), cfg, lst)
+        st.create_group(1, 5001, (1, 2, 3))
+        listeners[pid], stacks[pid] = lst, st
+    with fabric.lock:
+        for pid in (1, 2, 3):
+            stacks[pid].multicast(1, f"hello-{pid}".encode())
+    ok = wait_until(lambda: all(len(listeners[p].deliveries) == 3 for p in (1, 2, 3)))
+    for pid in (1, 2, 3):
+        stacks[pid].stop()
+    assert ok, {p: len(listeners[p].deliveries) for p in (1, 2, 3)}
+    orders = [listeners[p].delivery_order(1) for p in (1, 2, 3)]
+    assert orders[0] == orders[1] == orders[2]
+
+
+def test_udp_loss_recovery(fabric):
+    fabric.loss_rate = 0.2
+    listeners, stacks = {}, {}
+    cfg = FTMPConfig(heartbeat_interval=0.02, suspect_timeout=30.0)
+    for pid in (1, 2):
+        lst = RecordingListener()
+        st = FTMPStack(fabric.endpoint(pid), cfg, lst)
+        st.create_group(1, 5001, (1, 2))
+        listeners[pid], stacks[pid] = lst, st
+    with fabric.lock:
+        for i in range(10):
+            stacks[1].multicast(1, f"m{i}".encode())
+    ok = wait_until(lambda: len(listeners[2].payloads(1)) == 10, timeout=15.0)
+    for pid in (1, 2):
+        stacks[pid].stop()
+    assert ok, len(listeners[2].payloads(1))
+    assert listeners[2].payloads(1) == [f"m{i}".encode() for i in range(10)]
+
+
+def test_udp_endpoint_close_is_idempotent(fabric):
+    ep = fabric.endpoint(9)
+    ep.close()
+    ep.close()
+    ep.multicast(1, b"after close")  # silently dropped

@@ -1,0 +1,88 @@
+"""FT_REQUEST service-context tests (expiration semantics)."""
+
+from repro.core import FTMPConfig, FTMPStack
+from repro.giop import GroupRef
+from repro.orb import ORB, ClientIdentity, FTMPAdapter
+from repro.orb.ftiop import (
+    FT_REQUEST_CONTEXT_ID,
+    decode_ft_request_context,
+    encode_ft_request_context,
+)
+from repro.simnet import LinkModel, Network, lan
+
+REF = GroupRef("T", domain=7, object_group=100, object_key=b"svc")
+
+
+class Servant:
+    def __init__(self):
+        self.calls = 0
+
+    def ping(self):
+        self.calls += 1
+        return self.calls
+
+
+def build(expiration=None, server_latency=None, seed=0):
+    topo = lan()
+    if server_latency is not None:
+        topo.set_link(8, 1, LinkModel(latency=server_latency, jitter=0, loss=0),
+                      symmetric=False)
+    net = Network(topo, seed=seed)
+    sorb = ORB(1, net.scheduler)
+    sstack = FTMPStack(net.endpoint(1), FTMPConfig())
+    sadapter = FTMPAdapter(sorb, sstack)
+    servant = Servant()
+    sorb.poa.activate(b"svc", servant)
+    sadapter.export(7, 100, (1,))
+    corb = ORB(8, net.scheduler)
+    cstack = FTMPStack(net.endpoint(8), FTMPConfig())
+    cadapter = FTMPAdapter(corb, cstack)
+    cadapter.set_client(ClientIdentity(3, 200, (8,)))
+    cadapter.request_expiration = expiration
+    return net, corb, cadapter, sadapter, servant
+
+
+def test_context_round_trip():
+    ctx = encode_ft_request_context(200, 42, 1.5)
+    assert ctx.context_id == FT_REQUEST_CONTEXT_ID
+    assert decode_ft_request_context(ctx) == (200, 42, 1.5)
+
+
+def test_unexpired_requests_execute_normally():
+    net, corb, cadapter, sadapter, servant = build(expiration=5.0)
+    proxy = corb.proxy(REF)
+    assert corb.call(proxy, "ping") == 1
+    assert sadapter.stats_requests_expired == 0
+
+
+def test_no_context_when_expiration_disabled():
+    net, corb, cadapter, sadapter, servant = build(expiration=None)
+    proxy = corb.proxy(REF)
+    assert corb.call(proxy, "ping") == 1
+    # server never saw an FT_REQUEST context and nothing expired
+    assert sadapter.stats_requests_expired == 0
+
+
+def test_expired_request_discarded_not_executed():
+    # the client->server link is slower than the request's validity
+    net, corb, cadapter, sadapter, servant = build(
+        expiration=0.010, server_latency=0.050
+    )
+    proxy = corb.proxy(REF)
+    fut = proxy.ping()
+    net.run_for(1.0)
+    assert sadapter.stats_requests_expired >= 1
+    assert servant.calls == 0
+    assert not fut.done  # the client gave up; no reply will come
+
+
+def test_expiration_measured_at_execution_time():
+    # generous validity survives the slow link
+    net, corb, cadapter, sadapter, servant = build(
+        expiration=0.500, server_latency=0.050
+    )
+    proxy = corb.proxy(REF)
+    fut = proxy.ping()
+    net.run_for(1.0)
+    assert fut.done and fut.result() == 1
+    assert sadapter.stats_requests_expired == 0

@@ -1,0 +1,139 @@
+"""ORB over FTMP: replicated invocations, duplicate suppression (§4)."""
+
+import pytest
+
+from repro.core import FTMPConfig, FTMPStack
+from repro.giop import GroupRef, UserException
+from repro.orb import ORB, ClientIdentity, FTMPAdapter
+from repro.simnet import Network, lan
+
+
+class Counter:
+    def __init__(self):
+        self.n = 0
+        self.history = []
+
+    def incr(self, by):
+        self.n += by
+        self.history.append(by)
+        return self.n
+
+    def fail(self):
+        raise UserException("Nope", "always fails")
+
+    def get_state(self):
+        return {"n": self.n, "history": self.history}
+
+    def set_state(self, s):
+        self.n = s["n"]
+        self.history = list(s["history"])
+
+
+REF = GroupRef("IDL:Counter:1.0", domain=7, object_group=100, object_key=b"ctr")
+
+
+def build(server_pids=(1, 2), client_pids=(8,), seed=0):
+    net = Network(lan(), seed=seed)
+    hosts = {}
+    for pid in server_pids:
+        orb = ORB(pid, net.scheduler)
+        stack = FTMPStack(net.endpoint(pid), FTMPConfig())
+        adapter = FTMPAdapter(orb, stack)
+        servant = Counter()
+        orb.poa.activate(REF.object_key, servant)
+        adapter.export(REF.domain, REF.object_group, tuple(server_pids))
+        hosts[pid] = (orb, stack, adapter, servant)
+    for pid in client_pids:
+        orb = ORB(pid, net.scheduler)
+        stack = FTMPStack(net.endpoint(pid), FTMPConfig())
+        adapter = FTMPAdapter(orb, stack)
+        adapter.set_client(ClientIdentity(3, 200, tuple(client_pids)))
+        hosts[pid] = (orb, stack, adapter, None)
+    return net, hosts
+
+
+def test_invocation_executes_on_all_replicas():
+    net, hosts = build()
+    orb = hosts[8][0]
+    proxy = orb.proxy(REF)
+    assert orb.call(proxy, "incr", 5) == 5
+    assert orb.call(proxy, "incr", 3) == 8
+    net.run_for(0.2)
+    assert hosts[1][3].n == 8
+    assert hosts[2][3].n == 8
+    assert hosts[1][3].history == hosts[2][3].history == [5, 3]
+
+
+def test_first_invocation_opens_connection_lazily():
+    net, hosts = build()
+    orb = hosts[8][0]
+    stack = hosts[8][1]
+    assert stack.connection_binding(orb.proxy(REF).ref and
+                                    hosts[8][2].connection_id_for(REF)) is None
+    proxy = orb.proxy(REF)
+    assert orb.call(proxy, "incr", 1) == 1
+    assert stack.connection_binding(hosts[8][2].connection_id_for(REF)).established
+
+
+def test_duplicate_replies_suppressed_at_client():
+    net, hosts = build()
+    orb, _stack, adapter, _ = hosts[8]
+    proxy = orb.proxy(REF)
+    orb.call(proxy, "incr", 1)
+    net.run_for(0.2)
+    # two server replicas answered; exactly one reply resolved the future
+    assert adapter.stats_replies_matched == 1
+    assert adapter.stats_duplicates_suppressed >= 1
+
+
+def test_replicated_clients_issue_request_once_per_server():
+    # both client replicas invoke with the same request number; servers
+    # execute the request once (§4 duplicate detection)
+    net, hosts = build(server_pids=(1, 2), client_pids=(8, 9))
+    done = []
+    for cpid in (8, 9):
+        orb = hosts[cpid][0]
+        fut = getattr(orb.proxy(REF), "incr")(10)
+        fut.add_done_callback(lambda f: done.append(f.result()))
+    net.run_for(0.5)
+    assert done == [10, 10]  # both replicas observed the same result
+    for spid in (1, 2):
+        assert hosts[spid][3].history == [10]  # executed exactly once
+        assert hosts[spid][2].stats_duplicates_suppressed >= 1
+
+
+def test_user_exception_over_ftmp():
+    net, hosts = build()
+    orb = hosts[8][0]
+    with pytest.raises(UserException):
+        orb.call(orb.proxy(REF), "fail")
+
+
+def test_requests_from_one_client_execute_in_order():
+    net, hosts = build()
+    orb = hosts[8][0]
+    proxy = orb.proxy(REF)
+    futs = [proxy.incr(i) for i in (1, 2, 3, 4)]
+    net.run_for(0.5)
+    assert [f.result() for f in futs] == [1, 3, 6, 10]
+    assert hosts[1][3].history == [1, 2, 3, 4]
+
+
+def test_invocations_before_connect_are_buffered_and_flushed():
+    net, hosts = build()
+    orb = hosts[8][0]
+    proxy = orb.proxy(REF)
+    futs = [proxy.incr(1), proxy.incr(1), proxy.incr(1)]  # no waiting
+    net.run_for(0.5)
+    assert all(f.done for f in futs)
+    assert hosts[1][3].n == 3
+
+
+def test_oneway_over_ftmp():
+    net, hosts = build()
+    orb = hosts[8][0]
+    proxy = orb.proxy(REF)
+    proxy._oneway("incr", 7)
+    net.run_for(0.5)
+    assert hosts[1][3].n == 7
+    assert hosts[2][3].n == 7

@@ -1,0 +1,54 @@
+"""InvocationFuture unit tests."""
+
+import pytest
+
+from repro.orb import FutureError, InvocationFuture
+
+
+def test_result_before_completion_raises():
+    fut = InvocationFuture()
+    assert not fut.done
+    with pytest.raises(FutureError):
+        fut.result()
+
+
+def test_set_result_and_callbacks():
+    fut = InvocationFuture()
+    got = []
+    fut.add_done_callback(lambda f: got.append(f.result()))
+    fut.set_result(42)
+    assert fut.done and fut.result() == 42
+    assert got == [42]
+
+
+def test_callback_after_completion_fires_immediately():
+    fut = InvocationFuture()
+    fut.set_result("x")
+    got = []
+    fut.add_done_callback(lambda f: got.append(f.result()))
+    assert got == ["x"]
+
+
+def test_set_exception_propagates():
+    fut = InvocationFuture()
+    fut.set_exception(ValueError("boom"))
+    assert fut.done
+    with pytest.raises(ValueError):
+        fut.result()
+
+
+def test_double_completion_ignored():
+    fut = InvocationFuture()
+    fut.set_result(1)
+    fut.set_result(2)          # late duplicate reply
+    fut.set_exception(ValueError())  # late failure
+    assert fut.result() == 1
+
+
+def test_callbacks_fire_once():
+    fut = InvocationFuture()
+    count = []
+    fut.add_done_callback(lambda f: count.append(1))
+    fut.set_result(None)
+    fut.set_result(None)
+    assert count == [1]

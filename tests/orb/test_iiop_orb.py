@@ -1,0 +1,128 @@
+"""ORB over the IIOP point-to-point transport (the unreplicated baseline)."""
+
+import pytest
+
+from repro.giop import CommFailure, SystemException, UserException, LocateStatus
+from repro.orb import ORB, IIOPNetwork
+from repro.simnet import Scheduler
+
+
+class Bank:
+    def __init__(self):
+        self.balances = {}
+
+    def open(self, name):
+        self.balances[name] = 0
+        return True
+
+    def deposit(self, name, amount):
+        if name not in self.balances:
+            raise UserException("NoSuchAccount", name)
+        self.balances[name] += amount
+        return self.balances[name]
+
+    def balance(self, name):
+        return self.balances.get(name, 0)
+
+
+@pytest.fixture
+def world():
+    sched = Scheduler()
+    iiop = IIOPNetwork(sched)
+    server = ORB(1, sched)
+    client = ORB(2, sched)
+    server.attach_iiop(iiop)
+    client.attach_iiop(iiop)
+    ref = server.activate(b"bank", Bank(), "IDL:Bank:1.0")
+    return sched, iiop, server, client, ref
+
+
+def test_request_reply_round_trip(world):
+    _s, _i, _server, client, ref = world
+    p = client.proxy(ref)
+    assert client.call(p, "open", "alice") is True
+    assert client.call(p, "deposit", "alice", 100) == 100
+    assert client.call(p, "deposit", "alice", 50) == 150
+    assert client.call(p, "balance", "alice") == 150
+
+
+def test_user_exception_propagates(world):
+    _s, _i, _server, client, ref = world
+    p = client.proxy(ref)
+    with pytest.raises(UserException) as e:
+        client.call(p, "deposit", "ghost", 1)
+    assert e.value.name == "NoSuchAccount"
+
+
+def test_system_exception_propagates(world):
+    _s, _i, _server, client, ref = world
+    p = client.proxy(ref)
+    with pytest.raises(SystemException):
+        client.call(p, "no_such_operation")
+
+
+def test_concurrent_requests_matched_by_request_id(world):
+    sched, _i, _server, client, ref = world
+    p = client.proxy(ref)
+    client.call(p, "open", "a")
+    futs = [p.deposit("a", i) for i in (1, 2, 3)]
+    while not all(f.done for f in futs):
+        sched.step()
+    assert [f.result() for f in futs] == [1, 3, 6]
+
+
+def test_locate_request(world):
+    _s, _i, _server, client, ref = world
+    assert client.wait(client.locate(ref)) == LocateStatus.OBJECT_HERE
+    from repro.giop import ObjectRef
+    missing = ObjectRef("T", 1, b"nothing")
+    assert client.wait(client.locate(missing)) == LocateStatus.UNKNOWN_OBJECT
+
+
+def test_oneway_invocation(world):
+    sched, _i, server, client, ref = world
+    p = client.proxy(ref)
+    client.call(p, "open", "z")
+    p._oneway("deposit", "z", 5)
+    sched.run(max_events=1000)
+    assert server.poa.servant(b"bank").balances["z"] == 5
+
+
+def test_fifo_per_connection(world):
+    sched, _i, server, client, ref = world
+    p = client.proxy(ref)
+    client.call(p, "open", "f")
+    # fire 10 deposits without waiting; server must see them in order
+    for i in range(10):
+        p.deposit("f", 1)
+    sched.run(max_events=10_000)
+    assert server.poa.servant(b"bank").balances["f"] == 10
+
+
+def test_wait_timeout_on_dead_server():
+    sched = Scheduler()
+    iiop = IIOPNetwork(sched)
+    client = ORB(2, sched)
+    client.attach_iiop(iiop)
+    # server attached but handler removed -> requests vanish
+    server = ORB(1, sched)
+    server.attach_iiop(iiop)
+    ref = server.activate(b"x", Bank())
+    iiop.detach(1)
+    p = client.proxy(ref)
+    with pytest.raises((CommFailure, KeyError)):
+        client.call(p, "open", "q", timeout=0.5)
+
+
+def test_malformed_data_triggers_message_error(world):
+    sched, iiop, _server, client, ref = world
+    iiop.send(2, 1, b"not giop at all")
+    sched.run(max_events=100)  # server answers MessageError; client ignores
+
+
+def test_iiop_network_stats(world):
+    sched, iiop, _server, client, ref = world
+    p = client.proxy(ref)
+    client.call(p, "open", "s")
+    assert iiop.stats.messages >= 2  # request + reply
+    assert iiop.stats.bytes > 0

@@ -1,0 +1,124 @@
+"""Typed interface (IDL-like contract) tests."""
+
+import pytest
+
+from repro.giop import BadOperation
+from repro.orb import ORB, IIOPNetwork
+from repro.orb.interfaces import InterfaceDef, OperationDef
+from repro.simnet import Scheduler
+
+BANK = InterfaceDef(
+    "IDL:Bank:1.0",
+    operations={
+        "open": OperationDef(params=1),
+        "deposit": OperationDef(params=2),
+        "audit": OperationDef(params=0, oneway=True),
+    },
+)
+
+
+class GoodBank:
+    def __init__(self):
+        self.audits = 0
+        self.accounts = {}
+
+    def open(self, owner):
+        self.accounts[owner] = 0
+        return True
+
+    def deposit(self, owner, amount):
+        self.accounts[owner] += amount
+        return self.accounts[owner]
+
+    def audit(self):
+        self.audits += 1
+
+
+class IncompleteBank:
+    def open(self, owner):
+        return True
+
+
+class WrongArityBank(GoodBank):
+    def deposit(self, owner):  # type: ignore[override]
+        return 0
+
+
+@pytest.fixture
+def world():
+    sched = Scheduler()
+    iiop = IIOPNetwork(sched)
+    server = ORB(1, sched)
+    client = ORB(2, sched)
+    server.attach_iiop(iiop)
+    client.attach_iiop(iiop)
+    servant = GoodBank()
+    ref = server.activate(b"bank", servant, BANK.type_id)
+    return sched, server, client, ref, servant
+
+
+def test_validate_servant_accepts_complete_implementation():
+    BANK.validate_servant(GoodBank())  # no raise
+
+
+def test_validate_servant_rejects_missing_operations():
+    with pytest.raises(BadOperation) as e:
+        BANK.validate_servant(IncompleteBank())
+    assert "deposit" in str(e.value)
+
+
+def test_validate_servant_rejects_wrong_arity():
+    with pytest.raises(BadOperation) as e:
+        BANK.validate_servant(WrongArityBank())
+    assert "deposit" in str(e.value)
+
+
+def test_validate_servant_accepts_defaults_and_varargs():
+    class Flexible:
+        def open(self, owner="x"):
+            return True
+
+        def deposit(self, *args):
+            return 0
+
+        def audit(self):
+            pass
+
+    BANK.validate_servant(Flexible())
+
+
+def test_typed_proxy_valid_calls(world):
+    sched, _server, client, ref, servant = world
+    proxy = BANK.bind(client.proxy(ref))
+    assert client.wait(proxy.open("alice")) is True
+    assert client.wait(proxy.deposit("alice", 100)) == 100
+
+
+def test_typed_proxy_rejects_unknown_operation(world):
+    _sched, _server, client, ref, _servant = world
+    proxy = BANK.bind(client.proxy(ref))
+    with pytest.raises(BadOperation):
+        proxy.transfer("a", "b", 1)
+
+
+def test_typed_proxy_rejects_wrong_arity_locally(world):
+    _sched, _server, client, ref, _servant = world
+    proxy = BANK.bind(client.proxy(ref))
+    with pytest.raises(BadOperation):
+        proxy.deposit("alice")  # one argument short, caught before marshal
+
+
+def test_typed_proxy_oneway(world):
+    sched, _server, client, ref, servant = world
+    proxy = BANK.bind(client.proxy(ref))
+    assert proxy.audit() is None  # oneway returns nothing
+    sched.run(max_events=1000)
+    assert servant.audits == 1
+
+
+def test_typed_proxy_exposes_interface_and_raw(world):
+    _sched, _server, client, ref, _servant = world
+    raw = client.proxy(ref)
+    proxy = BANK.bind(raw)
+    assert proxy.interface is BANK
+    assert proxy.raw is raw

@@ -1,0 +1,165 @@
+"""Naming Service and Event Channel tests (replicated over FTMP)."""
+
+import pytest
+
+from repro.giop import GroupRef, ObjectRef, UserException
+from repro.orb.events import EventChannel
+from repro.orb.naming import NAMING_OBJECT_KEY, NamingClient, NamingContext
+from repro.replication import ReplicaManager
+from repro.simnet import Network, lan
+
+
+# ---------------------------------------------------------------------------
+# servant-level unit tests
+# ---------------------------------------------------------------------------
+class TestNamingContextUnit:
+    def test_bind_resolve_unbind(self):
+        ctx = NamingContext()
+        ctx.bind("a/b", b"ref-1")
+        assert ctx.resolve("a/b") == b"ref-1"
+        ctx.unbind("a/b")
+        with pytest.raises(UserException):
+            ctx.resolve("a/b")
+
+    def test_bind_conflict_and_rebind(self):
+        ctx = NamingContext()
+        ctx.bind("x", b"1")
+        with pytest.raises(UserException):
+            ctx.bind("x", b"2")
+        ctx.rebind("x", b"2")
+        assert ctx.resolve("x") == b"2"
+
+    def test_invalid_names_rejected(self):
+        ctx = NamingContext()
+        for bad in ("", "/abs", "trail/", "a//b"):
+            with pytest.raises(UserException):
+                ctx.bind(bad, b"r")
+
+    def test_list_with_prefix(self):
+        ctx = NamingContext()
+        ctx.bind("acc/alice", b"1")
+        ctx.bind("acc/bob", b"2")
+        ctx.bind("other", b"3")
+        assert ctx.list("acc") == ["acc/alice", "acc/bob"]
+        assert ctx.list() == ["acc/alice", "acc/bob", "other"]
+
+    def test_state_round_trip(self):
+        ctx = NamingContext()
+        ctx.bind("k", b"v")
+        clone = NamingContext()
+        clone.set_state(ctx.get_state())
+        assert clone.resolve("k") == b"v"
+
+
+class TestEventChannelUnit:
+    def test_push_pull(self):
+        ch = EventChannel()
+        ch.connect_consumer("c1")
+        assert ch.push({"n": 1}) == 1
+        assert ch.try_pull("c1") == {"n": 1}
+        assert ch.try_pull("c1") is None
+
+    def test_fan_out_to_all_consumers(self):
+        ch = EventChannel()
+        ch.connect_consumer("a")
+        ch.connect_consumer("b")
+        ch.push("ev")
+        assert ch.try_pull("a") == "ev"
+        assert ch.try_pull("b") == "ev"
+
+    def test_pull_batch_and_pending(self):
+        ch = EventChannel()
+        ch.connect_consumer("c")
+        for i in range(5):
+            ch.push(i)
+        assert ch.pending("c") == 5
+        assert ch.pull_batch("c", 3) == [0, 1, 2]
+        assert ch.pending("c") == 2
+
+    def test_queue_limit_drops_oldest(self):
+        ch = EventChannel(queue_limit=3)
+        ch.connect_consumer("c")
+        for i in range(5):
+            ch.push(i)
+        assert ch.pull_batch("c", 10) == [2, 3, 4]
+        assert ch.dropped("c") == 2
+
+    def test_connect_errors(self):
+        ch = EventChannel()
+        ch.connect_consumer("c")
+        with pytest.raises(UserException):
+            ch.connect_consumer("c")
+        with pytest.raises(UserException):
+            ch.try_pull("ghost")
+        with pytest.raises(UserException):
+            ch.disconnect_consumer("ghost")
+
+    def test_state_round_trip(self):
+        ch = EventChannel(queue_limit=7)
+        ch.connect_consumer("c")
+        ch.push("x")
+        clone = EventChannel()
+        clone.set_state(ch.get_state())
+        assert clone.try_pull("c") == "x"
+        assert clone.pushed == 1
+
+
+# ---------------------------------------------------------------------------
+# replicated end-to-end
+# ---------------------------------------------------------------------------
+def build_world():
+    net = Network(lan(), seed=4)
+    mgr = ReplicaManager(net)
+    naming_ref = mgr.create_server_group(
+        domain=7, object_group=100, object_key=NAMING_OBJECT_KEY,
+        factory=NamingContext, pids=(1, 2), type_id="IDL:NamingContext:1.0",
+    )
+    bank_ref = GroupRef("IDL:Bank:1.0", domain=7, object_group=101,
+                        object_key=b"bank")
+    client = mgr.create_client(8, client_domain=3, client_group=200)
+    return net, mgr, naming_ref, bank_ref, client
+
+
+def test_replicated_naming_service():
+    net, mgr, naming_ref, bank_ref, client = build_world()
+    ns = NamingClient(client.orb, mgr.proxy(8, naming_ref))
+    ns.bind("services/bank", bank_ref)
+    assert ns.resolve("services/bank") == bank_ref
+    assert ns.list("services") == ["services/bank"]
+    net.run_for(0.3)
+    # both naming replicas hold the binding
+    for pid in (1, 2):
+        servant = mgr.servant(pid, 7, 100)
+        assert "services/bank" in servant.list()
+
+
+def test_naming_survives_replica_crash():
+    net, mgr, naming_ref, bank_ref, client = build_world()
+    ns = NamingClient(client.orb, mgr.proxy(8, naming_ref))
+    ns.bind("services/bank", bank_ref)
+    net.crash(2)
+    net.run_for(1.5)
+    assert ns.resolve("services/bank") == bank_ref
+    singleton = ObjectRef("IDL:T:1.0", processor=1, object_key=b"solo")
+    ns.rebind("services/bank", singleton)
+    assert ns.resolve("services/bank") == singleton
+
+
+def test_replicated_event_channel():
+    net = Network(lan(), seed=5)
+    mgr = ReplicaManager(net)
+    ref = mgr.create_server_group(domain=7, object_group=110, object_key=b"chan",
+                                  factory=EventChannel, pids=(1, 2))
+    client = mgr.create_client(8, client_domain=3, client_group=200)
+    orb = client.orb
+    proxy = mgr.proxy(8, ref)
+    orb.call(proxy, "connect_consumer", "c8")
+    assert orb.call(proxy, "push", {"tick": 1}) == 1
+    orb.call(proxy, "push", {"tick": 2})
+    assert orb.call(proxy, "try_pull", "c8") == {"tick": 1}
+    assert orb.call(proxy, "pull_batch", "c8", 10) == [{"tick": 2}]
+    net.run_for(0.3)
+    # the replicas' channel state is identical (queues drained in lockstep)
+    states = [mgr.servant(p, 7, 110).get_state() for p in (1, 2)]
+    assert states[0] == states[1]
+    assert states[0]["pushed"] == 2

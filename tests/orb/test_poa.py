@@ -1,0 +1,140 @@
+"""POA unit tests: activation, dispatch, exception mapping, state hooks."""
+
+import pytest
+
+from repro.giop import (
+    GIOPHeader,
+    GIOPMessageType,
+    ReplyStatus,
+    RequestMessage,
+    UserException,
+    decode_values,
+    encode_values,
+)
+from repro.orb import GET_STATE_OP, POA, SET_STATE_OP
+
+
+class Calculator:
+    def __init__(self):
+        self.memory = 0.0
+
+    def add(self, a, b):
+        return a + b
+
+    def store(self, v):
+        self.memory = v
+        return None
+
+    def divide(self, a, b):
+        if b == 0:
+            raise UserException("DivisionByZero", "b was zero")
+        return a / b
+
+    def crash(self):
+        raise RuntimeError("servant bug")
+
+    def _private(self):  # pragma: no cover - must not be reachable
+        return "secret"
+
+    def get_state(self):
+        return self.memory
+
+    def set_state(self, s):
+        self.memory = s
+
+
+def request(key=b"calc", op="add", args=(), response=True):
+    return RequestMessage(
+        header=GIOPHeader(GIOPMessageType.REQUEST),
+        request_id=1,
+        response_expected=response,
+        object_key=key,
+        operation=op,
+        body=encode_values(list(args)),
+    )
+
+
+@pytest.fixture
+def poa():
+    p = POA()
+    p.activate(b"calc", Calculator(), "IDL:Calc:1.0")
+    return p
+
+
+def unwrap(reply):
+    assert reply.reply_status == ReplyStatus.NO_EXCEPTION
+    return decode_values(reply.body)[0]
+
+
+def test_dispatch_returns_result(poa):
+    assert unwrap(poa.dispatch(request(op="add", args=(2, 3)))) == 5
+
+
+def test_dispatch_none_result(poa):
+    assert unwrap(poa.dispatch(request(op="store", args=(4.5,)))) is None
+    assert poa.servant(b"calc").memory == 4.5
+
+
+def test_user_exception_mapped(poa):
+    reply = poa.dispatch(request(op="divide", args=(1, 0)))
+    assert reply.reply_status == ReplyStatus.USER_EXCEPTION
+    name, detail = decode_values(reply.body)
+    assert name == "DivisionByZero" and "zero" in detail
+
+
+def test_servant_bug_becomes_system_exception(poa):
+    reply = poa.dispatch(request(op="crash"))
+    assert reply.reply_status == ReplyStatus.SYSTEM_EXCEPTION
+    repo_id, detail = decode_values(reply.body)
+    assert "RuntimeError" in detail
+
+
+def test_unknown_object_key(poa):
+    reply = poa.dispatch(request(key=b"nope"))
+    assert reply.reply_status == ReplyStatus.SYSTEM_EXCEPTION
+    repo_id, _ = decode_values(reply.body)
+    assert "OBJECT_NOT_EXIST" in repo_id
+
+
+def test_unknown_operation(poa):
+    reply = poa.dispatch(request(op="subtract"))
+    assert reply.reply_status == ReplyStatus.SYSTEM_EXCEPTION
+    repo_id, _ = decode_values(reply.body)
+    assert "BAD_OPERATION" in repo_id
+
+
+def test_private_methods_not_invocable(poa):
+    reply = poa.dispatch(request(op="_private"))
+    assert reply.reply_status == ReplyStatus.SYSTEM_EXCEPTION
+
+
+def test_oneway_returns_no_reply(poa):
+    assert poa.dispatch(request(op="store", args=(1.0,), response=False)) is None
+    assert poa.servant(b"calc").memory == 1.0
+
+
+def test_state_hooks(poa):
+    poa.dispatch(request(op="store", args=(9.0,)))
+    state = unwrap(poa.dispatch(request(op=GET_STATE_OP)))
+    assert state == 9.0
+    poa.dispatch(request(op=SET_STATE_OP, args=(3.0,)))
+    assert poa.servant(b"calc").memory == 3.0
+
+
+def test_double_activation_rejected(poa):
+    with pytest.raises(ValueError):
+        poa.activate(b"calc", Calculator())
+
+
+def test_deactivate(poa):
+    poa.deactivate(b"calc")
+    assert poa.servant(b"calc") is None
+    reply = poa.dispatch(request())
+    assert reply.reply_status == ReplyStatus.SYSTEM_EXCEPTION
+
+
+def test_counters(poa):
+    poa.dispatch(request(op="add", args=(1, 1)))
+    poa.dispatch(request(op="crash"))
+    assert poa.requests_dispatched == 2
+    assert poa.errors_returned == 1

@@ -1,0 +1,91 @@
+"""Message log / replay tests (paper §4: matching requests with replies)."""
+
+from repro.core import ConnectionId, Delivery
+from repro.giop import (
+    GIOPHeader,
+    GIOPMessageType,
+    ReplyMessage,
+    RequestMessage,
+    encode_giop,
+)
+from repro.replication import MessageLog
+
+CID = ConnectionId(3, 200, 7, 100)
+
+
+def delivery(payload: bytes, num: int, at: float = 1.0) -> Delivery:
+    return Delivery(
+        group=9, source=1, sequence_number=1, timestamp=1,
+        connection_id=CID, request_num=num, payload=payload, delivered_at=at,
+    )
+
+
+def request_bytes(num: int) -> bytes:
+    return encode_giop(RequestMessage(
+        header=GIOPHeader(GIOPMessageType.REQUEST), request_id=num,
+        object_key=b"k", operation="op",
+    ))
+
+
+def reply_bytes(num: int) -> bytes:
+    return encode_giop(ReplyMessage(
+        header=GIOPHeader(GIOPMessageType.REPLY), request_id=num,
+    ))
+
+
+def test_pairs_requests_with_replies():
+    log = MessageLog()
+    log.on_deliver(delivery(request_bytes(1), 1, at=1.0))
+    log.on_deliver(delivery(reply_bytes(1), 1, at=1.5))
+    (entry,) = log.entries()
+    assert entry.answered
+    assert entry.requested_at == 1.0
+    assert entry.replied_at == 1.5
+
+
+def test_unanswered_requests_are_the_replay_set():
+    log = MessageLog()
+    log.on_deliver(delivery(request_bytes(1), 1))
+    log.on_deliver(delivery(request_bytes(2), 2))
+    log.on_deliver(delivery(reply_bytes(1), 1))
+    pending = log.unanswered()
+    assert [e.request_num for e in pending] == [2]
+    assert log.unanswered(CID) == pending
+    assert log.unanswered(CID.reversed()) == []
+
+
+def test_duplicate_requests_and_replies_logged_once():
+    log = MessageLog()
+    for _ in range(3):
+        log.on_deliver(delivery(request_bytes(1), 1))
+    for _ in range(2):
+        log.on_deliver(delivery(reply_bytes(1), 1, at=2.0))
+    assert len(log) == 1
+    assert log.entries()[0].replied_at == 2.0
+
+
+def test_reply_lookup_for_duplicate_short_circuit():
+    log = MessageLog()
+    log.on_deliver(delivery(request_bytes(5), 5))
+    raw_reply = reply_bytes(5)
+    log.on_deliver(delivery(raw_reply, 5))
+    assert log.reply_for(CID, 5) == raw_reply
+    assert log.reply_for(CID, 6) is None
+
+
+def test_reply_before_request_synthesizes_entry():
+    log = MessageLog()
+    log.on_deliver(delivery(reply_bytes(9), 9))
+    (entry,) = log.entries()
+    assert entry.answered and entry.request_payload == b""
+
+
+def test_non_giop_and_unconnected_payloads_ignored():
+    log = MessageLog()
+    log.on_deliver(delivery(b"raw app payload", 1))
+    log.on_deliver(
+        Delivery(group=1, source=1, sequence_number=1, timestamp=1,
+                 connection_id=ConnectionId.none(), request_num=0,
+                 payload=request_bytes(1), delivered_at=0.0)
+    )
+    assert len(log) == 0

@@ -1,0 +1,143 @@
+"""Replication infrastructure tests: groups, state transfer, recovery."""
+
+import pytest
+
+from repro.core import FTMPConfig
+from repro.replication import ReplicaManager
+from repro.simnet import Network, lan
+
+
+class Account:
+    def __init__(self):
+        self.balance = 0
+        self.ops = 0
+
+    def deposit(self, n):
+        self.balance += n
+        self.ops += 1
+        return self.balance
+
+    def withdraw(self, n):
+        self.balance -= n
+        self.ops += 1
+        return self.balance
+
+    def get_state(self):
+        return {"balance": self.balance, "ops": self.ops}
+
+    def set_state(self, s):
+        self.balance = s["balance"]
+        self.ops = s["ops"]
+
+
+def build(server_pids=(1, 2), seed=0, config=None):
+    net = Network(lan(), seed=seed)
+    mgr = ReplicaManager(net, config=config)
+    ref = mgr.create_server_group(
+        domain=7, object_group=100, object_key=b"acct",
+        factory=Account, pids=server_pids, type_id="IDL:Account:1.0",
+    )
+    client = mgr.create_client(8, client_domain=3, client_group=200)
+    proxy = mgr.proxy(8, ref)
+    return net, mgr, ref, client, proxy
+
+
+def test_replicas_stay_consistent():
+    net, mgr, ref, client, proxy = build()
+    orb = client.orb
+    for i in range(5):
+        orb.call(proxy, "deposit", 10)
+    net.run_for(0.3)
+    states = [mgr.servant(p, 7, 100).get_state() for p in (1, 2)]
+    assert states[0] == states[1] == {"balance": 50, "ops": 5}
+
+
+def test_add_replica_with_state_transfer():
+    net, mgr, ref, client, proxy = build()
+    orb = client.orb
+    orb.call(proxy, "deposit", 100)
+    orb.call(proxy, "withdraw", 30)
+    mgr.add_replica(7, 100, 3)
+    net.run_for(0.5)
+    assert mgr.servant(3, 7, 100).get_state() == {"balance": 70, "ops": 2}
+    # new replica participates in subsequent operations
+    orb.call(proxy, "deposit", 5)
+    net.run_for(0.3)
+    assert mgr.servant(3, 7, 100).balance == 75
+    assert mgr.replicas_of(7, 100) == {1, 2, 3}
+
+
+def test_state_transfer_concurrent_with_traffic():
+    # requests keep flowing while the replica joins; the new replica must
+    # converge to exactly the same state
+    net, mgr, ref, client, proxy = build()
+    orb = client.orb
+    orb.call(proxy, "deposit", 1)  # establish connection
+    p = proxy
+    for i in range(20):
+        net.scheduler.at(0.05 + 0.002 * i, lambda i=i: p.deposit(1))
+    net.scheduler.at(0.06, mgr.add_replica, 7, 100, 3)
+    net.run_for(1.0)
+    s1 = mgr.servant(1, 7, 100).get_state()
+    s3 = mgr.servant(3, 7, 100).get_state()
+    assert s1 == s3
+    assert s1["balance"] == 21
+
+
+def test_crash_produces_fault_report_and_membership_update():
+    net, mgr, ref, client, proxy = build(server_pids=(1, 2, 3))
+    orb = client.orb
+    orb.call(proxy, "deposit", 10)
+    net.crash(3)
+    net.run_for(1.5)
+    assert mgr.replicas_of(7, 100) == {1, 2}
+    assert mgr.fault_log
+    # service continues with the survivors
+    assert orb.call(proxy, "deposit", 5) == 15
+
+
+def test_auto_recovery_onto_spare():
+    net, mgr, ref, client, proxy = build(server_pids=(1, 2))
+    mgr.auto_recover = True
+    mgr.add_spare(4)
+    orb = client.orb
+    orb.call(proxy, "deposit", 42)
+    net.crash(2)
+    net.run_for(2.5)
+    assert mgr.replicas_of(7, 100) == {1, 4}
+    assert mgr.servant(4, 7, 100).balance == 42
+    assert orb.call(proxy, "deposit", 8) == 50
+    net.run_for(0.3)
+    assert mgr.servant(4, 7, 100).balance == 50
+
+
+def test_graceful_replica_removal():
+    net, mgr, ref, client, proxy = build(server_pids=(1, 2, 3))
+    orb = client.orb
+    orb.call(proxy, "deposit", 10)
+    mgr.remove_replica(7, 100, 3)
+    net.run_for(0.5)
+    assert mgr.replicas_of(7, 100) == {1, 2}
+    assert orb.call(proxy, "deposit", 1) == 11
+
+
+def test_remove_unknown_replica_rejected():
+    net, mgr, ref, client, proxy = build()
+    with pytest.raises(ValueError):
+        mgr.remove_replica(7, 100, 99)
+
+
+def test_add_replica_requires_connection():
+    net = Network(lan(), seed=0)
+    mgr = ReplicaManager(net)
+    mgr.create_server_group(domain=7, object_group=100, object_key=b"x",
+                            factory=Account, pids=(1, 2))
+    with pytest.raises(RuntimeError):
+        mgr.add_replica(7, 100, 3)
+
+
+def test_duplicate_group_registration_rejected():
+    net, mgr, ref, client, proxy = build()
+    with pytest.raises(ValueError):
+        mgr.create_server_group(domain=7, object_group=100, object_key=b"y",
+                                factory=Account, pids=(1,))

@@ -1,0 +1,73 @@
+"""Egress-bandwidth (NIC serialization) model tests."""
+
+from repro.simnet import Network, Topology, LinkModel
+
+
+def build(bw):
+    topo = Topology(default=LinkModel(latency=0.001, jitter=0, loss=0),
+                    egress_bandwidth=bw)
+    net = Network(topo, seed=0)
+    arrivals = []
+    ep1 = net.endpoint(1)
+    ep2 = net.endpoint(2)
+    ep2.set_receiver(lambda d: arrivals.append((net.scheduler.now, len(d))))
+    ep1.join(100)
+    ep2.join(100)
+    return net, ep1, arrivals
+
+
+def test_infinite_bandwidth_by_default():
+    net, ep1, arrivals = build(bw=None)
+    for _ in range(5):
+        ep1.multicast(100, b"x" * 1000)
+    net.run_for(0.01)
+    times = [t for t, _n in arrivals]
+    assert len(times) == 5
+    assert max(times) - min(times) < 1e-9  # all arrive together
+
+
+def test_serialization_spaces_back_to_back_packets():
+    net, ep1, arrivals = build(bw=1_000_000)  # 1 MB/s -> 1 ms per 1000 B
+    for _ in range(5):
+        ep1.multicast(100, b"x" * 1000)
+    net.run_for(0.1)
+    times = [t for t, _n in arrivals]
+    assert len(times) == 5
+    gaps = [b - a for a, b in zip(times, times[1:])]
+    for gap in gaps:
+        assert abs(gap - 0.001) < 1e-9  # exactly the serialization time
+
+
+def test_first_packet_pays_its_own_serialization():
+    net, ep1, arrivals = build(bw=1_000_000)
+    ep1.multicast(100, b"x" * 2000)  # 2 ms serialization + 1 ms latency
+    net.run_for(0.1)
+    assert abs(arrivals[0][0] - 0.003) < 1e-9
+
+
+def test_idle_egress_does_not_accumulate_debt():
+    net, ep1, arrivals = build(bw=1_000_000)
+    ep1.multicast(100, b"x" * 1000)
+    net.run_for(0.05)  # long idle gap
+    ep1.multicast(100, b"x" * 1000)
+    net.run_for(0.05)
+    t0, t1 = [t for t, _n in arrivals]
+    assert abs((t1 - 0.05) - t0) < 1e-9  # second send starts fresh
+
+
+def test_multicast_serialized_once_not_per_receiver():
+    topo = Topology(default=LinkModel(latency=0.001, jitter=0, loss=0),
+                    egress_bandwidth=1_000_000)
+    net = Network(topo, seed=0)
+    arrivals = {2: [], 3: [], 4: []}
+    ep1 = net.endpoint(1)
+    ep1.join(100)
+    for pid in (2, 3, 4):
+        ep = net.endpoint(pid)
+        ep.set_receiver(lambda d, p=pid: arrivals[p].append(net.scheduler.now))
+        ep.join(100)
+    ep1.multicast(100, b"x" * 1000)
+    net.run_for(0.1)
+    # all three receivers get it after ONE serialization delay
+    for pid in (2, 3, 4):
+        assert abs(arrivals[pid][0] - 0.002) < 1e-9

@@ -1,0 +1,125 @@
+"""Unit tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.simnet import Scheduler, SimTimeError
+
+
+def test_events_run_in_time_order():
+    s = Scheduler()
+    hits = []
+    s.schedule(2.0, hits.append, "c")
+    s.schedule(1.0, hits.append, "a")
+    s.schedule(1.5, hits.append, "b")
+    s.run()
+    assert hits == ["a", "b", "c"]
+
+
+def test_ties_run_in_insertion_order():
+    s = Scheduler()
+    hits = []
+    for name in "abcde":
+        s.schedule(1.0, hits.append, name)
+    s.run()
+    assert hits == list("abcde")
+
+
+def test_now_advances_to_event_time():
+    s = Scheduler()
+    seen = []
+    s.schedule(0.5, lambda: seen.append(s.now))
+    s.schedule(1.25, lambda: seen.append(s.now))
+    s.run()
+    assert seen == [0.5, 1.25]
+    assert s.now == 1.25
+
+
+def test_cancelled_events_are_skipped():
+    s = Scheduler()
+    hits = []
+    ev = s.schedule(1.0, hits.append, "x")
+    s.schedule(2.0, hits.append, "y")
+    ev.cancel()
+    s.run()
+    assert hits == ["y"]
+
+
+def test_negative_delay_rejected():
+    s = Scheduler()
+    with pytest.raises(SimTimeError):
+        s.schedule(-0.1, lambda: None)
+
+
+def test_at_in_past_rejected():
+    s = Scheduler()
+    s.schedule(1.0, lambda: None)
+    s.run()
+    with pytest.raises(SimTimeError):
+        s.at(0.5, lambda: None)
+
+
+def test_run_until_stops_at_deadline():
+    s = Scheduler()
+    hits = []
+    s.schedule(1.0, hits.append, "a")
+    s.schedule(2.0, hits.append, "b")
+    s.run_until(1.5)
+    assert hits == ["a"]
+    assert s.now == 1.5
+    s.run_until(3.0)
+    assert hits == ["a", "b"]
+
+
+def test_run_until_advances_now_even_with_no_events():
+    s = Scheduler()
+    s.run_until(5.0)
+    assert s.now == 5.0
+
+
+def test_events_scheduled_during_run_execute():
+    s = Scheduler()
+    hits = []
+
+    def outer():
+        hits.append("outer")
+        s.schedule(0.5, hits.append, "inner")
+
+    s.schedule(1.0, outer)
+    s.run()
+    assert hits == ["outer", "inner"]
+
+
+def test_step_returns_false_when_empty():
+    s = Scheduler()
+    assert s.step() is False
+    s.schedule(0.1, lambda: None)
+    assert s.step() is True
+    assert s.step() is False
+
+
+def test_run_max_events_bound():
+    s = Scheduler()
+
+    def rearm():
+        s.schedule(1.0, rearm)
+
+    s.schedule(1.0, rearm)
+    ran = s.run(max_events=10)
+    assert ran == 10
+
+
+def test_events_processed_counter():
+    s = Scheduler()
+    for i in range(5):
+        s.schedule(float(i), lambda: None)
+    s.run()
+    assert s.events_processed == 5
+
+
+def test_pending_excludes_cancelled():
+    s = Scheduler()
+    ev = s.schedule(1.0, lambda: None)
+    s.schedule(2.0, lambda: None)
+    assert s.pending == 2
+    ev.cancel()
+    assert s.pending == 1

@@ -1,0 +1,46 @@
+"""Packet trace / accounting tests."""
+
+from repro.simnet import Network, NetworkTrace, lan
+
+
+def test_keep_packets_records_details():
+    net = Network(lan(), seed=0, keep_packets=True)
+    eps = {}
+    for pid in (1, 2, 3):
+        ep = net.endpoint(pid)
+        ep.set_receiver(lambda d: None)
+        ep.join(100)
+        eps[pid] = ep
+    eps[1].multicast(100, b"abcd")
+    net.run_for(0.01)
+    (rec,) = net.trace.packets
+    assert rec.src == 1
+    assert rec.group == 100
+    assert rec.size == 4
+    assert rec.delivered_to == 3
+    assert rec.dropped_at == 0
+
+
+def test_reset_clears_counters_keeps_mode():
+    t = NetworkTrace(keep_packets=True)
+    t.record_send(0.0, 1, 100, 10, 2, 1)
+    assert t.sends == 1 and len(t.packets) == 1
+    t.reset()
+    assert t.sends == 0 and t.packets == [] and t.keep_packets
+
+
+def test_loss_fraction_and_summary():
+    t = NetworkTrace()
+    t.record_send(0.0, 1, 100, 10, 3, 1)
+    assert abs(t.loss_fraction() - 0.25) < 1e-9
+    s = t.summary()
+    assert "sends=1" in s and "drops=1" in s
+
+
+def test_sends_by_source():
+    t = NetworkTrace()
+    t.record_send(0.0, 1, 100, 10, 1, 0)
+    t.record_send(0.0, 1, 100, 10, 1, 0)
+    t.record_send(0.0, 2, 100, 10, 1, 0)
+    assert t.sends_by_source[1] == 2
+    assert t.sends_by_source[2] == 1

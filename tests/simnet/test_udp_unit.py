@@ -1,0 +1,67 @@
+"""UDP endpoint unit behaviour (fast, socket-level)."""
+
+import time
+
+import pytest
+
+from repro.simnet import UdpFabric
+
+
+@pytest.fixture
+def fabric():
+    f = UdpFabric()
+    yield f
+    f.close()
+
+
+def test_endpoint_identity_and_clock(fabric):
+    ep = fabric.endpoint(5)
+    assert ep.processor_id == 5
+    t0 = ep.now
+    time.sleep(0.01)
+    assert ep.now > t0
+
+
+def test_timer_fires_and_cancels(fabric):
+    ep = fabric.endpoint(1)
+    hits = []
+    ep.schedule(0.01, hits.append, "a")
+    t = ep.schedule(0.01, hits.append, "b")
+    t.cancel()
+    deadline = time.monotonic() + 2.0
+    while "a" not in hits and time.monotonic() < deadline:
+        time.sleep(0.005)
+    time.sleep(0.05)
+    assert hits == ["a"]
+
+
+def test_join_leave_controls_delivery(fabric):
+    a = fabric.endpoint(1)
+    b = fabric.endpoint(2)
+    inbox = []
+    b.set_receiver(inbox.append)
+    b.join(100)
+    a.multicast(100, b"one")
+    deadline = time.monotonic() + 2.0
+    while not inbox and time.monotonic() < deadline:
+        time.sleep(0.005)
+    assert inbox == [b"one"]
+    b.leave(100)
+    a.multicast(100, b"two")
+    time.sleep(0.05)
+    assert inbox == [b"one"]
+
+
+def test_oversized_datagram_rejected(fabric):
+    ep = fabric.endpoint(1)
+    with pytest.raises(ValueError):
+        ep.multicast(100, b"x" * 70_000)
+
+
+def test_timers_after_close_do_not_fire(fabric):
+    ep = fabric.endpoint(1)
+    hits = []
+    ep.schedule(0.02, hits.append, "late")
+    ep.close()
+    time.sleep(0.1)
+    assert hits == []
