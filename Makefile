@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench experiments examples soak clean
+.PHONY: install test bench lint experiments examples soak clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -10,8 +10,14 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
+# plain pytest: the experiment files are ordinary tests that emit their
+# tables into benchmarks/results/ (a fallback `benchmark` fixture covers
+# environments without pytest-benchmark, so no plugin flags here)
 bench:
-	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+	$(PYTHON) -m pytest benchmarks/ -q
+
+lint:
+	$(PYTHON) -m ruff check src/ tests/ benchmarks/
 
 experiments:
 	$(PYTHON) -m repro.analysis.cli run all

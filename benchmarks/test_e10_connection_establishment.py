@@ -7,7 +7,7 @@ address, including the §7 quiescence rule, without losing or reordering
 any traffic.
 """
 
-from repro.analysis import Table, make_cluster, summarize
+from repro.analysis import Table, make_cluster
 from repro.core import ConnectionId, FTMPConfig
 from repro.simnet import lossy_lan
 

@@ -13,7 +13,6 @@ that costs and buys:
 from repro.analysis import Table, summarize
 from repro.analysis.workload import RequestReplyDriver
 from repro.core import FTMPConfig
-from repro.giop import CommFailure
 from repro.orb import IIOPNetwork, ORB
 from repro.replication import ReplicaManager
 from repro.simnet import Network, lan

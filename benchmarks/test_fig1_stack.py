@@ -6,7 +6,7 @@ the per-layer counters prove each layer did its job.  The timed portion
 benchmarks the full per-message stack traversal cost.
 """
 
-from repro.analysis import Table, make_cluster
+from repro.analysis import Table
 from repro.core import FTMPConfig, FTMPStack, RecordingListener
 from repro.simnet import Network, lan
 

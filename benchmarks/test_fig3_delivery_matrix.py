@@ -16,7 +16,7 @@ totally-ordered? with the Connect / AddProcessor exceptions) from
 """
 
 from repro.analysis import Table, make_cluster
-from repro.core import FTMPConfig, FTMPStack, MessageType, RecordingListener
+from repro.core import FTMPConfig, FTMPStack, RecordingListener
 from repro.simnet import lossy_lan
 
 from _report import emit

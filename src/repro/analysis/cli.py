@@ -31,7 +31,7 @@ EXPERIMENTS = {
     "E9": ("test_e9_dynamic_membership.py", "non-faulty membership churn"),
     "E10": ("test_e10_connection_establishment.py", "connection handshake & migration"),
     "E11": ("test_e11_ordering_ladder.py", "extension: the ordering-guarantee ladder"),
-    "E12": ("test_e12_throughput_saturation.py", "extension: throughput saturation"),
+    "E12": ("test_e12_throughput_saturation.py", "extension: throughput saturation, batching off vs on"),
     "E13": ("test_e13_active_vs_passive.py", "extension: active vs warm-passive replication"),
     "E14": ("test_e14_membership_scaling.py", "extension: membership latency vs group size"),
     "A1": ("test_a1_nack_suppression.py", "ablation: NACK-implosion avoidance"),

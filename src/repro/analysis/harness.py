@@ -48,6 +48,45 @@ class Cluster:
             if other != orders[0]:
                 raise AssertionError("delivery orders diverge across members")
 
+    # -- unified stats (see repro.core.stats) --------------------------
+    def snapshot(self, pid: int) -> Dict[str, float]:
+        """One stack's flat dotted-name counter snapshot."""
+        return self.stacks[pid].snapshot()
+
+    def aggregate_snapshot(self) -> Dict[str, float]:
+        """Sum of every stack's registry snapshot, key by key.
+
+        Cluster-wide totals: ``stack.datagrams_sent`` becomes the number
+        of datagrams put on the wire by *any* member, and so on.
+        """
+        total: Dict[str, float] = {}
+        for st in self.stacks.values():
+            for key, value in st.snapshot().items():
+                total[key] = total.get(key, 0.0) + value
+        return total
+
+    def batch_efficiency(self, group: Optional[int] = None) -> Dict[str, float]:
+        """Cluster-wide batching / wire-efficiency figures for one group.
+
+        ``datagrams_per_delivery`` is the headline number: datagrams sent
+        by all members divided by ordered deliveries observed at all
+        members.  Batching should push it down at equal delivered load.
+        """
+        g = group if group is not None else self.group
+        snap = self.aggregate_snapshot()
+        deliveries = snap.get(f"group.{g}.romp.ordered_deliveries", 0.0)
+        datagrams = snap.get("stack.datagrams_sent", 0.0)
+        return {
+            "datagrams_sent": datagrams,
+            "ordered_deliveries": deliveries,
+            "datagrams_per_delivery": datagrams / deliveries if deliveries else 0.0,
+            "batches_sent": snap.get(f"group.{g}.batch.batches_sent", 0.0),
+            "messages_batched": snap.get(f"group.{g}.batch.messages_batched", 0.0),
+            "heartbeats_suppressed": snap.get(
+                f"group.{g}.batch.heartbeats_suppressed", 0.0
+            ),
+        }
+
     def stop(self) -> None:
         for st in self.stacks.values():
             st.stop()

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Tuple
 
 from ..orb import ORB, Proxy
-from .harness import Cluster, TimedWorkload
+from .harness import TimedWorkload
 
 __all__ = ["PoissonWorkload", "RequestReplyDriver"]
 

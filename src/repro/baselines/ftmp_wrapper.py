@@ -62,6 +62,10 @@ class FTMPProtocol(GroupProtocol):
             )
         )
 
+    def snapshot(self) -> dict:
+        """Flat dotted-name counters from the stack's stats registry."""
+        return self.stack.snapshot()
+
     def _on_datagram(self, data: bytes) -> None:  # pragma: no cover
         raise AssertionError("FTMPProtocol receives through its stack")
 

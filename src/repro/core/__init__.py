@@ -22,6 +22,7 @@ from .constants import (
     TOTALLY_ORDERED_TYPES,
     MessageType,
 )
+from .datapath import BatchStats, GroupContext, ReceivePath, SendPath
 from .events import (
     ConnectionEvent,
     Delivery,
@@ -33,6 +34,7 @@ from .events import (
 from .lamport import LamportClock, OrderingClock, SynchronizedClock
 from .messages import (
     AddProcessorMessage,
+    BatchMessage,
     ConnectionId,
     ConnectMessage,
     ConnectRequestMessage,
@@ -47,12 +49,20 @@ from .messages import (
     order_key,
 )
 from .stack import FTMPStack, ProcessorGroup
+from .stats import GroupStats, StackStats, StatsRegistry
 from .tracing import TraceEvent, Tracer
-from .wire import CodecError, decode, encode, peek_header
+from .wire import CodecError, decode, encode, mark_retransmission, peek_header
 
 __all__ = [
     "FTMPStack",
     "ProcessorGroup",
+    "GroupContext",
+    "SendPath",
+    "ReceivePath",
+    "BatchStats",
+    "StatsRegistry",
+    "StackStats",
+    "GroupStats",
     "Tracer",
     "TraceEvent",
     "FTMPConfig",
@@ -66,6 +76,7 @@ __all__ = [
     "FTMPHeader",
     "FTMPMessage",
     "RegularMessage",
+    "BatchMessage",
     "RetransmitRequestMessage",
     "HeartbeatMessage",
     "ConnectRequestMessage",
@@ -78,6 +89,7 @@ __all__ = [
     "encode",
     "decode",
     "peek_header",
+    "mark_retransmission",
     "CodecError",
     "Listener",
     "RecordingListener",

@@ -68,6 +68,18 @@ class FTMPConfig:
     #: Bounded skew applied to this processor's synchronized clock.
     sync_clock_skew: float = 0.0
 
+    # --- batching / piggybacking (extension) -----------------------------
+    #: Coalescing window for small Regular messages (seconds).  Within a
+    #: window, Regulars to the group address are packed into one Batch
+    #: datagram and pending heartbeats are suppressed (the batch carries
+    #: fresher timestamps anyway).  0 disables batching entirely: every
+    #: send goes out immediately, bit-identical to the unbatched stack.
+    batch_window: float = 0.0
+    #: Flush a pending batch as soon as its packed parts reach this many
+    #: bytes; also the per-message eligibility cap (bigger messages are
+    #: sent unbatched).
+    batch_max_bytes: int = 1200
+
     # --- delivery guarantee ----------------------------------------------
     #: "agreed" (default): deliver as soon as the total order is decided.
     #: "safe": additionally wait until the message is *stable* — the ack

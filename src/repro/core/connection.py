@@ -31,7 +31,7 @@ detection of §4 and the request-number source shared by object replicas.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Optional, Set, Tuple
 
 from .messages import ConnectionId, ConnectMessage, ConnectRequestMessage

@@ -20,7 +20,13 @@ HEADER_SIZE = 40
 
 
 class MessageType(enum.IntEnum):
-    """The nine FTMP message types of Figure 3."""
+    """The nine FTMP message types of Figure 3, plus the Batch envelope.
+
+    ``BATCH`` is an extension of this reproduction: a transport-level
+    envelope packing several small encoded messages into one datagram.
+    The receive path unpacks it before RMP ever sees the contents, so the
+    protocol layers stay batch-oblivious.
+    """
 
     REGULAR = 1
     RETRANSMIT_REQUEST = 2
@@ -31,6 +37,7 @@ class MessageType(enum.IntEnum):
     REMOVE_PROCESSOR = 7
     SUSPECT = 8
     MEMBERSHIP = 9
+    BATCH = 10
 
 
 #: Message types that RMP delivers reliably and in source order (Figure 3).

@@ -1,0 +1,894 @@
+"""The layered FTMP datapath (paper Figure 1, made explicit).
+
+This module is the seam between the protocol machines and the wire:
+
+* :class:`GroupContext` — the narrow protocol the RMP / ROMP / PGMP /
+  fault-detector machines are written against.  The machines never import
+  a concrete group class; they receive "some GroupContext" and use only
+  this surface (timers, tracing, retention, upward delivery, the send
+  services and clock access).
+* :class:`SendPath` — the downward pipeline: header stamping (sequence
+  number, clock tick, piggybacked ack timestamp), retransmission
+  retention, the heartbeat generator, and the optional coalescing window
+  that packs small Regular messages into one Batch datagram.
+* :class:`ReceivePath` — the upward pipeline: Batch unpacking, new-member
+  join gating, raw-byte retention bookkeeping, then RMP.  Everything
+  above the receive path is batch-oblivious.
+* :class:`ProcessorGroup` — the composition root wiring one group's
+  machines through the two pipelines; it implements ``GroupContext`` and
+  keeps the membership/view state that *is* the group.
+
+Batching (``FTMPConfig.batch_window``) is off by default, in which case
+the send path is bit-identical to the historical unbatched stack: every
+message goes out the moment it is stamped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Set,
+    Tuple,
+)
+
+from ..simnet.scheduler import NamedTimerSet
+from .buffers import RetransmissionBuffer
+from .config import FTMPConfig
+from .constants import RELIABLE_TYPES, MessageType
+from .events import Delivery, FaultReport, ViewChange
+from .fault_detector import FaultDetector
+from .messages import (
+    AddProcessorMessage,
+    BatchMessage,
+    ConnectionId,
+    ConnectMessage,
+    ConnectRequestMessage,
+    FTMPHeader,
+    FTMPMessage,
+    HeartbeatMessage,
+    MembershipMessage,
+    RegularMessage,
+    RemoveProcessorMessage,
+    RetransmitRequestMessage,
+    SuspectMessage,
+)
+from .pgmp import PGMP
+from .rmp import RMP
+from .romp import ROMP
+from .stats import GroupStats
+from .wire import CodecError, decode, encode, mark_retransmission
+
+if TYPE_CHECKING:  # pragma: no cover
+    from random import Random
+
+    from .lamport import OrderingClock
+    from .stack import FTMPStack
+
+__all__ = [
+    "GroupContext",
+    "SendPath",
+    "ReceivePath",
+    "BatchStats",
+    "ProcessorGroup",
+]
+
+
+class GroupContext(Protocol):
+    """The group surface the protocol machines need — and nothing more.
+
+    RMP / ROMP / PGMP / :class:`~repro.core.fault_detector.FaultDetector`
+    are typed against this protocol instead of any concrete group class,
+    so they can be driven by the real :class:`ProcessorGroup` or by a test
+    double without touching the stack.
+    """
+
+    group_id: int
+    membership: Tuple[int, ...]
+    view_timestamp: int
+    #: (timestamp, source) keys grandfathered by a fault view — queued
+    #: ordered messages from removed members that remain deliverable
+    legacy_keys: Set[Tuple[int, int]]
+    buffer: RetransmissionBuffer
+    rmp: RMP
+
+    # -- identity / environment ----------------------------------------
+    @property
+    def pid(self) -> int: ...
+
+    @property
+    def config(self) -> FTMPConfig: ...
+
+    @property
+    def rng(self) -> "Random": ...
+
+    @property
+    def clock(self) -> "OrderingClock": ...
+
+    @property
+    def last_sent_seq(self) -> int: ...
+
+    def now(self) -> float: ...
+
+    def schedule(self, delay: float, fn: Callable, *args): ...
+
+    def trace(self, kind: str, **detail) -> None: ...
+
+    # -- liveness bookkeeping ------------------------------------------
+    def note_alive(self, src: int) -> None: ...
+
+    def has_heard_from(self, src: int) -> bool: ...
+
+    def watch_member(self, pid: int, grace: float = 0.0) -> None: ...
+
+    def forget_member(self, pid: int) -> None: ...
+
+    # -- retention & upward delivery -----------------------------------
+    def retain(self, msg: FTMPMessage) -> None: ...
+
+    def romp_receive(self, msg: FTMPMessage) -> None: ...
+
+    def romp_heartbeat(self, msg: HeartbeatMessage) -> None: ...
+
+    def pgmp_raise_suspicion(self, pid: int) -> None: ...
+
+    def pgmp_withdraw_suspicion(self, pid: int) -> None: ...
+
+    def pgmp_receive_unreliable(self, msg: FTMPMessage) -> None: ...
+
+    def pgmp_receive_source_ordered(self, msg: FTMPMessage) -> None: ...
+
+    def pgmp_receive_ordered(self, msg: FTMPMessage) -> None: ...
+
+    def deliver_regular(self, msg: RegularMessage) -> None: ...
+
+    # -- send services --------------------------------------------------
+    def send_retransmit_request(self, source: int, start: int, stop: int) -> None: ...
+
+    def retransmit_raw(self, raw: bytes, address: Optional[int] = None) -> None: ...
+
+    def send_add_processor(self, membership_timestamp: int,
+                           membership: Tuple[int, ...],
+                           sequence_numbers: Dict[int, int],
+                           new_member: int) -> bytes: ...
+
+    def send_remove_processor(self, member: int) -> None: ...
+
+    def send_suspect(self, membership_timestamp: int,
+                     suspects: Tuple[int, ...]) -> None: ...
+
+    def send_membership(self, membership_timestamp: int,
+                        current_membership: Tuple[int, ...],
+                        sequence_numbers: Dict[int, int],
+                        new_membership: Tuple[int, ...]) -> None: ...
+
+    # -- membership transitions -----------------------------------------
+    def install_view(self, membership: Tuple[int, ...], view_timestamp: int,
+                     added: Tuple[int, ...], removed: Tuple[int, ...],
+                     reason: str) -> None: ...
+
+    def install_fault_view(self, membership: Tuple[int, ...], view_timestamp: int,
+                           removed: Tuple[int, ...],
+                           sync_targets: Optional[Dict[int, int]] = None) -> None: ...
+
+    def evict_self(self, reason: str, view_timestamp: int) -> None: ...
+
+    def complete_join(self, membership: Tuple[int, ...], view_timestamp: int,
+                      join_barrier: Tuple[int, int]) -> None: ...
+
+    def apply_connect_migration(self, msg: ConnectMessage) -> None: ...
+
+    def on_send_barrier_cleared(self) -> None: ...
+
+
+@dataclass
+class BatchStats:
+    """Batching-efficiency counters of one group's send/receive paths."""
+
+    batches_sent: int = 0
+    messages_batched: int = 0
+    batches_received: int = 0
+    messages_unbatched: int = 0
+    flushes_on_timer: int = 0
+    flushes_on_size: int = 0
+    flushes_on_order: int = 0  #: a non-batchable send forced the flush
+    heartbeats_suppressed: int = 0
+    batch_decode_errors: int = 0
+
+
+class SendPath:
+    """Downward pipeline of one processor group.
+
+    Owns the reliable sequence counter, header stamping (clock tick plus
+    the piggybacked ack timestamp), retention of reliable messages for
+    NACK answering, the §5 heartbeat generator, and the batching window.
+    Protocol machines never build headers or touch the wire; the group
+    stamps and transmits everything here.
+    """
+
+    def __init__(
+        self,
+        ctx: "ProcessorGroup",
+        transmit: Callable[[int, bytes], None],
+        ack_supplier: Callable[[], int],
+        address_supplier: Callable[[], int],
+        stats: GroupStats,
+        batch_stats: BatchStats,
+    ):
+        self._ctx = ctx
+        self._transmit = transmit
+        self._ack = ack_supplier
+        self._address = address_supplier
+        self._stats = stats
+        self._batch = batch_stats
+        self._timers = NamedTimerSet(ctx.schedule)
+        self._seq = 0
+        self._last_send_time = -1e9
+        self._pending: List[bytes] = []
+        self._pending_bytes = 0
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # header stamping
+    # ------------------------------------------------------------------
+    @property
+    def last_sent_seq(self) -> int:
+        return self._seq
+
+    def next_header(self, mtype: MessageType, reliable: bool) -> FTMPHeader:
+        if reliable:
+            self._seq += 1
+        return FTMPHeader(
+            message_type=mtype,
+            source=self._ctx.pid,
+            group=self._ctx.group_id,
+            sequence_number=self._seq,
+            timestamp=self._ctx.clock.tick(),
+            ack_timestamp=self._ack(),
+            little_endian=self._ctx.config.little_endian,
+        )
+
+    # ------------------------------------------------------------------
+    # transmission
+    # ------------------------------------------------------------------
+    def send(self, msg: FTMPMessage, address: Optional[int] = None) -> bytes:
+        """Stamp-independent egress: retain, trace, then wire (or window)."""
+        raw = encode(msg)
+        h = msg.header
+        mtype = h.message_type
+        if mtype in RELIABLE_TYPES:
+            self._ctx.buffer.add(h.source, h.sequence_number, h.timestamp, raw)
+        if mtype in RELIABLE_TYPES or mtype == MessageType.HEARTBEAT:
+            # §5: a Heartbeat is due when no *Regular* (ordered-stream)
+            # message went out recently; control traffic such as
+            # RetransmitRequests must not starve the heartbeat, because
+            # receivers need the stream's timestamps to keep ordering.
+            self._last_send_time = self._ctx.now()
+        if self._ctx.traced:
+            self._ctx.trace("send", type=mtype.name, seq=h.sequence_number,
+                            ts=h.timestamp)
+        if address is None and self._batchable(mtype, raw):
+            self._append(raw)
+        else:
+            self._flush_pending_first()
+            self._transmit(self._address() if address is None else address, raw)
+        return raw
+
+    def send_raw(self, raw: bytes, address: Optional[int] = None) -> None:
+        """Re-send retained wire bytes with the retransmission flag (§3.2).
+
+        Deliberately does not touch ``last_send_time``: retransmissions
+        are not new ordered-stream traffic and must not defer heartbeats.
+        """
+        self._flush_pending_first()
+        self._transmit(self._address() if address is None else address,
+                       mark_retransmission(raw))
+
+    def _flush_pending_first(self) -> None:
+        """Keep per-source FIFO: drain the window before unbatched sends."""
+        if self._pending:
+            self._batch.flushes_on_order += 1
+            self.flush()
+
+    # ------------------------------------------------------------------
+    # batching window
+    # ------------------------------------------------------------------
+    def _batchable(self, mtype: MessageType, raw: bytes) -> bool:
+        cfg = self._ctx.config
+        return (
+            cfg.batch_window > 0.0
+            and mtype == MessageType.REGULAR
+            and len(raw) <= cfg.batch_max_bytes
+        )
+
+    def _append(self, raw: bytes) -> None:
+        self._pending.append(raw)
+        self._pending_bytes += len(raw)
+        if self._pending_bytes >= self._ctx.config.batch_max_bytes:
+            self._batch.flushes_on_size += 1
+            self.flush()
+        elif not self._timers.is_armed("batch-flush"):
+            self._timers.arm("batch-flush", self._ctx.config.batch_window,
+                             self._timer_flush)
+
+    def _timer_flush(self) -> None:
+        self._batch.flushes_on_timer += 1
+        self.flush()
+
+    @property
+    def pending_batch(self) -> int:
+        """Messages currently held in the coalescing window."""
+        return len(self._pending)
+
+    def flush(self) -> None:
+        """Transmit the coalesced window now (no-op when empty)."""
+        self._timers.cancel("batch-flush")
+        if not self._pending:
+            return
+        pending, self._pending = self._pending, []
+        self._pending_bytes = 0
+        if len(pending) == 1:
+            self._transmit(self._address(), pending[0])
+            return
+        envelope = BatchMessage(
+            header=FTMPHeader(
+                message_type=MessageType.BATCH,
+                source=self._ctx.pid,
+                group=self._ctx.group_id,
+                sequence_number=0,
+                timestamp=0,
+                ack_timestamp=0,
+                little_endian=self._ctx.config.little_endian,
+            ),
+            parts=tuple(pending),
+        )
+        self._batch.batches_sent += 1
+        self._batch.messages_batched += len(pending)
+        self._transmit(self._address(), encode(envelope))
+
+    # ------------------------------------------------------------------
+    # heartbeats (paper §5)
+    # ------------------------------------------------------------------
+    def start_heartbeats(self) -> None:
+        self._arm_heartbeat()
+
+    def _arm_heartbeat(self) -> None:
+        if self._stopped:
+            return
+        self._timers.arm("heartbeat", self._ctx.config.heartbeat_interval,
+                         self._heartbeat_tick)
+
+    def _heartbeat_tick(self) -> None:
+        if self._stopped:
+            return
+        if self._pending:
+            # Piggyback suppression: the window flushes within
+            # batch_window anyway, carrying fresher timestamps and a
+            # fresher ack than a Heartbeat would.
+            self._batch.heartbeats_suppressed += 1
+        else:
+            idle = self._ctx.now() - self._last_send_time
+            if idle >= self._ctx.config.heartbeat_interval * 0.999:
+                msg = HeartbeatMessage(
+                    header=self.next_header(MessageType.HEARTBEAT, reliable=False)
+                )
+                self._stats.heartbeats_sent += 1
+                self.send(msg)
+        self._arm_heartbeat()
+
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        if self._stopped:
+            return
+        self._stopped = True
+        self.flush()
+        self._timers.cancel_all()
+
+
+class ReceivePath:
+    """Upward pipeline of one processor group.
+
+    Unpacks Batch envelopes, gates the new-member joining state, keeps
+    the raw wire bytes of the in-flight message for retention, and feeds
+    RMP.  The protocol machines above never see a Batch.
+    """
+
+    def __init__(self, group: "ProcessorGroup", batch_stats: BatchStats):
+        self._g = group
+        self._batch = batch_stats
+        self._current_raw: Optional[bytes] = None
+
+    @property
+    def current_raw(self) -> Optional[bytes]:
+        """Wire bytes of the message currently being processed, if any."""
+        return self._current_raw
+
+    def on_datagram(self, msg: FTMPMessage, raw: bytes) -> None:
+        g = self._g
+        if g.stopped:
+            return
+        if isinstance(msg, BatchMessage):
+            self._batch.batches_received += 1
+            for part in msg.parts:
+                try:
+                    inner = decode(part)
+                except CodecError:
+                    self._batch.batch_decode_errors += 1
+                    continue
+                self._batch.messages_unbatched += 1
+                self.on_datagram(inner, part)
+            return
+        if g.joining:
+            # A new member can only act on the AddProcessor that names it;
+            # everything else is recovered by NACK after the join (§7.1).
+            if isinstance(msg, AddProcessorMessage) and msg.new_member == g.pid:
+                g.pgmp.bootstrap_from_add(msg)
+                self._feed_rmp(msg, raw)
+            return
+        if g.traced:
+            g.trace("recv", type=msg.header.message_type.name,
+                    src=msg.header.source, seq=msg.header.sequence_number)
+        # every datagram carries usable clock / ack / liveness information
+        # (RetransmitRequests included); ordering advancement stays gated
+        # on contiguity inside ROMP
+        g.romp.observe_header(msg.header)
+        self._feed_rmp(msg, raw)
+
+    def _feed_rmp(self, msg: FTMPMessage, raw: bytes) -> None:
+        self._current_raw = raw
+        try:
+            self._g.rmp.on_message(msg)
+        finally:
+            self._current_raw = None
+
+
+class ProcessorGroup:
+    """One processor's protocol state for one processor group.
+
+    A thin composition root: wires the RMP / ROMP / PGMP machines and the
+    fault detector through :class:`SendPath` / :class:`ReceivePath`, and
+    implements the :class:`GroupContext` surface they are typed against.
+    The membership/view bookkeeping lives here because it *is* the group.
+    """
+
+    def __init__(
+        self,
+        stack: "FTMPStack",
+        group_id: int,
+        address: int,
+        membership: Tuple[int, ...],
+        joining: bool = False,
+    ):
+        self._stack = stack
+        self.group_id = group_id
+        self.address = address
+        self.membership: Tuple[int, ...] = tuple(sorted(membership))
+        self.view_timestamp = 0
+        self.joining = joining
+        #: (timestamp, source) of the AddProcessor that admitted us; ordered
+        #: messages strictly before it belong to views we were not part of.
+        self.join_barrier: Optional[Tuple[int, int]] = None
+        #: keys of queued ordered messages from members removed by a fault
+        #: view — still deliverable (virtual synchrony grandfathering)
+        self.legacy_keys: Set[Tuple[int, int]] = set()
+
+        self.buffer = RetransmissionBuffer(gc_enabled=stack.config.buffer_gc_enabled)
+        self.stats = GroupStats()
+        self.batch_stats = BatchStats()
+        self.rmp = RMP(self)
+        self.romp = ROMP(self)
+        self.pgmp = PGMP(self)
+        self.fault_detector = FaultDetector(self)
+        self.send_path = SendPath(
+            self,
+            transmit=stack.transmit,
+            ack_supplier=lambda: self.romp.ack_timestamp,
+            address_supplier=lambda: self.address,
+            stats=self.stats,
+            batch_stats=self.batch_stats,
+        )
+        self.receive_path = ReceivePath(self, self.batch_stats)
+
+        self._pending_ordered: List[Tuple[bytes, ConnectionId, int]] = []
+        self._heard: Set[int] = set()
+        self._stopped = False
+        self._register_stats()
+
+        if not joining:
+            self._activate()
+
+    def _register_stats(self) -> None:
+        reg = self._stack.registry
+        prefix = f"group.{self.group_id}"
+        reg.register(f"{prefix}.send", self.stats)
+        reg.register(f"{prefix}.batch", self.batch_stats)
+        reg.register(f"{prefix}.rmp", self.rmp.stats)
+        reg.register(f"{prefix}.romp", self.romp.stats)
+        reg.register(f"{prefix}.pgmp", self.pgmp.stats)
+        reg.register(f"{prefix}.fault_detector", self.fault_detector.stats)
+        reg.register(
+            f"{prefix}.gauges",
+            lambda: {
+                "queue_depth": self.romp.queued(),
+                "ack_timestamp": self.romp.ack_timestamp,
+                "stability_timestamp": self.romp.stability_timestamp(),
+                "buffer_messages": len(self.buffer),
+                "buffer_bytes": self.buffer.bytes,
+                "last_sent_seq": self.last_sent_seq,
+                "pending_batch": self.send_path.pending_batch,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # context surface used by the protocol layers (GroupContext)
+    # ------------------------------------------------------------------
+    @property
+    def pid(self) -> int:
+        return self._stack.pid
+
+    @property
+    def config(self) -> FTMPConfig:
+        return self._stack.config
+
+    @property
+    def rng(self):
+        return self._stack.endpoint.random()
+
+    @property
+    def clock(self):
+        return self._stack.clock
+
+    @property
+    def last_sent_seq(self) -> int:
+        return self.send_path.last_sent_seq
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+    @property
+    def traced(self) -> bool:
+        return self._stack.tracer is not None
+
+    def now(self) -> float:
+        return self._stack.endpoint.now
+
+    def schedule(self, delay: float, fn: Callable, *args):
+        return self._stack.endpoint.schedule(delay, fn, *args)
+
+    def trace(self, kind: str, **detail) -> None:
+        tracer = self._stack.tracer
+        if tracer is not None:
+            tracer.emit(self.now(), self.pid, self.group_id, kind, **detail)
+
+    def note_alive(self, src: int) -> None:
+        if src not in self._heard:
+            self._heard.add(src)
+            # a newly heard processor ends any AddProcessor resend loop
+            self.pgmp.cancel_add_resend(src)
+        self.fault_detector.note_alive(src)
+
+    def has_heard_from(self, src: int) -> bool:
+        return src in self._heard
+
+    def watch_member(self, pid: int, grace: float = 0.0) -> None:
+        self.fault_detector.watch(pid, grace)
+
+    def forget_member(self, pid: int) -> None:
+        self.fault_detector.forget(pid)
+        self.rmp.drop_source(pid)
+        self.romp.purge_queue_of(pid)
+        self.romp.purge_source(pid)
+        self._heard.discard(pid)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _activate(self) -> None:
+        """Join the wire address, start heartbeats and the fault detector."""
+        self._stack.endpoint.join(self.address)
+        self.fault_detector.start()
+        for p in self.membership:
+            if p != self.pid:
+                self.fault_detector.watch(p, grace=self.config.join_grace)
+        self.send_path.start_heartbeats()
+
+    def stop(self) -> None:
+        if self._stopped:
+            return
+        self._stopped = True
+        self.send_path.stop()
+        self.fault_detector.stop()
+        self.rmp.stop()
+        self.pgmp.stop()
+        self._stack.registry.unregister_prefix(f"group.{self.group_id}")
+        self._stack.endpoint.leave(self.address)
+
+    # ------------------------------------------------------------------
+    # datagram input (from the stack router)
+    # ------------------------------------------------------------------
+    def on_datagram(self, msg: FTMPMessage, raw: bytes) -> None:
+        self.receive_path.on_datagram(msg, raw)
+
+    def retain(self, msg: FTMPMessage) -> None:
+        """Keep a reliable message for answering RetransmitRequests (§5)."""
+        h = msg.header
+        raw = self.receive_path.current_raw
+        if raw is None:
+            raw = encode(msg)
+        self.buffer.add(h.source, h.sequence_number, h.timestamp, raw)
+
+    # ------------------------------------------------------------------
+    # upward delivery plumbing (called by RMP / ROMP)
+    # ------------------------------------------------------------------
+    def romp_receive(self, msg: FTMPMessage) -> None:
+        self.romp.receive(msg)
+
+    def romp_heartbeat(self, msg: HeartbeatMessage) -> None:
+        self.romp.receive_heartbeat(msg)
+
+    def pgmp_raise_suspicion(self, pid: int) -> None:
+        self.pgmp.raise_suspicion(pid)
+
+    def pgmp_withdraw_suspicion(self, pid: int) -> None:
+        self.pgmp.withdraw_suspicion(pid)
+
+    def pgmp_receive_unreliable(self, msg: FTMPMessage) -> None:
+        if isinstance(msg, ConnectRequestMessage):
+            self._stack.connections.on_connect_request(msg)
+
+    def pgmp_receive_source_ordered(self, msg: FTMPMessage) -> None:
+        self.pgmp.on_source_ordered(msg)
+
+    def pgmp_receive_ordered(self, msg: FTMPMessage) -> None:
+        if self.join_barrier is not None:
+            key = (msg.header.timestamp, msg.header.source)
+            if key < self.join_barrier:
+                return  # predates our admission to the group
+        self.pgmp.on_ordered(msg)
+
+    def deliver_regular(self, msg: RegularMessage) -> None:
+        h = msg.header
+        if self.join_barrier is not None and (h.timestamp, h.source) < self.join_barrier:
+            return
+        self.legacy_keys.discard((h.timestamp, h.source))
+        if self.traced:
+            self.trace("deliver", src=h.source, seq=h.sequence_number,
+                       ts=h.timestamp, bytes=len(msg.payload))
+        self._stack.listener.on_deliver(
+            Delivery(
+                group=self.group_id,
+                source=h.source,
+                sequence_number=h.sequence_number,
+                timestamp=h.timestamp,
+                connection_id=msg.connection_id,
+                request_num=msg.request_num,
+                payload=msg.payload,
+                delivered_at=self.now(),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # send paths (stamping delegated to SendPath)
+    # ------------------------------------------------------------------
+    def _header(self, mtype: MessageType, reliable: bool) -> FTMPHeader:
+        return self.send_path.next_header(mtype, reliable)
+
+    def multicast(self, payload: bytes, connection_id: Optional[ConnectionId] = None,
+                  request_num: int = 0) -> None:
+        """Multicast an application (GIOP) payload as a Regular message."""
+        if self.joining:
+            raise RuntimeError("cannot multicast before the join completes")
+        cid = connection_id if connection_id is not None else ConnectionId.none()
+        if not self.romp.can_send_ordered():
+            # §7 quiescence after a Connect: hold ordered application
+            # traffic until every member is heard past the barrier.
+            self.stats.ordered_sends_deferred += 1
+            self._pending_ordered.append((payload, cid, request_num))
+            return
+        self._send_regular(payload, cid, request_num)
+
+    def _send_regular(self, payload: bytes, cid: ConnectionId, request_num: int) -> None:
+        msg = RegularMessage(
+            header=self._header(MessageType.REGULAR, reliable=True),
+            connection_id=cid,
+            request_num=request_num,
+            payload=payload,
+        )
+        self.stats.regulars_sent += 1
+        self.send_path.send(msg)
+
+    def on_send_barrier_cleared(self) -> None:
+        pending, self._pending_ordered = self._pending_ordered, []
+        for payload, cid, request_num in pending:
+            self._send_regular(payload, cid, request_num)
+
+    def send_retransmit_request(self, source: int, start: int, stop: int) -> None:
+        if self.traced:
+            self.trace("nack", missing_from=source, start=start, stop=stop)
+        msg = RetransmitRequestMessage(
+            header=self._header(MessageType.RETRANSMIT_REQUEST, reliable=False),
+            processor_id=source,
+            start_seq=start,
+            stop_seq=stop,
+        )
+        self.send_path.send(msg)
+
+    def retransmit_raw(self, raw: bytes, address: Optional[int] = None) -> None:
+        """Re-send a retained message unchanged except the retrans flag (§3.2)."""
+        if self.traced:
+            self.trace("resend", bytes=len(raw))
+        self.send_path.send_raw(raw, address)
+
+    def send_add_processor(self, membership_timestamp: int, membership: Tuple[int, ...],
+                           sequence_numbers: Dict[int, int], new_member: int) -> bytes:
+        msg = AddProcessorMessage(
+            header=self._header(MessageType.ADD_PROCESSOR, reliable=True),
+            membership_timestamp=membership_timestamp,
+            membership=membership,
+            sequence_numbers=sequence_numbers,
+            new_member=new_member,
+        )
+        return self.send_path.send(msg)
+
+    def send_remove_processor(self, member: int) -> None:
+        msg = RemoveProcessorMessage(
+            header=self._header(MessageType.REMOVE_PROCESSOR, reliable=True),
+            member_to_remove=member,
+        )
+        self.send_path.send(msg)
+
+    def send_suspect(self, membership_timestamp: int, suspects: Tuple[int, ...]) -> None:
+        msg = SuspectMessage(
+            header=self._header(MessageType.SUSPECT, reliable=True),
+            membership_timestamp=membership_timestamp,
+            suspects=suspects,
+        )
+        self.send_path.send(msg)
+
+    def send_membership(self, membership_timestamp: int, current_membership: Tuple[int, ...],
+                        sequence_numbers: Dict[int, int],
+                        new_membership: Tuple[int, ...]) -> None:
+        msg = MembershipMessage(
+            header=self._header(MessageType.MEMBERSHIP, reliable=True),
+            membership_timestamp=membership_timestamp,
+            current_membership=current_membership,
+            sequence_numbers=sequence_numbers,
+            new_membership=new_membership,
+        )
+        self.send_path.send(msg)
+
+    def send_connect(self, connection_id: ConnectionId, processor_group_id: int,
+                     ip_multicast_address: int, membership_timestamp: int,
+                     membership: Tuple[int, ...], address: Optional[int] = None) -> bytes:
+        msg = ConnectMessage(
+            header=self._header(MessageType.CONNECT, reliable=True),
+            connection_id=connection_id,
+            processor_group_id=processor_group_id,
+            ip_multicast_address=ip_multicast_address,
+            membership_timestamp=membership_timestamp,
+            membership=membership,
+        )
+        return self.send_path.send(msg, address=address)
+
+    # ------------------------------------------------------------------
+    # membership state changes (called by PGMP)
+    # ------------------------------------------------------------------
+    def install_view(self, membership: Tuple[int, ...], view_timestamp: int,
+                     added: Tuple[int, ...], removed: Tuple[int, ...], reason: str) -> None:
+        self.membership = tuple(sorted(membership))
+        self.view_timestamp = view_timestamp
+        self.pgmp.reset_after_view()
+        for p in added:
+            self.romp.flush_staging(p)
+        if self.traced:
+            self.trace("view", reason=reason, membership=self.membership,
+                       view_ts=view_timestamp)
+        self._stack.listener.on_view_change(
+            ViewChange(
+                group=self.group_id,
+                membership=self.membership,
+                view_timestamp=view_timestamp,
+                added=tuple(added),
+                removed=tuple(removed),
+                reason=reason,
+                installed_at=self.now(),
+            )
+        )
+        self.romp.evaluate()
+
+    def install_fault_view(self, membership: Tuple[int, ...], view_timestamp: int,
+                           removed: Tuple[int, ...],
+                           sync_targets: Optional[Dict[int, int]] = None) -> None:
+        """Install a view that excludes convicted processors (§7.2)."""
+        targets = sync_targets or {}
+        for r in removed:
+            # Anything from the convicted member beyond the synchronized
+            # prefix was not received by every survivor: drop it.  The rest
+            # is grandfathered — deliverable after the member's removal
+            # (virtual synchrony: identical delivery sets at all survivors).
+            self.romp.purge_queue_after(r, targets.get(r, 0))
+            for key in self.romp.keys_from(r):
+                self.legacy_keys.add(key)
+            self.fault_detector.forget(r)
+            self.rmp.drop_source(r)
+            self.romp.purge_source(r)
+            self._heard.discard(r)
+        self.install_view(membership, view_timestamp, added=(), removed=removed,
+                          reason="fault")
+        if self.traced:
+            self.trace("fault", convicted=tuple(removed))
+        self._stack.listener.on_fault_report(
+            FaultReport(group=self.group_id, convicted=tuple(removed),
+                        reported_at=self.now())
+        )
+
+    def evict_self(self, reason: str, view_timestamp: int) -> None:
+        """We were removed (RemoveProcessor or exclusion by survivors)."""
+        self._stack.listener.on_view_change(
+            ViewChange(
+                group=self.group_id,
+                membership=(),
+                view_timestamp=view_timestamp,
+                added=(),
+                removed=(self.pid,),
+                reason=reason,
+                installed_at=self.now(),
+            )
+        )
+        self._stack.remove_group(self.group_id)
+
+    def complete_join(self, membership: Tuple[int, ...], view_timestamp: int,
+                      join_barrier: Tuple[int, int]) -> None:
+        """Finish the new-member bootstrap from a received AddProcessor."""
+        if not self.joining:
+            return
+        self.joining = False
+        self.join_barrier = join_barrier
+        self.membership = tuple(sorted(membership))
+        self.view_timestamp = view_timestamp
+        self._activate()
+        # Announce ourselves at once so the initiator stops retransmitting
+        # the AddProcessor and the others' ordering includes us promptly.
+        msg = HeartbeatMessage(header=self._header(MessageType.HEARTBEAT, reliable=False))
+        self.send_path.send(msg)
+        self._stack.listener.on_view_change(
+            ViewChange(
+                group=self.group_id,
+                membership=self.membership,
+                view_timestamp=view_timestamp,
+                added=(self.pid,),
+                removed=(),
+                reason="add",
+                installed_at=self.now(),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # connection migration (ordered Connect, §7)
+    # ------------------------------------------------------------------
+    def apply_connect_migration(self, msg: ConnectMessage) -> None:
+        # a Connect may bind a *new* logical connection onto this existing
+        # group (shared processor group, §7) rather than migrate it
+        self._stack.connections.on_ordered_connect(msg)
+        new_addr = msg.ip_multicast_address
+        migrated = new_addr != self.address
+        if migrated:
+            # the window is bound to the old address: drain it first
+            self.send_path.flush()
+            self._stack.endpoint.leave(self.address)
+            self.address = new_addr
+            self._stack.endpoint.join(new_addr)
+        self.view_timestamp = max(self.view_timestamp, msg.header.timestamp)
+        # §7 quiescence: no ordered transmissions until every member is
+        # heard past the Connect's timestamp (their heartbeats get us there).
+        self.romp.set_send_barrier(msg.header.timestamp)
+        self._stack.connections.apply_migration(msg.connection_id, new_addr)
+        binding = self._stack.connections.binding(msg.connection_id)
+        if binding is not None and migrated:
+            self._stack.notify_connection(binding, migrated=True)

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Optional, Set
 
 if TYPE_CHECKING:  # pragma: no cover
-    from .stack import ProcessorGroup
+    from .datapath import GroupContext
 
 __all__ = ["FaultDetector", "FaultDetectorStats"]
 
@@ -29,7 +29,7 @@ class FaultDetectorStats:
 class FaultDetector:
     """Per-group liveness monitor driving PGMP suspicion."""
 
-    def __init__(self, group: "ProcessorGroup"):
+    def __init__(self, group: "GroupContext"):
         self._g = group
         self._last_heard: Dict[int, float] = {}
         self._suspected: Set[int] = set()

@@ -21,6 +21,7 @@ __all__ = [
     "FTMPHeader",
     "ConnectionId",
     "RegularMessage",
+    "BatchMessage",
     "RetransmitRequestMessage",
     "HeartbeatMessage",
     "ConnectRequestMessage",
@@ -187,8 +188,24 @@ class MembershipMessage:
     new_membership: Tuple[int, ...]
 
 
+@dataclass
+class BatchMessage:
+    """Several encoded FTMP messages packed into one datagram.
+
+    A pure transport envelope (extension; not in the paper): ``parts``
+    are the complete wire encodings — header included — of the packed
+    messages, so each part retains its own sequence number, timestamps
+    and retransmission identity.  The envelope itself is unreliable and
+    carries no ordering information (sequence number and timestamps 0).
+    """
+
+    header: FTMPHeader
+    parts: Tuple[bytes, ...]
+
+
 FTMPMessage = Union[
     RegularMessage,
+    BatchMessage,
     RetransmitRequestMessage,
     HeartbeatMessage,
     ConnectRequestMessage,

@@ -43,7 +43,7 @@ from .messages import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover
-    from .stack import ProcessorGroup
+    from .datapath import GroupContext
 
 __all__ = ["PGMP", "PGMPStats"]
 
@@ -73,7 +73,7 @@ class _Round:
 class PGMP:
     """One PGMP instance per (processor, group) pair."""
 
-    def __init__(self, group: "ProcessorGroup"):
+    def __init__(self, group: "GroupContext"):
         self._g = group
         #: latest accusation set announced by each accuser in this view
         self._accusations: Dict[int, FrozenSet[int]] = {}

@@ -28,7 +28,7 @@ from .constants import RELIABLE_TYPES, MessageType
 from .messages import FTMPMessage, HeartbeatMessage, RetransmitRequestMessage
 
 if TYPE_CHECKING:  # pragma: no cover
-    from .stack import ProcessorGroup
+    from .datapath import GroupContext
 
 __all__ = ["RMP", "RMPStats", "SourceState"]
 
@@ -66,7 +66,7 @@ class SourceState:
 class RMP:
     """One RMP instance per (processor, group) pair."""
 
-    def __init__(self, group: "ProcessorGroup"):
+    def __init__(self, group: "GroupContext"):
         self._g = group
         self._sources: Dict[int, SourceState] = {}
         #: (source, seq) -> timer for our pending answer to someone's NACK

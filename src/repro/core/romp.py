@@ -34,7 +34,7 @@ from .constants import TOTALLY_ORDERED_TYPES, MessageType
 from .messages import FTMPHeader, FTMPMessage, HeartbeatMessage
 
 if TYPE_CHECKING:  # pragma: no cover
-    from .stack import ProcessorGroup
+    from .datapath import GroupContext
 
 __all__ = ["ROMP", "ROMPStats"]
 
@@ -53,7 +53,7 @@ class ROMPStats:
 class ROMP:
     """One ROMP instance per (processor, group) pair."""
 
-    def __init__(self, group: "ProcessorGroup"):
+    def __init__(self, group: "GroupContext"):
         self._g = group
         #: max timestamp of the contiguous message stream per source
         self._order_ts: Dict[int, int] = {}

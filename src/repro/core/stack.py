@@ -1,12 +1,14 @@
 """The FTMP protocol stack (paper Figure 1).
 
-:class:`FTMPStack` is one processor's instance of the whole protocol:
-it owns the ordering clock, the per-group protocol machines
-(:class:`ProcessorGroup` = RMP + ROMP + PGMP + fault detector + buffers),
-the connection manager, and the datagram routing between them.  It is
-written against the abstract :class:`~repro.simnet.transport.Endpoint`,
-so the identical stack runs over the discrete-event simulator and over
-real UDP sockets.
+:class:`FTMPStack` is one processor's instance of the whole protocol: it
+owns the ordering clock, the per-group datapaths
+(:class:`~repro.core.datapath.ProcessorGroup` = RMP + ROMP + PGMP + fault
+detector composed over a :class:`~repro.core.datapath.SendPath` /
+:class:`~repro.core.datapath.ReceivePath` pair), the connection manager,
+the unified :class:`~repro.core.stats.StatsRegistry`, and the datagram
+routing between them.  It is written against the abstract
+:class:`~repro.simnet.transport.Endpoint`, so the identical stack runs
+over the discrete-event simulator and over real UDP sockets.
 
 Typical use (static bootstrap, as the FT infrastructure would do)::
 
@@ -27,11 +29,9 @@ Connections (paper §4/§7)::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from ..simnet.transport import Endpoint
-from .buffers import RetransmissionBuffer
 from .config import FTMPConfig
 from .connection import (
     ConnectionBinding,
@@ -39,525 +39,16 @@ from .connection import (
     DuplicateDetector,
     default_allocator,
 )
-from .constants import RELIABLE_TYPES, MessageType
-from .events import ConnectionEvent, Delivery, FaultReport, Listener, ViewChange
-from .fault_detector import FaultDetector
+from .constants import MessageType
+from .datapath import ProcessorGroup
+from .events import ConnectionEvent, Listener, ViewChange
 from .lamport import make_clock
-from .messages import (
-    AddProcessorMessage,
-    ConnectionId,
-    ConnectMessage,
-    ConnectRequestMessage,
-    FTMPHeader,
-    FTMPMessage,
-    HeartbeatMessage,
-    MembershipMessage,
-    RegularMessage,
-    RemoveProcessorMessage,
-    RetransmitRequestMessage,
-    SuspectMessage,
-)
-from .pgmp import PGMP
-from .rmp import RMP
-from .romp import ROMP
+from .messages import ConnectionId, ConnectRequestMessage, FTMPHeader
+from .stats import StackStats, StatsRegistry
 from .tracing import Tracer
 from .wire import CodecError, decode, encode, peek_header
 
 __all__ = ["FTMPStack", "ProcessorGroup", "StackStats"]
-
-_RETRANS_FLAG_OFFSET = 6  # header byte holding the flags (see wire.py)
-_FLAG_RETRANSMISSION = 0x02
-
-
-@dataclass
-class StackStats:
-    datagrams_received: int = 0
-    datagrams_sent: int = 0
-    decode_errors: int = 0
-    unknown_group_drops: int = 0
-
-
-@dataclass
-class GroupStats:
-    regulars_sent: int = 0
-    heartbeats_sent: int = 0
-    ordered_sends_deferred: int = 0
-
-
-class ProcessorGroup:
-    """One processor's protocol state for one processor group.
-
-    Combines the RMP / ROMP / PGMP machines, the retransmission buffer,
-    the fault detector, the heartbeat generator and the send paths.  The
-    protocol layers call back into this object for timers, sends and
-    upward deliveries (it is the "group context").
-    """
-
-    def __init__(
-        self,
-        stack: "FTMPStack",
-        group_id: int,
-        address: int,
-        membership: Tuple[int, ...],
-        joining: bool = False,
-    ):
-        self._stack = stack
-        self.group_id = group_id
-        self.address = address
-        self.membership: Tuple[int, ...] = tuple(sorted(membership))
-        self.view_timestamp = 0
-        self.joining = joining
-        #: (timestamp, source) of the AddProcessor that admitted us; ordered
-        #: messages strictly before it belong to views we were not part of.
-        self.join_barrier: Optional[Tuple[int, int]] = None
-        #: keys of queued ordered messages from members removed by a fault
-        #: view — still deliverable (virtual synchrony grandfathering)
-        self.legacy_keys: Set[Tuple[int, int]] = set()
-
-        self.buffer = RetransmissionBuffer(gc_enabled=stack.config.buffer_gc_enabled)
-        self.rmp = RMP(self)
-        self.romp = ROMP(self)
-        self.pgmp = PGMP(self)
-        self.fault_detector = FaultDetector(self)
-        self.stats = GroupStats()
-
-        self.last_sent_seq = 0
-        self._last_send_time = -1e9
-        self._hb_timer: Optional[object] = None
-        self._pending_ordered: List[Tuple[bytes, ConnectionId, int]] = []
-        self._heard: Set[int] = set()
-        self._incoming_raw: Optional[bytes] = None
-        self._stopped = False
-
-        if not joining:
-            self._activate()
-
-    # ------------------------------------------------------------------
-    # context surface used by the protocol layers
-    # ------------------------------------------------------------------
-    @property
-    def pid(self) -> int:
-        return self._stack.pid
-
-    @property
-    def config(self) -> FTMPConfig:
-        return self._stack.config
-
-    @property
-    def rng(self):
-        return self._stack.endpoint.random()
-
-    @property
-    def clock(self):
-        return self._stack.clock
-
-    def now(self) -> float:
-        return self._stack.endpoint.now
-
-    def schedule(self, delay: float, fn: Callable, *args):
-        return self._stack.endpoint.schedule(delay, fn, *args)
-
-    def trace(self, kind: str, **detail) -> None:
-        tracer = self._stack.tracer
-        if tracer is not None:
-            tracer.emit(self.now(), self.pid, self.group_id, kind, **detail)
-
-    def note_alive(self, src: int) -> None:
-        if src not in self._heard:
-            self._heard.add(src)
-            # a newly heard processor ends any AddProcessor resend loop
-            self.pgmp.cancel_add_resend(src)
-        self.fault_detector.note_alive(src)
-
-    def has_heard_from(self, src: int) -> bool:
-        return src in self._heard
-
-    def watch_member(self, pid: int, grace: float = 0.0) -> None:
-        self.fault_detector.watch(pid, grace)
-
-    def forget_member(self, pid: int) -> None:
-        self.fault_detector.forget(pid)
-        self.rmp.drop_source(pid)
-        self.romp.purge_queue_of(pid)
-        self.romp.purge_source(pid)
-        self._heard.discard(pid)
-
-    # ------------------------------------------------------------------
-    # lifecycle
-    # ------------------------------------------------------------------
-    def _activate(self) -> None:
-        """Join the wire address, start heartbeats and the fault detector."""
-        self._stack.endpoint.join(self.address)
-        self.fault_detector.start()
-        for p in self.membership:
-            if p != self.pid:
-                self.fault_detector.watch(p, grace=self.config.join_grace)
-        self._arm_heartbeat()
-
-    def stop(self) -> None:
-        if self._stopped:
-            return
-        self._stopped = True
-        if self._hb_timer is not None:
-            self._hb_timer.cancel()
-            self._hb_timer = None
-        self.fault_detector.stop()
-        self.rmp.stop()
-        self.pgmp.stop()
-        self._stack.endpoint.leave(self.address)
-
-    # ------------------------------------------------------------------
-    # datagram input (from the stack router)
-    # ------------------------------------------------------------------
-    def on_datagram(self, msg: FTMPMessage, raw: bytes) -> None:
-        if self._stopped:
-            return
-        if self.joining:
-            # A new member can only act on the AddProcessor that names it;
-            # everything else is recovered by NACK after the join (§7.1).
-            if isinstance(msg, AddProcessorMessage) and msg.new_member == self.pid:
-                self.pgmp.bootstrap_from_add(msg)
-                self._incoming_raw = raw
-                self.rmp.on_message(msg)
-                self._incoming_raw = None
-            return
-        if self._stack.tracer is not None:
-            self.trace("recv", type=msg.header.message_type.name,
-                       src=msg.header.source, seq=msg.header.sequence_number)
-        # every datagram carries usable clock / ack / liveness information
-        # (RetransmitRequests included); ordering advancement stays gated
-        # on contiguity inside ROMP
-        self.romp.observe_header(msg.header)
-        self._incoming_raw = raw
-        self.rmp.on_message(msg)
-        self._incoming_raw = None
-
-    def retain(self, msg: FTMPMessage) -> None:
-        """Keep a reliable message for answering RetransmitRequests (§5)."""
-        h = msg.header
-        raw = self._incoming_raw if self._incoming_raw is not None else encode(msg)
-        self.buffer.add(h.source, h.sequence_number, h.timestamp, raw)
-
-    # ------------------------------------------------------------------
-    # upward delivery plumbing (called by RMP / ROMP)
-    # ------------------------------------------------------------------
-    def romp_receive(self, msg: FTMPMessage) -> None:
-        self.romp.receive(msg)
-
-    def romp_heartbeat(self, msg: HeartbeatMessage) -> None:
-        self.romp.receive_heartbeat(msg)
-
-    def pgmp_raise_suspicion(self, pid: int) -> None:
-        self.pgmp.raise_suspicion(pid)
-
-    def pgmp_withdraw_suspicion(self, pid: int) -> None:
-        self.pgmp.withdraw_suspicion(pid)
-
-    def pgmp_receive_unreliable(self, msg: FTMPMessage) -> None:
-        if isinstance(msg, ConnectRequestMessage):
-            self._stack.connections.on_connect_request(msg)
-
-    def pgmp_receive_source_ordered(self, msg: FTMPMessage) -> None:
-        self.pgmp.on_source_ordered(msg)
-
-    def pgmp_receive_ordered(self, msg: FTMPMessage) -> None:
-        if self.join_barrier is not None:
-            key = (msg.header.timestamp, msg.header.source)
-            if key < self.join_barrier:
-                return  # predates our admission to the group
-        self.pgmp.on_ordered(msg)
-
-    def deliver_regular(self, msg: RegularMessage) -> None:
-        h = msg.header
-        if self.join_barrier is not None and (h.timestamp, h.source) < self.join_barrier:
-            return
-        self.legacy_keys.discard((h.timestamp, h.source))
-        if self._stack.tracer is not None:
-            self.trace("deliver", src=h.source, seq=h.sequence_number,
-                       ts=h.timestamp, bytes=len(msg.payload))
-        self._stack.listener.on_deliver(
-            Delivery(
-                group=self.group_id,
-                source=h.source,
-                sequence_number=h.sequence_number,
-                timestamp=h.timestamp,
-                connection_id=msg.connection_id,
-                request_num=msg.request_num,
-                payload=msg.payload,
-                delivered_at=self.now(),
-            )
-        )
-
-    # ------------------------------------------------------------------
-    # send paths
-    # ------------------------------------------------------------------
-    def _header(self, mtype: MessageType, reliable: bool) -> FTMPHeader:
-        if reliable:
-            self.last_sent_seq += 1
-        return FTMPHeader(
-            message_type=mtype,
-            source=self.pid,
-            group=self.group_id,
-            sequence_number=self.last_sent_seq,
-            timestamp=self.clock.tick(),
-            ack_timestamp=self.romp.ack_timestamp,
-            little_endian=self.config.little_endian,
-        )
-
-    def _transmit(self, msg: FTMPMessage, address: Optional[int] = None) -> bytes:
-        raw = encode(msg)
-        mtype = msg.header.message_type
-        if mtype in RELIABLE_TYPES:
-            self.buffer.add(
-                msg.header.source, msg.header.sequence_number, msg.header.timestamp, raw
-            )
-        if mtype in RELIABLE_TYPES or mtype == MessageType.HEARTBEAT:
-            # §5: a Heartbeat is due when no *Regular* (ordered-stream)
-            # message went out recently; control traffic such as
-            # RetransmitRequests must not starve the heartbeat, because
-            # receivers need the stream's timestamps to keep ordering.
-            self._last_send_time = self.now()
-        if self._stack.tracer is not None:
-            self.trace("send", type=mtype.name, seq=msg.header.sequence_number,
-                       ts=msg.header.timestamp)
-        self._stack.transmit(address if address is not None else self.address, raw)
-        return raw
-
-    def multicast(self, payload: bytes, connection_id: Optional[ConnectionId] = None,
-                  request_num: int = 0) -> None:
-        """Multicast an application (GIOP) payload as a Regular message."""
-        if self.joining:
-            raise RuntimeError("cannot multicast before the join completes")
-        cid = connection_id if connection_id is not None else ConnectionId.none()
-        if not self.romp.can_send_ordered():
-            # §7 quiescence after a Connect: hold ordered application
-            # traffic until every member is heard past the barrier.
-            self.stats.ordered_sends_deferred += 1
-            self._pending_ordered.append((payload, cid, request_num))
-            return
-        self._send_regular(payload, cid, request_num)
-
-    def _send_regular(self, payload: bytes, cid: ConnectionId, request_num: int) -> None:
-        msg = RegularMessage(
-            header=self._header(MessageType.REGULAR, reliable=True),
-            connection_id=cid,
-            request_num=request_num,
-            payload=payload,
-        )
-        self.stats.regulars_sent += 1
-        self._transmit(msg)
-
-    def on_send_barrier_cleared(self) -> None:
-        pending, self._pending_ordered = self._pending_ordered, []
-        for payload, cid, request_num in pending:
-            self._send_regular(payload, cid, request_num)
-
-    def send_retransmit_request(self, source: int, start: int, stop: int) -> None:
-        if self._stack.tracer is not None:
-            self.trace("nack", missing_from=source, start=start, stop=stop)
-        msg = RetransmitRequestMessage(
-            header=self._header(MessageType.RETRANSMIT_REQUEST, reliable=False),
-            processor_id=source,
-            start_seq=start,
-            stop_seq=stop,
-        )
-        self._transmit(msg)
-
-    def retransmit_raw(self, raw: bytes, address: Optional[int] = None) -> None:
-        """Re-send a retained message unchanged except the retrans flag (§3.2)."""
-        if self._stack.tracer is not None:
-            self.trace("resend", bytes=len(raw))
-        out = bytearray(raw)
-        out[_RETRANS_FLAG_OFFSET] |= _FLAG_RETRANSMISSION
-        self._stack.transmit(address if address is not None else self.address,
-                             bytes(out))
-
-    def send_add_processor(self, membership_timestamp: int, membership: Tuple[int, ...],
-                           sequence_numbers: Dict[int, int], new_member: int) -> bytes:
-        msg = AddProcessorMessage(
-            header=self._header(MessageType.ADD_PROCESSOR, reliable=True),
-            membership_timestamp=membership_timestamp,
-            membership=membership,
-            sequence_numbers=sequence_numbers,
-            new_member=new_member,
-        )
-        return self._transmit(msg)
-
-    def send_remove_processor(self, member: int) -> None:
-        msg = RemoveProcessorMessage(
-            header=self._header(MessageType.REMOVE_PROCESSOR, reliable=True),
-            member_to_remove=member,
-        )
-        self._transmit(msg)
-
-    def send_suspect(self, membership_timestamp: int, suspects: Tuple[int, ...]) -> None:
-        msg = SuspectMessage(
-            header=self._header(MessageType.SUSPECT, reliable=True),
-            membership_timestamp=membership_timestamp,
-            suspects=suspects,
-        )
-        self._transmit(msg)
-
-    def send_membership(self, membership_timestamp: int, current_membership: Tuple[int, ...],
-                        sequence_numbers: Dict[int, int],
-                        new_membership: Tuple[int, ...]) -> None:
-        msg = MembershipMessage(
-            header=self._header(MessageType.MEMBERSHIP, reliable=True),
-            membership_timestamp=membership_timestamp,
-            current_membership=current_membership,
-            sequence_numbers=sequence_numbers,
-            new_membership=new_membership,
-        )
-        self._transmit(msg)
-
-    def send_connect(self, connection_id: ConnectionId, processor_group_id: int,
-                     ip_multicast_address: int, membership_timestamp: int,
-                     membership: Tuple[int, ...], address: Optional[int] = None) -> bytes:
-        msg = ConnectMessage(
-            header=self._header(MessageType.CONNECT, reliable=True),
-            connection_id=connection_id,
-            processor_group_id=processor_group_id,
-            ip_multicast_address=ip_multicast_address,
-            membership_timestamp=membership_timestamp,
-            membership=membership,
-        )
-        return self._transmit(msg, address=address)
-
-    # ------------------------------------------------------------------
-    # heartbeats (paper §5)
-    # ------------------------------------------------------------------
-    def _arm_heartbeat(self) -> None:
-        if self._stopped:
-            return
-        self._hb_timer = self.schedule(self.config.heartbeat_interval, self._heartbeat_tick)
-
-    def _heartbeat_tick(self) -> None:
-        self._hb_timer = None
-        if self._stopped:
-            return
-        idle = self.now() - self._last_send_time
-        if idle >= self.config.heartbeat_interval * 0.999:
-            msg = HeartbeatMessage(
-                header=self._header(MessageType.HEARTBEAT, reliable=False)
-            )
-            self.stats.heartbeats_sent += 1
-            self._transmit(msg)
-        self._arm_heartbeat()
-
-    # ------------------------------------------------------------------
-    # membership state changes (called by PGMP)
-    # ------------------------------------------------------------------
-    def install_view(self, membership: Tuple[int, ...], view_timestamp: int,
-                     added: Tuple[int, ...], removed: Tuple[int, ...], reason: str) -> None:
-        self.membership = tuple(sorted(membership))
-        self.view_timestamp = view_timestamp
-        self.pgmp.reset_after_view()
-        for p in added:
-            self.romp.flush_staging(p)
-        if self._stack.tracer is not None:
-            self.trace("view", reason=reason, membership=self.membership,
-                       view_ts=view_timestamp)
-        self._stack.listener.on_view_change(
-            ViewChange(
-                group=self.group_id,
-                membership=self.membership,
-                view_timestamp=view_timestamp,
-                added=tuple(added),
-                removed=tuple(removed),
-                reason=reason,
-                installed_at=self.now(),
-            )
-        )
-        self.romp.evaluate()
-
-    def install_fault_view(self, membership: Tuple[int, ...], view_timestamp: int,
-                           removed: Tuple[int, ...],
-                           sync_targets: Optional[Dict[int, int]] = None) -> None:
-        """Install a view that excludes convicted processors (§7.2)."""
-        targets = sync_targets or {}
-        for r in removed:
-            # Anything from the convicted member beyond the synchronized
-            # prefix was not received by every survivor: drop it.  The rest
-            # is grandfathered — deliverable after the member's removal
-            # (virtual synchrony: identical delivery sets at all survivors).
-            self.romp.purge_queue_after(r, targets.get(r, 0))
-            for key in self.romp.keys_from(r):
-                self.legacy_keys.add(key)
-            self.fault_detector.forget(r)
-            self.rmp.drop_source(r)
-            self.romp.purge_source(r)
-            self._heard.discard(r)
-        self.install_view(membership, view_timestamp, added=(), removed=removed,
-                          reason="fault")
-        if self._stack.tracer is not None:
-            self.trace("fault", convicted=tuple(removed))
-        self._stack.listener.on_fault_report(
-            FaultReport(group=self.group_id, convicted=tuple(removed),
-                        reported_at=self.now())
-        )
-
-    def evict_self(self, reason: str, view_timestamp: int) -> None:
-        """We were removed (RemoveProcessor or exclusion by survivors)."""
-        self._stack.listener.on_view_change(
-            ViewChange(
-                group=self.group_id,
-                membership=(),
-                view_timestamp=view_timestamp,
-                added=(),
-                removed=(self.pid,),
-                reason=reason,
-                installed_at=self.now(),
-            )
-        )
-        self._stack.remove_group(self.group_id)
-
-    def complete_join(self, membership: Tuple[int, ...], view_timestamp: int,
-                      join_barrier: Tuple[int, int]) -> None:
-        """Finish the new-member bootstrap from a received AddProcessor."""
-        if not self.joining:
-            return
-        self.joining = False
-        self.join_barrier = join_barrier
-        self.membership = tuple(sorted(membership))
-        self.view_timestamp = view_timestamp
-        self._activate()
-        # Announce ourselves at once so the initiator stops retransmitting
-        # the AddProcessor and the others' ordering includes us promptly.
-        msg = HeartbeatMessage(header=self._header(MessageType.HEARTBEAT, reliable=False))
-        self._transmit(msg)
-        self._stack.listener.on_view_change(
-            ViewChange(
-                group=self.group_id,
-                membership=self.membership,
-                view_timestamp=view_timestamp,
-                added=(self.pid,),
-                removed=(),
-                reason="add",
-                installed_at=self.now(),
-            )
-        )
-
-    # ------------------------------------------------------------------
-    # connection migration (ordered Connect, §7)
-    # ------------------------------------------------------------------
-    def apply_connect_migration(self, msg: ConnectMessage) -> None:
-        # a Connect may bind a *new* logical connection onto this existing
-        # group (shared processor group, §7) rather than migrate it
-        self._stack.connections.on_ordered_connect(msg)
-        new_addr = msg.ip_multicast_address
-        migrated = new_addr != self.address
-        if migrated:
-            self._stack.endpoint.leave(self.address)
-            self.address = new_addr
-            self._stack.endpoint.join(new_addr)
-        self.view_timestamp = max(self.view_timestamp, msg.header.timestamp)
-        # §7 quiescence: no ordered transmissions until every member is
-        # heard past the Connect's timestamp (their heartbeats get us there).
-        self.romp.set_send_barrier(msg.header.timestamp)
-        self._stack.connections.apply_migration(msg.connection_id, new_addr)
-        binding = self._stack.connections.binding(msg.connection_id)
-        if binding is not None and migrated:
-            self._stack.notify_connection(binding, migrated=True)
 
 
 class FTMPStack:
@@ -579,9 +70,15 @@ class FTMPStack:
             self.config.sync_clock_resolution,
             self.config.sync_clock_skew,
         )
+        self.registry = StatsRegistry()
+        self.stats = StackStats()
+        self.registry.register("stack", self.stats)
         self.connections = ConnectionManager(self)
         self.duplicates = DuplicateDetector()
-        self.stats = StackStats()
+        self.registry.register(
+            "connections",
+            lambda: {"duplicates_suppressed": self.duplicates.duplicates_suppressed},
+        )
         #: optional protocol-event tracer (see repro.core.tracing)
         self.tracer: Optional[Tracer] = None
         self._allocator = allocator
@@ -829,11 +326,24 @@ class FTMPStack:
         self.connections.stop()
         self.endpoint.close()
 
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, float]:
+        """Flat dotted-name counter snapshot from the stats registry.
+
+        Single source of truth for the analysis harness and benchmarks:
+        ``stack.*``, ``connections.*`` and ``group.<gid>.<layer>.*`` keys,
+        e.g. ``group.1.rmp.nacks_sent`` or ``group.1.batch.batches_sent``.
+        """
+        return self.registry.snapshot()
+
     def summary(self) -> Dict[str, object]:
         """Operational snapshot: per-group protocol counters and state.
 
         Intended for dashboards/debugging; everything here is also
-        reachable through the individual layer objects.
+        reachable through the individual layer objects (or, flattened,
+        through :meth:`snapshot`).
         """
         groups = {}
         for gid, g in self._groups.items():

@@ -31,6 +31,7 @@ from typing import Dict, Tuple
 from .constants import HEADER_SIZE, MAGIC, MessageType
 from .messages import (
     AddProcessorMessage,
+    BatchMessage,
     ConnectionId,
     ConnectMessage,
     ConnectRequestMessage,
@@ -44,10 +45,22 @@ from .messages import (
     SuspectMessage,
 )
 
-__all__ = ["encode", "decode", "CodecError", "header_of", "peek_header"]
+__all__ = [
+    "encode",
+    "decode",
+    "CodecError",
+    "header_of",
+    "peek_header",
+    "mark_retransmission",
+]
 
 _FLAG_LITTLE_ENDIAN = 0x01
 _FLAG_RETRANSMISSION = 0x02
+
+#: Byte offset of the flags field within the endianness-independent prefix
+#: (magic ``4s`` + version ``BB`` precede it).  Kept next to the codec so a
+#: header-layout change updates the raw-byte helpers in the same place.
+_FLAGS_OFFSET = 6
 
 _PREFIX = struct.Struct("4sBBBB")  # magic, ver_major, ver_minor, flags, type
 
@@ -228,6 +241,10 @@ def _encode_body(msg: FTMPMessage, w: _Writer) -> None:
         w.pid_list(msg.current_membership)
         w.seq_vector(msg.sequence_numbers)
         w.pid_list(msg.new_membership)
+    elif isinstance(msg, BatchMessage):
+        w.u16(len(msg.parts))
+        for part in msg.parts:
+            w.blob(part)
     else:  # pragma: no cover - exhaustive over FTMPMessage
         raise CodecError(f"unknown message class {type(msg).__name__}")
 
@@ -291,9 +308,26 @@ def decode(data: bytes) -> FTMPMessage:
         return SuspectMessage(h, r.u64(), r.pid_list())
     if t == MessageType.MEMBERSHIP:
         return MembershipMessage(h, r.u64(), r.pid_list(), r.seq_vector(), r.pid_list())
+    if t == MessageType.BATCH:
+        n = r.u16()
+        return BatchMessage(h, tuple(r.blob() for _ in range(n)))
     raise CodecError(f"unhandled message type {t}")  # pragma: no cover
 
 
 def header_of(data: bytes) -> FTMPHeader:
     """Alias of :func:`peek_header` for readability at call sites."""
     return peek_header(data)
+
+
+def mark_retransmission(raw: bytes) -> bytes:
+    """Copy of an encoded message with the retransmission flag set (§3.2).
+
+    A retransmission is byte-identical to the original message except for
+    this one flag, so holders can re-send retained wire bytes without
+    re-encoding (and without touching the sender's clock or counters).
+    """
+    if len(raw) <= _FLAGS_OFFSET:
+        raise CodecError(f"datagram shorter than the flags field: {len(raw)} bytes")
+    out = bytearray(raw)
+    out[_FLAGS_OFFSET] |= _FLAG_RETRANSMISSION
+    return bytes(out)

@@ -13,7 +13,6 @@ Our mini-ORB needs two flavours:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from .cdr import CDRDecoder, CDREncoder, MarshalError
 

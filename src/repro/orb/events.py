@@ -15,7 +15,7 @@ Queues are bounded; on overflow the oldest event is dropped and counted
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List
 
 from ..giop import UserException
 

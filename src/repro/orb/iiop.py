@@ -13,7 +13,7 @@ request/reply latency, FTMP vs point-to-point).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Tuple
 
 from ..simnet.scheduler import Scheduler

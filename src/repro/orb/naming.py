@@ -14,7 +14,7 @@ every other service through a naming service that is itself replicated.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Union
 
 from ..giop import UserException
 from ..giop.ior import GroupRef, ObjectRef, decode_ref

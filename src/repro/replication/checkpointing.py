@@ -14,7 +14,7 @@ cut discipline used everywhere else in this repository.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..core import ConnectionId

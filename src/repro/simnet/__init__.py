@@ -11,7 +11,7 @@ Public surface:
 * :class:`UdpFabric` / :class:`UdpEndpoint` — real sockets over loopback.
 """
 
-from .scheduler import Event, Scheduler, SimTimeError
+from .scheduler import Event, NamedTimerSet, Scheduler, SimTimeError
 from .topology import LinkModel, Topology, lan, lossy_lan, two_site_wan, wan
 from .trace import NetworkTrace, PacketRecord
 from .transport import Endpoint, TimerHandle
@@ -20,6 +20,7 @@ from .udp import UdpEndpoint, UdpFabric
 
 __all__ = [
     "Event",
+    "NamedTimerSet",
     "Scheduler",
     "SimTimeError",
     "LinkModel",

@@ -189,7 +189,7 @@ class Network:
         if bw:
             now = self.scheduler.now
             start = max(now, self._egress_free.get(src, 0.0))
-            finish = start + len(data) / bw
+            finish = start + (len(data) + self.topology.packet_overhead) / bw
             self._egress_free[src] = finish
             egress_delay = finish - now
         delivered = 0

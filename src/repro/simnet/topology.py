@@ -55,12 +55,19 @@ class Topology:
     serialization: a sender's packets occupy its egress back-to-back, so
     offered load beyond the bandwidth queues at the sender.  One multicast
     is serialized once (that is multicast's point — it is not N unicasts).
+
+    ``packet_overhead`` (bytes, default 0) is charged per datagram on top
+    of the payload when serializing through the bandwidth-limited egress —
+    the UDP/IP/Ethernet framing a real NIC pays per packet (~66 bytes on
+    Ethernet).  It is what makes message batching measurable: many small
+    datagrams pay the overhead many times, one batch pays it once.
     """
 
     default: LinkModel = field(default_factory=LinkModel)
     overrides: Dict[Tuple[int, int], LinkModel] = field(default_factory=dict)
     self_delay: float = 0.000001
     egress_bandwidth: float = None
+    packet_overhead: int = 0
 
     def link(self, src: int, dst: int) -> LinkModel:
         """The link model used for packets from ``src`` to ``dst``."""

@@ -1,9 +1,13 @@
 """CLI experiment-runner tests."""
 
+import os
+import pathlib
 import subprocess
 import sys
 
 from repro.analysis.cli import EXPERIMENTS, main
+
+_SRC = str(pathlib.Path(__file__).resolve().parents[2] / "src")
 
 
 def test_list_command(capsys):
@@ -27,9 +31,15 @@ def test_every_registered_file_exists():
 
 
 def test_run_one_experiment_subprocess():
-    # F2 is the fastest experiment; run it through the real CLI
+    # F2 is the fastest experiment; run it through the real CLI.  The
+    # child needs repro importable regardless of how pytest itself found
+    # it (pythonpath ini option vs. an exported PYTHONPATH).
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (_SRC, env.get("PYTHONPATH", "")) if p
+    )
     result = subprocess.run(
         [sys.executable, "-m", "repro.analysis.cli", "run", "F2"],
-        capture_output=True, text=True, timeout=300,
+        capture_output=True, text=True, timeout=300, env=env,
     )
     assert result.returncode == 0, result.stdout + result.stderr

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analysis import LatencySummary, Table, format_series, percentile, summarize
+from repro.analysis import Table, format_series, percentile, summarize
 
 
 class TestPercentile:

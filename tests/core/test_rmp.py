@@ -1,7 +1,7 @@
 """RMP behaviour: reliable source-ordered delivery, NACKs, retransmission."""
 
-from repro.core import FTMPConfig, MessageType
-from repro.simnet import LinkModel, Topology, lan, lossy_lan
+from repro.core import FTMPConfig
+from repro.simnet import LinkModel, lan, lossy_lan
 
 from repro.analysis.harness import make_cluster
 

@@ -1,0 +1,165 @@
+"""Direct unit tests of RMP's NACK / retransmission timer lifecycle.
+
+The cluster tests exercise these paths statistically; here we drive an
+isolated RMP against a mock :class:`~repro.core.datapath.GroupContext`
+with a real scheduler, so the cancellation edges are deterministic:
+
+* the pending NACK timer is cancelled when the gap fills before the
+  randomized delay fires (no spurious RetransmitRequest);
+* a holder's scheduled retransmission is suppressed when another
+  holder's copy arrives first (paper §5 implosion avoidance).
+"""
+
+import random
+from typing import List, Tuple
+
+from repro.core import FTMPConfig, MessageType, RetransmissionBuffer, encode
+from repro.core.messages import (
+    ConnectionId,
+    FTMPHeader,
+    HeartbeatMessage,
+    RegularMessage,
+    RetransmitRequestMessage,
+)
+from repro.core.rmp import RMP
+from repro.simnet import Scheduler
+
+
+class MockContext:
+    """Just enough GroupContext for an isolated RMP."""
+
+    def __init__(self, pid: int = 2, config: FTMPConfig = None):
+        self._pid = pid
+        self.config = config if config is not None else FTMPConfig()
+        self.scheduler = Scheduler()
+        self.buffer = RetransmissionBuffer()
+        self.rng = random.Random(7)
+        self.delivered: List[RegularMessage] = []
+        self.heartbeats: List[HeartbeatMessage] = []
+        self.nacks: List[Tuple[int, int, int]] = []
+        self.retransmitted: List[bytes] = []
+
+    @property
+    def pid(self):
+        return self._pid
+
+    def trace(self, *a, **k):
+        pass
+
+    def schedule(self, delay, fn, *args):
+        return self.scheduler.schedule(delay, fn, *args)
+
+    def retain(self, msg):
+        h = msg.header
+        self.buffer.add(h.source, h.sequence_number, h.timestamp, encode(msg))
+
+    def romp_receive(self, msg):
+        self.delivered.append(msg)
+
+    def romp_heartbeat(self, msg):
+        self.heartbeats.append(msg)
+
+    def pgmp_receive_unreliable(self, msg):
+        pass
+
+    def send_retransmit_request(self, src, start, stop):
+        self.nacks.append((src, start, stop))
+
+    def retransmit_raw(self, raw, address=None):
+        self.retransmitted.append(raw)
+
+
+def regular(src: int, seq: int, ts: int = 0, retransmission: bool = False):
+    h = FTMPHeader(MessageType.REGULAR, source=src, group=1,
+                   sequence_number=seq, timestamp=ts or seq, ack_timestamp=0)
+    h.retransmission = retransmission
+    return RegularMessage(h, ConnectionId.none(), 0, b"m%d" % seq)
+
+
+def nack(src: int, wanted: int, start: int, stop: int):
+    h = FTMPHeader(MessageType.RETRANSMIT_REQUEST, source=src, group=1,
+                   sequence_number=0, timestamp=0, ack_timestamp=0)
+    return RetransmitRequestMessage(h, processor_id=wanted,
+                                    start_seq=start, stop_seq=stop)
+
+
+def test_gap_arms_nack_timer_and_fires():
+    ctx = MockContext()
+    rmp = RMP(ctx)
+    rmp.on_message(regular(1, 1))
+    rmp.on_message(regular(1, 3))  # gap at seq 2
+    assert rmp.stats.gaps_detected == 1
+    assert ctx.nacks == []  # not yet: randomized delay pending
+    ctx.scheduler.run_until(ctx.config.nack_delay * 2)
+    assert ctx.nacks == [(1, 2, 2)]
+    assert rmp.stats.nacks_sent == 1
+
+
+def test_nack_cancelled_when_gap_fills_before_delay():
+    ctx = MockContext()
+    rmp = RMP(ctx)
+    rmp.on_message(regular(1, 1))
+    rmp.on_message(regular(1, 3))  # gap at seq 2 -> timer armed
+    st = rmp.sources()[1]
+    assert st.nack_timer is not None
+    rmp.on_message(regular(1, 2))  # gap fills before nack_delay elapses
+    assert st.nack_timer is None  # _cancel_nack ran
+    ctx.scheduler.run_until(ctx.config.nack_retry_interval * 3)
+    assert ctx.nacks == []  # the armed NACK never fired
+    assert rmp.stats.nacks_sent == 0
+    assert [m.header.sequence_number for m in ctx.delivered] == [1, 2, 3]
+
+
+def test_nack_retries_until_gap_fills():
+    ctx = MockContext()
+    rmp = RMP(ctx)
+    rmp.on_message(regular(1, 1))
+    rmp.on_message(regular(1, 4))
+    ctx.scheduler.run_until(
+        ctx.config.nack_delay + ctx.config.nack_retry_interval * 2.5
+    )
+    assert len(ctx.nacks) == 3  # initial + two retries
+    assert all(n == (1, 2, 3) for n in ctx.nacks)
+    rmp.on_message(regular(1, 2))
+    rmp.on_message(regular(1, 3))
+    before = len(ctx.nacks)
+    ctx.scheduler.run_until(ctx.scheduler.now + ctx.config.nack_retry_interval * 3)
+    assert len(ctx.nacks) == before  # retry timer cancelled on fill
+
+
+def test_holder_retransmission_suppressed_by_anothers_copy():
+    # pid 2 is a *holder* (not the source), so its answer to a NACK gets a
+    # randomized backoff; the source's copy arriving first must cancel it.
+    ctx = MockContext(pid=2)
+    rmp = RMP(ctx)
+    rmp.on_message(regular(1, 1))  # retained in ctx.buffer
+    rmp.on_message(nack(3, 1, 1, 1))  # pid 3 asks for (src 1, seq 1)
+    assert ctx.retransmitted == []  # backoff pending
+    # the source's retransmitted copy arrives before our backoff expires
+    rmp.on_message(regular(1, 1, retransmission=True))
+    assert rmp.stats.retransmissions_suppressed == 1
+    ctx.scheduler.run_until(ctx.config.retransmit_backoff * 2)
+    assert ctx.retransmitted == []  # our scheduled answer was cancelled
+    assert rmp.stats.retransmissions_sent == 0
+    assert rmp.stats.duplicates == 1  # the copy itself counted as duplicate
+
+
+def test_holder_answers_when_no_other_copy_arrives():
+    ctx = MockContext(pid=2)
+    rmp = RMP(ctx)
+    rmp.on_message(regular(1, 1))
+    rmp.on_message(nack(3, 1, 1, 1))
+    ctx.scheduler.run_until(ctx.config.retransmit_backoff * 2)
+    assert len(ctx.retransmitted) == 1
+    assert rmp.stats.retransmissions_sent == 1
+    assert rmp.stats.retransmissions_suppressed == 0
+
+
+def test_source_answers_nack_immediately():
+    ctx = MockContext(pid=1)
+    rmp = RMP(ctx)
+    rmp.on_message(regular(1, 1))  # our own message looped back, retained
+    rmp.on_message(nack(3, 1, 1, 1))
+    # the source schedules with zero delay: fires at the next step
+    ctx.scheduler.run_until(0.0)
+    assert len(ctx.retransmitted) == 1

@@ -5,6 +5,7 @@ import pytest
 from repro.core import (
     HEADER_SIZE,
     AddProcessorMessage,
+    BatchMessage,
     CodecError,
     ConnectionId,
     ConnectMessage,
@@ -19,6 +20,7 @@ from repro.core import (
     SuspectMessage,
     decode,
     encode,
+    mark_retransmission,
     peek_header,
 )
 
@@ -108,6 +110,55 @@ def test_as_retransmission_copies_header():
     h2 = h.as_retransmission()
     assert h2.retransmission and not h.retransmission
     assert h2.sequence_number == h.sequence_number
+
+
+@pytest.mark.parametrize("little", [True, False], ids=["little-endian", "big-endian"])
+def test_mark_retransmission_round_trip(little):
+    msg = RegularMessage(header(MessageType.REGULAR, little), CID, 17, b"payload!")
+    raw = encode(msg)
+    marked = mark_retransmission(raw)
+    assert marked != raw
+    out = decode(marked)
+    assert out.header.retransmission is True
+    assert out.header.little_endian == little
+    assert out.header.sequence_number == msg.header.sequence_number
+    assert out.payload == msg.payload
+    # the original buffer is untouched and still decodes unflagged
+    assert decode(raw).header.retransmission is False
+
+
+def test_mark_retransmission_is_idempotent():
+    raw = encode(HeartbeatMessage(header(MessageType.HEARTBEAT)))
+    once = mark_retransmission(raw)
+    assert mark_retransmission(once) == once
+
+
+def test_mark_retransmission_rejects_truncated_input():
+    with pytest.raises(CodecError):
+        mark_retransmission(b"FTMP\x01")
+
+
+@pytest.mark.parametrize("little", [True, False], ids=["little-endian", "big-endian"])
+def test_batch_round_trip(little):
+    parts = tuple(
+        encode(RegularMessage(header(MessageType.REGULAR, little), CID, i, b"p%d" % i))
+        for i in range(3)
+    )
+    msg = BatchMessage(header(MessageType.BATCH, little), parts)
+    out = decode(encode(msg))
+    assert isinstance(out, BatchMessage)
+    assert out.parts == parts
+    # every part decodes back to its original Regular
+    for i, part in enumerate(out.parts):
+        inner = decode(part)
+        assert isinstance(inner, RegularMessage)
+        assert inner.payload == b"p%d" % i
+
+
+def test_empty_batch_round_trip():
+    out = decode(encode(BatchMessage(header(MessageType.BATCH), ())))
+    assert isinstance(out, BatchMessage)
+    assert out.parts == ()
 
 
 def test_bad_magic_rejected():

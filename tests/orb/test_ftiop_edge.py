@@ -1,7 +1,6 @@
 """FTMP adapter edge cases: passthrough, downstream chaining, cache bound."""
 
 from repro.core import (
-    ConnectionId,
     FTMPConfig,
     FTMPStack,
     RecordingListener,

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core import FTMPConfig
 from repro.replication import ReplicaManager
 from repro.simnet import Network, lan
 
