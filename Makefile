@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench lint experiments examples soak clean
+.PHONY: install test bench lint experiments examples soak chaos clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -27,6 +27,12 @@ examples:
 
 soak:
 	$(PYTHON) -m pytest tests/integration/test_soak.py -v
+
+# seeded chaos campaign: 20 seeds x all six scenario classes, with
+# violation artifacts (replayable JSON) written to chaos-artifacts/
+chaos:
+	PYTHONPATH=src $(PYTHON) -m repro.analysis.chaos run --seeds 20 \
+	    --artifact-dir chaos-artifacts
 
 clean:
 	rm -rf .pytest_cache .hypothesis benchmarks/results/*.txt \

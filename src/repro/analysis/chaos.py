@@ -1,0 +1,310 @@
+"""Chaos campaign runner: seeded fault scenarios × protocol oracles.
+
+Executes :class:`~repro.replication.chaos.ChaosPlan` scenarios against
+simulated FTMP clusters and checks every protocol invariant in
+:mod:`repro.replication.oracles` — the history oracles after the run and
+the buffer-GC safety oracle periodically *during* it.  On a violation it
+writes a self-contained JSON artifact (seed, scenario, config, injection
+log, plan timeline, divergent transcripts) that replays with::
+
+    python -m repro.analysis.chaos replay ARTIFACT.json
+
+Campaigns sweep N seeds across the scenario classes::
+
+    python -m repro.analysis.chaos run --seeds 5 --artifact-dir artifacts/
+
+``--inject-ordering-bug`` flips a test-only corruption that swaps two
+adjacent deliveries at one member, proving the oracles (and the artifact
+pipeline) actually fire.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import os
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core import FTMPConfig
+from ..replication.chaos import PROTECTED_PID, SCENARIOS, ChaosPlan
+from ..replication.fault_injection import FaultInjector
+from ..replication.oracles import (
+    Violation,
+    check_buffer_gc_safety,
+    check_quiescence,
+    run_history_oracles,
+)
+from .harness import Cluster, make_cluster
+
+__all__ = ["ChaosResult", "default_chaos_config", "run_chaos_scenario",
+           "run_campaign", "replay_artifact", "main"]
+
+
+def default_chaos_config() -> FTMPConfig:
+    """The campaign's stack configuration.
+
+    ``suspect_timeout`` must exceed the longest partition window a
+    :class:`ChaosPlan` generates (transient partitions heal without
+    convictions; only real crashes are convicted).
+    """
+    return FTMPConfig(heartbeat_interval=0.010, suspect_timeout=0.150)
+
+
+@dataclass
+class ChaosResult:
+    """Outcome of one seeded scenario run."""
+
+    seed: int
+    scenario: str
+    violations: List[Violation] = field(default_factory=list)
+    final_members: Tuple[int, ...] = ()
+    deliveries: int = 0  #: total ordered deliveries across all members
+    artifact_path: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def _schedule_traffic(cluster: Cluster, plan: ChaosPlan) -> None:
+    counters: Dict[int, int] = {}
+
+    def send(pid: int) -> None:
+        st = cluster.stacks.get(pid)
+        if st is None:
+            return
+        n = counters.get(pid, 0)
+        counters[pid] = n + 1
+        try:
+            st.multicast(cluster.group, f"{pid}:{n}".encode())
+        except (KeyError, ValueError):
+            pass  # sender left or was evicted mid-run
+
+    t = plan.traffic_start
+    jitter = 0
+    while t < plan.traffic_stop:
+        for pid in plan.senders:
+            cluster.net.scheduler.at(t + jitter * 1e-6, send, pid)
+            jitter += 1
+        t += plan.send_interval
+
+
+def _inject_ordering_bug(cluster: Cluster) -> None:
+    """Test-only corruption: swap two adjacent different-source deliveries
+    at one non-anchor member, in both its transcript and its event log."""
+    for pid in sorted(cluster.listeners):
+        if pid == PROTECTED_PID:
+            continue
+        lst = cluster.listeners[pid]
+        dels = lst.deliveries
+        for i in range(len(dels) - 1):
+            if dels[i].source != dels[i + 1].source:
+                a, b = dels[i], dels[i + 1]
+                dels[i], dels[i + 1] = b, a
+                ia, ib = lst.events.index(a), lst.events.index(b)
+                lst.events[ia], lst.events[ib] = lst.events[ib], lst.events[ia]
+                return
+    raise RuntimeError("no adjacent different-source deliveries to swap")
+
+
+def _transcript(cluster: Cluster, pid: int) -> List[dict]:
+    return [
+        {
+            "source": d.source,
+            "seq": d.sequence_number,
+            "timestamp": d.timestamp,
+            "payload": d.payload.decode("latin-1"),
+        }
+        for d in cluster.listeners[pid].deliveries
+        if d.group == cluster.group
+    ]
+
+
+def _write_artifact(directory: str, result: ChaosResult, plan: ChaosPlan,
+                    config: FTMPConfig, injector: FaultInjector,
+                    cluster: Cluster, inject_ordering_bug: bool) -> str:
+    os.makedirs(directory, exist_ok=True)
+    involved = sorted({m for v in result.violations for m in v.members})
+    if PROTECTED_PID not in involved:
+        involved.append(PROTECTED_PID)  # reference transcript
+    artifact = {
+        "seed": plan.seed,
+        "scenario": plan.scenario,
+        "inject_ordering_bug": inject_ordering_bug,
+        "replay": (f"python -m repro.analysis.chaos replay "
+                   f"{plan.scenario}-{plan.seed}.json"),
+        "config": dataclasses.asdict(config),
+        "plan": plan.as_dict(),
+        "injections": [dataclasses.asdict(i) for i in injector.injected],
+        "violations": [v.as_dict() for v in result.violations],
+        "final_members": list(result.final_members),
+        "transcripts": {str(p): _transcript(cluster, p) for p in sorted(involved)},
+        "memberships": {
+            str(p): list(cluster.listeners[p].current_membership(cluster.group) or ())
+            for p in sorted(involved)
+        },
+    }
+    path = os.path.join(directory, f"{plan.scenario}-{plan.seed}.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(artifact, fh, indent=2)
+    return path
+
+
+def run_chaos_scenario(
+    seed: int,
+    scenario: str,
+    pids: Tuple[int, ...] = (1, 2, 3, 4, 5),
+    config: Optional[FTMPConfig] = None,
+    artifact_dir: Optional[str] = None,
+    inject_ordering_bug: bool = False,
+    gc_check_interval: float = 0.05,
+) -> ChaosResult:
+    """Run one seeded scenario and check every oracle against it."""
+    plan = ChaosPlan.generate(seed, scenario, pids)
+    cfg = config if config is not None else default_chaos_config()
+    cluster = make_cluster(plan.initial_members, config=cfg, seed=seed)
+    injector = FaultInjector(cluster.net)
+    plan.apply(cluster, injector, cfg)
+    _schedule_traffic(cluster, plan)
+
+    # buffer-GC safety is a *live* invariant: check it while faults and
+    # traffic are still in flight, not just at the end
+    live_violations: List[Violation] = []
+
+    def gc_check() -> None:
+        crashed = [p for p in cluster.stacks if cluster.net.is_crashed(p)]
+        live_violations.extend(
+            check_buffer_gc_safety(cluster.stacks, cluster.group, crashed=crashed)
+        )
+
+    t = plan.traffic_start
+    while t < plan.duration:
+        cluster.net.scheduler.at(t, gc_check)
+        t += gc_check_interval
+
+    cluster.run_for(plan.duration)
+
+    if inject_ordering_bug:
+        _inject_ordering_bug(cluster)
+
+    # the surviving membership is scenario-dependent (convictions, churn):
+    # take the anchor's view and require everyone in it to agree
+    final = cluster.listeners[PROTECTED_PID].current_membership(cluster.group) or ()
+    result = ChaosResult(seed=seed, scenario=scenario, final_members=final)
+    result.deliveries = sum(
+        len(lst.payloads(cluster.group)) for lst in cluster.listeners.values()
+    )
+    result.violations += live_violations
+    result.violations += run_history_oracles(
+        cluster.listeners, cluster.group, final_members=final
+    )
+    result.violations += check_quiescence(cluster.stacks, cluster.group, final)
+
+    if result.violations and artifact_dir:
+        result.artifact_path = _write_artifact(
+            artifact_dir, result, plan, cfg, injector, cluster,
+            inject_ordering_bug,
+        )
+    cluster.stop()
+    return result
+
+
+def run_campaign(
+    seeds: Sequence[int],
+    scenarios: Sequence[str] = SCENARIOS,
+    pids: Tuple[int, ...] = (1, 2, 3, 4, 5),
+    config: Optional[FTMPConfig] = None,
+    artifact_dir: Optional[str] = None,
+    inject_ordering_bug: bool = False,
+    verbose: bool = True,
+) -> List[ChaosResult]:
+    """Sweep seeds × scenario classes; return one result per run."""
+    results: List[ChaosResult] = []
+    for scenario in scenarios:
+        for seed in seeds:
+            r = run_chaos_scenario(
+                seed, scenario, pids=pids, config=config,
+                artifact_dir=artifact_dir,
+                inject_ordering_bug=inject_ordering_bug,
+            )
+            results.append(r)
+            if verbose:
+                status = "ok" if r.ok else f"{len(r.violations)} VIOLATION(S)"
+                line = (f"  {scenario:<10} seed={seed:<4} "
+                        f"deliveries={r.deliveries:<6} "
+                        f"members={len(r.final_members)}  {status}")
+                if r.artifact_path:
+                    line += f"  -> {r.artifact_path}"
+                print(line)
+    return results
+
+
+def replay_artifact(path: str, artifact_dir: Optional[str] = None) -> ChaosResult:
+    """Re-run the exact scenario recorded in a violation artifact."""
+    with open(path, encoding="utf-8") as fh:
+        artifact = json.load(fh)
+    cfg = FTMPConfig(**artifact["config"])
+    return run_chaos_scenario(
+        artifact["seed"],
+        artifact["scenario"],
+        pids=tuple(artifact["plan"]["initial_members"]),
+        config=cfg,
+        artifact_dir=artifact_dir,
+        inject_ordering_bug=artifact.get("inject_ordering_bug", False),
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.chaos",
+        description="Seeded chaos campaign with protocol-invariant oracles.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run a seed × scenario campaign")
+    run_p.add_argument("--seeds", type=int, default=5,
+                       help="number of seeds per scenario (0..N-1)")
+    run_p.add_argument("--seed", type=int, action="append", default=None,
+                       help="explicit seed (repeatable; overrides --seeds)")
+    run_p.add_argument("--scenarios", nargs="+", default=list(SCENARIOS),
+                       choices=list(SCENARIOS), metavar="SCENARIO",
+                       help=f"scenario classes (default: all of {', '.join(SCENARIOS)})")
+    run_p.add_argument("--artifact-dir", default="chaos-artifacts",
+                       help="where violation artifacts are written")
+    run_p.add_argument("--inject-ordering-bug", action="store_true",
+                       help="test-only: corrupt one transcript to prove the "
+                            "oracles and artifact pipeline fire")
+
+    replay_p = sub.add_parser("replay", help="re-run a violation artifact")
+    replay_p.add_argument("artifact", help="path to a JSON artifact")
+    replay_p.add_argument("--artifact-dir", default=None,
+                          help="write a fresh artifact if it violates again")
+
+    args = parser.parse_args(argv)
+    if args.command == "run":
+        seeds = args.seed if args.seed else list(range(args.seeds))
+        print(f"chaos campaign: seeds={seeds} scenarios={args.scenarios}")
+        results = run_campaign(
+            seeds, scenarios=args.scenarios, artifact_dir=args.artifact_dir,
+            inject_ordering_bug=args.inject_ordering_bug,
+        )
+        bad = [r for r in results if not r.ok]
+        print(f"{len(results)} runs, {len(results) - len(bad)} clean, "
+              f"{len(bad)} with violations")
+        return 1 if bad else 0
+
+    result = replay_artifact(args.artifact, artifact_dir=args.artifact_dir)
+    if result.ok:
+        print(f"replay of {args.artifact}: no violations reproduced")
+        return 0
+    print(f"replay of {args.artifact}: {len(result.violations)} violation(s)")
+    for v in result.violations:
+        print(f"  [{v.oracle}] {v.detail}")
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    sys.exit(main())

@@ -91,11 +91,15 @@ class GroupContext(Protocol):
     group_id: int
     membership: Tuple[int, ...]
     view_timestamp: int
+    joining: bool
+    #: (timestamp, source) of the AddProcessor admitting this processor
+    join_barrier: Optional[Tuple[int, int]]
     #: (timestamp, source) keys grandfathered by a fault view — queued
     #: ordered messages from removed members that remain deliverable
     legacy_keys: Set[Tuple[int, int]]
     buffer: RetransmissionBuffer
     rmp: RMP
+    romp: ROMP
 
     # -- identity / environment ----------------------------------------
     @property
@@ -127,6 +131,8 @@ class GroupContext(Protocol):
     def watch_member(self, pid: int, grace: float = 0.0) -> None: ...
 
     def forget_member(self, pid: int) -> None: ...
+
+    def suspected_members(self) -> Set[int]: ...
 
     # -- retention & upward delivery -----------------------------------
     def retain(self, msg: FTMPMessage) -> None: ...
@@ -177,6 +183,9 @@ class GroupContext(Protocol):
                            sync_targets: Optional[Dict[int, int]] = None) -> None: ...
 
     def evict_self(self, reason: str, view_timestamp: int) -> None: ...
+
+    def seed_provisional_join(self, membership: Tuple[int, ...], view_timestamp: int,
+                              join_barrier: Tuple[int, int]) -> None: ...
 
     def complete_join(self, membership: Tuple[int, ...], view_timestamp: int,
                       join_barrier: Tuple[int, int]) -> None: ...
@@ -424,11 +433,18 @@ class ReceivePath:
                 self.on_datagram(inner, part)
             return
         if g.joining:
-            # A new member can only act on the AddProcessor that names it;
-            # everything else is recovered by NACK after the join (§7.1).
+            # A new member seeds provisional state from the AddProcessor
+            # that names it; the message then flows through RMP/ROMP like
+            # any other, and the join completes only when it reaches its
+            # position in the total order (§7.1).  Before that seed there
+            # is nothing to anchor recovery on, so everything else waits
+            # for the initiator's periodic retransmission.
             if isinstance(msg, AddProcessorMessage) and msg.new_member == g.pid:
-                g.pgmp.bootstrap_from_add(msg)
-                self._feed_rmp(msg, raw)
+                g.pgmp.prepare_join(msg)
+            if g.join_barrier is None:
+                return
+            g.romp.observe_header(msg.header)
+            self._feed_rmp(msg, raw)
             return
         if g.traced:
             g.trace("recv", type=msg.header.message_type.name,
@@ -585,6 +601,9 @@ class ProcessorGroup:
         self.romp.purge_queue_of(pid)
         self.romp.purge_source(pid)
         self._heard.discard(pid)
+
+    def suspected_members(self) -> Set[int]:
+        return self.fault_detector.suspected
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -843,9 +862,32 @@ class ProcessorGroup:
         )
         self._stack.remove_group(self.group_id)
 
+    def seed_provisional_join(self, membership: Tuple[int, ...], view_timestamp: int,
+                              join_barrier: Tuple[int, int]) -> None:
+        """Adopt an AddProcessor's snapshot while still joining.
+
+        Provisional: :meth:`complete_join` installs the definitive view
+        when the AddProcessor is *ordered*.  Heartbeats start here — the
+        ordering gate covers our own pid, and only our loopbacked sends
+        advance it — but the fault detector and the view upcall wait for
+        completion.  A re-seed (fresh AddProcessor after the first one's
+        snapshot went stale) drops sources the new snapshot no longer
+        lists, so their unfillable gaps stop generating NACKs.
+        """
+        starting = self.join_barrier is None
+        dropped = set(self.membership) - set(membership)
+        self.membership = tuple(sorted(membership))
+        self.view_timestamp = view_timestamp
+        self.join_barrier = join_barrier
+        for gone in dropped:
+            self.forget_member(gone)
+        if starting:
+            self.send_path.start_heartbeats()
+        self.romp.evaluate()
+
     def complete_join(self, membership: Tuple[int, ...], view_timestamp: int,
                       join_barrier: Tuple[int, int]) -> None:
-        """Finish the new-member bootstrap from a received AddProcessor."""
+        """Finish the new-member bootstrap once our AddProcessor is ordered."""
         if not self.joining:
             return
         self.joining = False

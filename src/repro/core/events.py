@@ -93,12 +93,18 @@ class RecordingListener(Listener):
     views: List[ViewChange] = field(default_factory=list)
     faults: List[FaultReport] = field(default_factory=list)
     connections: List[ConnectionEvent] = field(default_factory=list)
+    #: unified upcall log, in upcall order — deliveries and view changes
+    #: interleaved exactly as the application observed them (the
+    #: virtual-synchrony oracle segments deliveries by view with this)
+    events: List[object] = field(default_factory=list)
 
     def on_deliver(self, delivery: Delivery) -> None:
         self.deliveries.append(delivery)
+        self.events.append(delivery)
 
     def on_view_change(self, view: ViewChange) -> None:
         self.views.append(view)
+        self.events.append(view)
 
     def on_fault_report(self, report: FaultReport) -> None:
         self.faults.append(report)

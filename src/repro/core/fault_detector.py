@@ -80,7 +80,15 @@ class FaultDetector:
         self._timer = None
         now = self._g.now()
         timeout = self._g.config.suspect_timeout
-        for pid in self._g.membership:
+        membership = self._g.membership
+        # note_alive records *every* datagram source (any processor may
+        # send to the group address), so liveness entries accumulate for
+        # non-members; purge them here or the map grows without bound
+        # under connection/churn traffic.
+        for pid in [p for p in self._last_heard if p not in membership]:
+            del self._last_heard[pid]
+            self._suspected.discard(pid)
+        for pid in membership:
             if pid == self._g.pid or pid in self._suspected:
                 continue
             last = self._last_heard.get(pid)

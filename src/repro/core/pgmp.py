@@ -67,6 +67,8 @@ class _Round:
     max_ts: int = 0
     syncing: bool = False
     targets: Dict[int, int] = field(default_factory=dict)
+    #: the new view's timestamp — and the delivery cut of the old view
+    view_ts: int = 0
     sync_timer: Optional[object] = None
 
 
@@ -144,8 +146,37 @@ class PGMP:
 
     def _ordered_add(self, msg: AddProcessorMessage) -> None:
         new = msg.new_member
+        if new == self._g.pid:
+            if self._g.joining:
+                # Our own AddProcessor reached its position in the total
+                # order: complete the join here — the same point at which
+                # every existing member installs the new view (§7.1).  A
+                # superseded (stale) AddProcessor never gets here: its key
+                # is below the re-seeded join barrier.
+                self._g.complete_join(
+                    membership=tuple(sorted(set(msg.membership) | {new})),
+                    view_timestamp=msg.header.timestamp,
+                    join_barrier=(msg.header.timestamp, msg.header.source),
+                )
+            return
         if new in self._g.membership:
-            return  # idempotent (the new member bootstrapped directly)
+            return  # idempotent (duplicate AddProcessor)
+        if set(msg.membership) - set(self._g.membership) - {new}:
+            # The snapshot names a processor we have since removed: a fault
+            # view (or removal) was ordered between this AddProcessor's
+            # conception and its position in the total order.  Installing
+            # it would fork the group: the joiner seeded its state from
+            # the stale snapshot and cannot order past the dead member.
+            # Drop it and have one deterministic repairer re-issue a fresh
+            # AddProcessor; its higher timestamp supersedes the joiner's
+            # stale barrier.
+            repairer = (msg.header.source
+                        if msg.header.source in self._g.membership
+                        else min(self._g.membership))
+            if repairer == self._g.pid:
+                self.cancel_add_resend(new)
+                self.initiate_add(new)
+            return
         self._g.install_view(
             membership=tuple(sorted(set(self._g.membership) | {new})),
             view_timestamp=msg.header.timestamp,
@@ -182,15 +213,28 @@ class PGMP:
     # ------------------------------------------------------------------
     # new-member bootstrap (invoked by the group while in joining state)
     # ------------------------------------------------------------------
-    def bootstrap_from_add(self, msg: AddProcessorMessage) -> None:
-        """Initialize this (new-member) group from a received AddProcessor."""
+    def prepare_join(self, msg: AddProcessorMessage) -> None:
+        """Seed provisional new-member state from an AddProcessor naming us.
+
+        The join does *not* complete here: the AddProcessor must first
+        reach its position in the total order (see :meth:`_ordered_add`),
+        so the joiner installs its first view at exactly the same point in
+        the message stream as every existing member.  Until then the
+        provisional baselines/membership let RMP recover the stream and
+        ROMP order it.  A re-issued AddProcessor — the predecessor's
+        membership snapshot went stale under an intervening fault view —
+        re-seeds with its higher timestamp.
+        """
+        g = self._g
+        key = (msg.header.timestamp, msg.header.source)
+        if g.join_barrier is not None and key <= g.join_barrier:
+            return  # duplicate (resend) of the AddProcessor we already hold
         for pid, seq in msg.sequence_numbers.items():
-            self._g.rmp.set_baseline(pid, seq)
-        membership = tuple(sorted(set(msg.membership) | {msg.new_member}))
-        self._g.complete_join(
-            membership=membership,
+            g.rmp.set_baseline(pid, seq)
+        g.seed_provisional_join(
+            membership=tuple(sorted(set(msg.membership) | {msg.new_member})),
             view_timestamp=msg.header.timestamp,
-            join_barrier=(msg.header.timestamp, msg.header.source),
+            join_barrier=key,
         )
 
     # ==================================================================
@@ -283,6 +327,7 @@ class PGMP:
         self.stats.convictions += len(convicted)
         if self._round is not None and self._round.sync_timer is not None:
             self._round.sync_timer.cancel()
+        self._g.romp.end_transition()  # a superseded round may be mid-drain
         self._round = _Round(proposal=proposal)
         if proposal not in self._sent_proposals:
             # one Membership message per proposal: RMP's reliability makes
@@ -357,7 +402,9 @@ class PGMP:
             return
         missing = False
         for pid, target in rnd.targets.items():
-            if pid == self._g.pid:
+            if pid == self._g.pid or pid not in self._g.membership:
+                # a source dropped by a concurrent view change must not be
+                # resurrected by sync NACKs (its RMP state is gone)
                 continue
             top = self._g.rmp.contiguous_top(pid)
             if top < target:
@@ -369,6 +416,34 @@ class PGMP:
                 self._g.config.nack_retry_interval, self._sync_step
             )
             return
+        # Synced: every survivor holds the same message set.  Before the
+        # view is installed, drain the *old view's* deliveries to a cut
+        # all survivors agree on — the new view's timestamp — so their
+        # delivery histories diverge nowhere (virtual synchrony, §7.2).
+        rnd.view_ts = max(rnd.max_ts, self._g.view_timestamp + 1)
+        self._g.romp.begin_transition(rnd.proposal, rnd.view_ts)
+        self._drain_step()
+
+    def _drain_step(self) -> None:
+        rnd = self._round
+        if rnd is None or not rnd.syncing:
+            return
+        # every old-view message has timestamp <= view_ts (each synced
+        # message was held by some survivor before it sent its Membership
+        # message), so hearing every survivor past the cut proves the old
+        # view's stream is complete and orderable
+        self._g.romp.evaluate()
+        ready = all(
+            self._g.romp.order_ts(p) >= rnd.view_ts
+            for p in rnd.proposal
+            if p != self._g.pid
+        ) and self._g.romp.transition_drained(rnd.view_ts)
+        if not ready:
+            rnd.sync_timer = self._g.schedule(
+                self._g.config.nack_retry_interval, self._drain_step
+            )
+            return
+        self._g.romp.end_transition()
         self._install_fault_view()
 
     def _install_fault_view(self) -> None:
@@ -379,7 +454,7 @@ class PGMP:
         # Deterministic view timestamp: every survivor records the same
         # single Membership message per proposal member, so the max of
         # their header timestamps agrees everywhere.
-        view_ts = max(rnd.max_ts, self._g.view_timestamp + 1)
+        view_ts = rnd.view_ts
         targets = dict(rnd.targets)
         self._round = None
         self._accusations.clear()
@@ -395,13 +470,26 @@ class PGMP:
 
     # ------------------------------------------------------------------
     def reset_after_view(self) -> None:
-        """Clear suspicion state after any view installation."""
+        """Clear suspicion state after any view installation.
+
+        Accusations are relative to a view, so they cannot survive it —
+        but the *facts* behind them can: an AddProcessor ordered while a
+        fault round is draining installs a view and lands here, and the
+        faulty member is still dead.  Re-raise whatever the fault
+        detector still holds against members of the new view, so the
+        round re-forms instead of silently never convicting.
+        """
         self._accusations.clear()
         self._my_suspects.clear()
         self._sent_proposals.clear()
         if self._round is not None and self._round.sync_timer is not None:
             self._round.sync_timer.cancel()
         self._round = None
+        self._g.romp.end_transition()
+        still = set(self._g.suspected_members()) & set(self._g.membership)
+        if still:
+            self._my_suspects |= still
+            self._broadcast_suspects()
 
     def cancel_add_resend(self, new_member: int) -> None:
         entry = self._add_resends.pop(new_member, None)

@@ -66,6 +66,10 @@ class SourceState:
 class RMP:
     """One RMP instance per (processor, group) pair."""
 
+    #: bound on the NACK-escalation count map; oldest keys are evicted
+    #: individually so in-flight escalations keep their counts
+    _NACK_COUNT_CAP = 4096
+
     def __init__(self, group: "GroupContext"):
         self._g = group
         self._sources: Dict[int, SourceState] = {}
@@ -171,8 +175,6 @@ class RMP:
         stop = start
         # walk to the end of the first hole
         while stop + 1 <= st.highest_heard and (stop + 1) not in st.pending:
-            if stop + 1 in st.pending:
-                break
             stop += 1
         # ensure the start itself is actually missing
         if start in st.pending:
@@ -226,10 +228,20 @@ class RMP:
                 self.stats.retransmissions_sent += 1
                 self._g.retransmit_raw(buffered.data)
                 continue
-            if len(self._nack_counts) > 4096:
-                self._nack_counts.clear()
-            self._nack_counts[key] = self._nack_counts.get(key, 0) + 1
-            if self._nack_counts[key] >= 3 and wanted_src != self._g.pid:
+            # pop + reinsert keeps the dict in recency order; the cap below
+            # evicts single keys — stalest first, never the key just
+            # touched, and never a key that is already escalating
+            # (count >= 2) while a colder victim exists
+            count = self._nack_counts[key] = self._nack_counts.pop(key, 0) + 1
+            while len(self._nack_counts) > self._NACK_COUNT_CAP:
+                victim = next(
+                    (k for k, c in self._nack_counts.items()
+                     if c < 2 and k != key), None
+                )
+                if victim is None:
+                    victim = next(k for k in self._nack_counts if k != key)
+                del self._nack_counts[victim]
+            if count >= 3 and wanted_src != self._g.pid:
                 # The requester keeps asking: whatever copy it has been
                 # offered is not reaching it (e.g. the source's link to it
                 # is down).  Answer immediately and unsuppressibly so a
@@ -282,6 +294,9 @@ class RMP:
             st.pending = {s: m for s, m in st.pending.items() if s > seq}
             if seq > st.highest_heard:
                 st.highest_heard = seq
+        # the source restarts its numbering at seq: escalation counts keyed
+        # to the old incarnation's sequence numbers are meaningless now
+        self._purge_nack_counts(src)
 
     def drop_source(self, src: int) -> None:
         """Forget a source entirely (it left the membership)."""
@@ -290,6 +305,14 @@ class RMP:
             self._cancel_nack(st)
         for key in [k for k in self._retransmit_jobs if k[0] == src]:
             self._retransmit_jobs.pop(key).cancel()
+        # Without this, a processor that leaves and rejoins with reset
+        # sequence numbers inherits stale >= 3 counts and every first NACK
+        # for a reused (src, seq) triggers an unsuppressed retransmit storm.
+        self._purge_nack_counts(src)
+
+    def _purge_nack_counts(self, src: int) -> None:
+        for key in [k for k in self._nack_counts if k[0] == src]:
+            del self._nack_counts[key]
 
     def sources(self) -> Dict[int, SourceState]:
         """Read-only view of per-source state (used by PGMP seq vectors)."""

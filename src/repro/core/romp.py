@@ -27,8 +27,9 @@ across members drives retransmission-buffer garbage collection (§6).
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Deque, Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from .constants import TOTALLY_ORDERED_TYPES, MessageType
 from .messages import FTMPHeader, FTMPMessage, HeartbeatMessage
@@ -73,7 +74,10 @@ class ROMP:
         self._staging: Dict[int, List[FTMPMessage]] = {}
         self._STAGING_CAP = 4096
         #: safe-delivery hold queue: ordered Regulars awaiting stability
-        self._unsafe: List[FTMPMessage] = []
+        self._unsafe: Deque[FTMPMessage] = deque()
+        #: fault-view drain (§7.2): (survivor set, cut timestamp) while a
+        #: synced fault view waits to be installed
+        self._transition: Optional[Tuple[FrozenSet[int], int]] = None
         self.stats = ROMPStats()
 
     # ------------------------------------------------------------------
@@ -146,13 +150,25 @@ class ROMP:
         while self._queue:
             ts, src, _ins, msg = self._queue[0]
             membership = self._g.membership
+            gate: Iterable[int] = membership
+            if self._transition is not None:
+                # Fault-view drain (§7.2): the old view's messages are
+                # delivered gated only on the survivors — the convicted
+                # member's stream is synced and can no longer grow — and
+                # nothing of the *new* view is delivered until the view
+                # is installed, so every survivor cuts its delivery
+                # history at exactly the same timestamp.
+                survivors, cut = self._transition
+                if ts > cut:
+                    break
+                gate = survivors
             if src not in membership and (ts, src) not in self._g.legacy_keys:
                 # A not-yet-added member's message: it always follows the
                 # AddProcessor (smaller timestamp) in the queue; if the
                 # source will never join, the view change purges it.
                 # (Messages grandfathered by a fault view are delivered.)
                 break
-            if not all(self._order_ts.get(p, 0) >= ts for p in membership):
+            if not all(self._order_ts.get(p, 0) >= ts for p in gate):
                 break
             heapq.heappop(self._queue)
             self._queue_keys.discard((ts, src))
@@ -217,7 +233,7 @@ class ROMP:
             return
         stable = self.stability_timestamp()
         while self._unsafe and self._unsafe[0].header.timestamp <= stable:
-            msg = self._unsafe.pop(0)
+            msg = self._unsafe.popleft()
             self._g.deliver_regular(msg)  # type: ignore[arg-type]
 
     def unsafe_held(self) -> int:
@@ -241,9 +257,39 @@ class ROMP:
         if self._send_barrier is None:
             return
         barrier = self._send_barrier
+        if not self._g.membership:
+            # an empty membership (e.g. a still-joining group) makes the
+            # all() below vacuously true — the §7 quiescence barrier must
+            # hold until real members have actually been heard past it
+            return
         if all(self._order_ts.get(p, 0) > barrier for p in self._g.membership):
             self._send_barrier = None
             self._g.on_send_barrier_cleared()
+
+    # ------------------------------------------------------------------
+    # fault-view transition drain (§7.2)
+    # ------------------------------------------------------------------
+    def begin_transition(self, survivors: FrozenSet[int], cut_ts: int) -> None:
+        """Start draining the old view's messages before a fault view.
+
+        Until :meth:`end_transition`, queued messages with timestamp <=
+        ``cut_ts`` are delivered gated only on ``survivors`` (the convicted
+        member's synced stream cannot grow, so waiting on it would stall
+        forever), and messages of the new view (timestamp > ``cut_ts``)
+        are held back.  All survivors agree on ``cut_ts``, so their
+        delivery histories cut at exactly the same point — the virtual
+        synchrony guarantee the oracles check.
+        """
+        self._transition = (frozenset(survivors), cut_ts)
+        self.evaluate()
+
+    def end_transition(self) -> None:
+        self._transition = None
+
+    def transition_drained(self, cut_ts: int) -> bool:
+        """True when every old-view message has been delivered — i.e. the
+        head of the queue (if any) already belongs to the new view."""
+        return not self._queue or self._queue[0][0] > cut_ts
 
     # ------------------------------------------------------------------
     # membership-change support

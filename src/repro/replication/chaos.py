@@ -1,0 +1,254 @@
+"""Seeded chaos plans: reproducible adversarial scenarios for FTMP.
+
+A :class:`ChaosPlan` is a *value*: from one ``(scenario, seed)`` pair,
+:meth:`ChaosPlan.generate` deterministically samples a timeline of loss
+bursts, reorder/duplication windows, transient partitions, crash and
+crash-restart faults, and join/graceful-leave churn, plus a traffic
+specification.  :meth:`ChaosPlan.apply` arms the timeline against a live
+:class:`~repro.analysis.harness.Cluster` through the existing
+:class:`~repro.replication.fault_injection.FaultInjector` — so the full
+run (network RNG included) is replayable from the two integers recorded
+in a violation artifact.
+
+The plan keeps runs *convergent* so the protocol-invariant oracles in
+:mod:`repro.replication.oracles` can bind at the end:
+
+* processor 1 is protected — never crashed, partitioned away, or removed
+  — and sponsors all joins and removals;
+* faults stop before the cool-down window so the surviving membership
+  can re-stabilize and drain;
+* a removal budget keeps at least three members alive at all times.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core import FTMPConfig, FTMPStack, RecordingListener
+from .fault_injection import FaultInjector
+
+__all__ = ["ChaosEvent", "ChaosPlan", "SCENARIOS", "PROTECTED_PID"]
+
+#: scenario classes the campaign sweeps (ISSUE acceptance: >= 4)
+SCENARIOS = ("loss", "reorder", "partition", "crash", "churn", "combo")
+
+#: the sponsor/anchor processor a plan never harms
+PROTECTED_PID = 1
+
+#: minimum number of live, in-group processors a plan must preserve
+_MIN_SURVIVORS = 3
+
+# timeline layout (simulated seconds): traffic overlaps the fault window,
+# then a fault-free cool-down lets the group converge before the oracles run
+_TRAFFIC_START = 0.05
+_TRAFFIC_STOP = 1.15
+_FAULT_START = 0.15
+_FAULT_STOP = 1.05
+_DURATION = 2.2
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One planned fault or membership action (serialized into artifacts)."""
+
+    kind: str  #: "loss" | "jitter" | "duplicate" | "partition" | "crash" | "crash_restart" | "join" | "leave"
+    at: float
+    stop: float = 0.0  #: end of a burst/partition window (0 if not a window)
+    pids: Tuple[int, ...] = ()  #: processors acted on (minority set, crash target, ...)
+    value: float = 0.0  #: rate / probability / downtime, per kind
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "at": self.at,
+            "stop": self.stop,
+            "pids": list(self.pids),
+            "value": self.value,
+        }
+
+
+@dataclass
+class ChaosPlan:
+    """A deterministic chaos scenario: timeline + traffic specification."""
+
+    seed: int
+    scenario: str
+    initial_members: Tuple[int, ...]
+    events: List[ChaosEvent] = field(default_factory=list)
+    senders: Tuple[int, ...] = ()
+    send_interval: float = 0.02
+    traffic_start: float = _TRAFFIC_START
+    traffic_stop: float = _TRAFFIC_STOP
+    duration: float = _DURATION
+
+    # ------------------------------------------------------------------
+    # generation
+    # ------------------------------------------------------------------
+    @classmethod
+    def generate(cls, seed: int, scenario: str,
+                 pids: Tuple[int, ...] = (1, 2, 3, 4, 5)) -> "ChaosPlan":
+        """Sample a plan for ``scenario`` from ``seed`` (fully deterministic)."""
+        if scenario not in SCENARIOS:
+            raise ValueError(f"unknown scenario {scenario!r} (choose from {SCENARIOS})")
+        if PROTECTED_PID not in pids:
+            raise ValueError(f"initial members must include the protected pid {PROTECTED_PID}")
+        rng = random.Random(f"{scenario}:{seed}")
+        plan = cls(seed=seed, scenario=scenario, initial_members=tuple(pids))
+        others = [p for p in pids if p != PROTECTED_PID]
+        plan.senders = tuple(sorted([PROTECTED_PID] + rng.sample(others, k=min(2, len(others)))))
+        plan.send_interval = rng.uniform(0.015, 0.03)
+
+        # how many members the plan may permanently take out of the group
+        budget = max(0, len(pids) - _MIN_SURVIVORS)
+
+        if scenario == "loss":
+            plan._gen_loss(rng)
+        elif scenario == "reorder":
+            plan._gen_reorder(rng)
+        elif scenario == "partition":
+            plan._gen_partition(rng, others)
+        elif scenario == "crash":
+            budget = plan._gen_crash(rng, others, budget)
+        elif scenario == "churn":
+            budget = plan._gen_churn(rng, others, budget)
+        else:  # combo: one helping of each ingredient the budget allows
+            plan._gen_loss(rng, bursts=1)
+            plan._gen_reorder(rng, bursts=1)
+            plan._gen_partition(rng, others, windows=1)
+            if budget > 0 and rng.random() < 0.7:
+                budget = plan._gen_crash(rng, others, 1, at_most_one=True)
+            if rng.random() < 0.7:
+                plan._gen_join(rng)
+        plan.events.sort(key=lambda e: e.at)
+        return plan
+
+    def _window(self, rng: random.Random, lo: float = 0.08, hi: float = 0.35) -> Tuple[float, float]:
+        length = rng.uniform(lo, hi)
+        start = rng.uniform(_FAULT_START, _FAULT_STOP - length)
+        return start, start + length
+
+    def _gen_loss(self, rng: random.Random, bursts: Optional[int] = None) -> None:
+        for _ in range(bursts if bursts is not None else rng.randint(1, 3)):
+            start, stop = self._window(rng)
+            self.events.append(ChaosEvent("loss", start, stop, value=rng.uniform(0.05, 0.30)))
+
+    def _gen_reorder(self, rng: random.Random, bursts: Optional[int] = None) -> None:
+        for _ in range(bursts if bursts is not None else rng.randint(1, 2)):
+            start, stop = self._window(rng)
+            # jitter of several link latencies reorders packets across sources
+            self.events.append(ChaosEvent("jitter", start, stop, value=rng.uniform(0.0005, 0.003)))
+        if bursts is None or rng.random() < 0.8:
+            start, stop = self._window(rng)
+            self.events.append(ChaosEvent("duplicate", start, stop, value=rng.uniform(0.05, 0.30)))
+
+    def _gen_partition(self, rng: random.Random, others: List[int],
+                       windows: Optional[int] = None) -> None:
+        # transient partitions only: heal before the suspect timeout so the
+        # two sides never convict each other (FTMP has no partition merge)
+        for _ in range(windows if windows is not None else rng.randint(1, 2)):
+            start, stop = self._window(rng, lo=0.04, hi=0.10)
+            minority = tuple(sorted(rng.sample(others, k=rng.randint(1, max(1, len(others) // 2)))))
+            self.events.append(ChaosEvent("partition", start, stop, pids=minority))
+
+    def _gen_crash(self, rng: random.Random, others: List[int], budget: int,
+                   at_most_one: bool = False) -> int:
+        victims = rng.sample(others, k=min(len(others), 2))
+        for victim in victims[: 1 if at_most_one else 2]:
+            start, stop = self._window(rng, lo=0.05, hi=0.25)
+            if budget > 0 and rng.random() < 0.5:
+                # permanent crash: the fault detector must convict the victim
+                self.events.append(ChaosEvent("crash", start, pids=(victim,)))
+                budget -= 1
+            else:
+                # omission window: the victim stalls, resumes, NACK-recovers
+                self.events.append(
+                    ChaosEvent("crash_restart", start, pids=(victim,), value=stop - start)
+                )
+        return budget
+
+    def _gen_churn(self, rng: random.Random, others: List[int], budget: int) -> int:
+        self._gen_join(rng)
+        if rng.random() < 0.5:
+            self._gen_join(rng)
+        if budget > 0 and rng.random() < 0.7:
+            leaver = rng.choice(others)
+            at = rng.uniform(_FAULT_START, _FAULT_STOP)
+            self.events.append(ChaosEvent("leave", at, pids=(leaver,)))
+            budget -= 1
+        return budget
+
+    def _gen_join(self, rng: random.Random) -> None:
+        joiner = max(self.initial_members) + 1 + sum(1 for e in self.events if e.kind == "join")
+        at = rng.uniform(_FAULT_START, _FAULT_STOP - 0.1)
+        self.events.append(ChaosEvent("join", at, pids=(joiner,)))
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def apply(self, cluster, injector: FaultInjector,
+              config: Optional[FTMPConfig] = None,
+              address: int = 5001) -> None:
+        """Arm every planned event against a live cluster.
+
+        Joins create fresh stacks/listeners and register them in the
+        cluster; membership actions are sponsored by the protected pid and
+        guarded (a racing earlier removal must not abort the run).
+        """
+        cfg = config if config is not None else FTMPConfig()
+        for ev in self.events:
+            if ev.kind == "loss":
+                injector.loss_burst(ev.at, ev.stop, ev.value)
+            elif ev.kind == "jitter":
+                injector.jitter_burst(ev.at, ev.stop, ev.value)
+            elif ev.kind == "duplicate":
+                injector.duplicate_burst(ev.at, ev.stop, ev.value)
+            elif ev.kind == "partition":
+                injector.partition_at(ev.at, set(ev.pids))
+                injector.heal_at(ev.stop)
+            elif ev.kind == "crash":
+                injector.crash_at(ev.at, ev.pids[0])
+            elif ev.kind == "crash_restart":
+                injector.crash_restart(ev.at, ev.pids[0], ev.value)
+            elif ev.kind == "join":
+                cluster.net.scheduler.at(
+                    ev.at, self._do_join, cluster, ev.pids[0], cfg, address
+                )
+            elif ev.kind == "leave":
+                cluster.net.scheduler.at(ev.at, self._do_leave, cluster, ev.pids[0])
+            else:  # pragma: no cover - generate() only emits the kinds above
+                raise ValueError(f"unknown chaos event kind {ev.kind!r}")
+
+    def _do_join(self, cluster, pid: int, cfg: FTMPConfig, address: int) -> None:
+        listener = RecordingListener()
+        stack = FTMPStack(cluster.net.endpoint(pid), cfg, listener)
+        stack.join_as_new_member(cluster.group, address)
+        cluster.stacks[pid] = stack
+        cluster.listeners[pid] = listener
+        try:
+            cluster.stacks[PROTECTED_PID].add_processor(cluster.group, pid)
+        except (KeyError, ValueError):
+            pass  # sponsor mid-view-change; AddProcessor resend covers the rest
+
+    def _do_leave(self, cluster, pid: int) -> None:
+        try:
+            cluster.stacks[PROTECTED_PID].remove_processor(cluster.group, pid)
+        except (KeyError, ValueError):
+            pass  # already removed (e.g. convicted first) — not an error
+
+    # ------------------------------------------------------------------
+    # serialization (for violation artifacts)
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "scenario": self.scenario,
+            "initial_members": list(self.initial_members),
+            "senders": list(self.senders),
+            "send_interval": self.send_interval,
+            "traffic_start": self.traffic_start,
+            "traffic_stop": self.traffic_stop,
+            "duration": self.duration,
+            "events": [e.as_dict() for e in self.events],
+        }

@@ -19,7 +19,7 @@ __all__ = ["Injection", "FaultInjector"]
 class Injection:
     """One injected fault, for the experiment record."""
 
-    kind: str  #: "crash" | "partition" | "heal" | "loss"
+    kind: str  #: "crash" | "recover" | "partition" | "heal" | "loss" | "jitter" | "duplicate"
     at: float
     detail: str
 
@@ -76,3 +76,57 @@ class FaultInjector:
 
         self.net.scheduler.at(start, begin)
         self.net.scheduler.at(stop, end)
+
+    def jitter_burst(self, start: float, stop: float, jitter: float) -> None:
+        """Raise the per-link jitter during [start, stop) (reorders packets)."""
+        previous = self.net.topology.default.jitter
+
+        def begin() -> None:
+            self.net.topology.set_jitter(jitter)
+            self.injected.append(
+                Injection("jitter", self.net.scheduler.now, f"jitter={jitter}")
+            )
+
+        def end() -> None:
+            self.net.topology.set_jitter(previous)
+            self.injected.append(
+                Injection("jitter", self.net.scheduler.now, f"jitter={previous}")
+            )
+
+        self.net.scheduler.at(start, begin)
+        self.net.scheduler.at(stop, end)
+
+    def duplicate_burst(self, start: float, stop: float, probability: float) -> None:
+        """Duplicate packets with ``probability`` during [start, stop)."""
+        previous = self.net.topology.default.duplicate
+
+        def begin() -> None:
+            self.net.topology.set_duplicate(probability)
+            self.injected.append(
+                Injection("duplicate", self.net.scheduler.now, f"p={probability}")
+            )
+
+        def end() -> None:
+            self.net.topology.set_duplicate(previous)
+            self.injected.append(
+                Injection("duplicate", self.net.scheduler.now, f"p={previous}")
+            )
+
+        self.net.scheduler.at(start, begin)
+        self.net.scheduler.at(stop, end)
+
+    def crash_restart(self, time: float, pid: int, downtime: float) -> None:
+        """Omission window: ``pid`` neither sends nor receives for ``downtime``.
+
+        The processor keeps its protocol state (the network merely stops
+        carrying its packets), so a short window models a stalled process
+        that resumes and NACK-recovers what it missed.
+        """
+        self.crash_at(time, pid)
+        self.net.scheduler.at(time + downtime, self._recover, pid)
+
+    def _recover(self, pid: int) -> None:
+        self.net.recover(pid)
+        self.injected.append(
+            Injection("recover", self.net.scheduler.now, f"processor {pid}")
+        )

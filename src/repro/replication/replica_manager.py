@@ -59,6 +59,8 @@ class ReplicaManager:
         #: spare processors available for automatic recovery
         self.spares: list = []
         self.auto_recover = False
+        #: object groups with a recovery currently scheduled/in flight
+        self._recovering: set = set()
 
     # ------------------------------------------------------------------
     # hosts
@@ -211,25 +213,36 @@ class ReplicaManager:
         for convicted in report.convicted:
             for spec in self.registry.groups_on(convicted):
                 spec.replicas.discard(convicted)
-                if (
-                    self.auto_recover
-                    and self.spares
-                    and len(spec.replicas) < spec.target_replication
-                    # only one manager action per conviction: drive it from
-                    # the lowest surviving replica's report
-                    and spec.replicas
-                    and reporter_pid == min(spec.replicas)
-                ):
-                    spare = self.spares.pop(0)
-                    self.net.scheduler.schedule(
-                        0.0, self._recover, spec.domain, spec.object_group, spare
-                    )
+        if not (self.auto_recover and self.spares):
+            return
+        # Recovery is checked against *every* under-replicated group, not
+        # just the ones this report's conviction shrank: the first report
+        # for a conviction (possibly a client's) already discarded the
+        # replica, so tying recovery to groups_on(convicted) would make it
+        # depend on which member's fault report happens to arrive first.
+        for spec in self.registry.all():
+            if (
+                spec.replicas
+                and len(spec.replicas) < spec.target_replication
+                # only one manager action per shortfall: drive it from
+                # the lowest surviving replica's report
+                and reporter_pid == min(spec.replicas)
+                and spec.identity not in self._recovering
+                and self.spares
+            ):
+                spare = self.spares.pop(0)
+                self._recovering.add(spec.identity)
+                self.net.scheduler.schedule(
+                    0.0, self._recover, spec.domain, spec.object_group, spare
+                )
 
     def _recover(self, domain: int, object_group: int, spare: int) -> None:
         try:
             self.add_replica(domain, object_group, spare)
         except RuntimeError:
             self.spares.insert(0, spare)  # retry later / surface to caller
+        finally:
+            self._recovering.discard((domain, object_group))
 
     def _on_view(self, pid: int, view: ViewChange) -> None:
         pass  # hook point for tests and experiments

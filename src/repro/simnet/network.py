@@ -8,7 +8,8 @@ per-link latency, jitter, loss, partitions and crash faults.
 
 Exactly the properties FTMP assumes of IP Multicast hold here:
 
-* best-effort — packets may be dropped (never corrupted or duplicated);
+* best-effort — packets may be dropped, and (when a link configures a
+  ``duplicate`` probability) delivered twice; they are never corrupted;
 * unordered across sources — per-link jitter can reorder packets;
 * loopback — a sender receives its own multicasts;
 * open groups — any processor may send to a group it has not joined
@@ -209,6 +210,13 @@ class Network:
                     dropped += 1
                     continue
                 delay = link.sample_delay(self.rng)
+                if link.duplicates(self.rng):
+                    # second copy with its own delay: may arrive before or
+                    # after the first (duplication + reordering in one)
+                    self.scheduler.schedule(
+                        egress_delay + link.sample_delay(self.rng),
+                        self._deliver, pid, data,
+                    )
             delivered += 1
             self.scheduler.schedule(egress_delay + delay, self._deliver, pid, data)
         self.trace.record_send(

@@ -25,12 +25,17 @@ class LinkModel:
 
     ``latency`` is the fixed propagation delay; ``jitter`` adds a uniform
     random component in ``[0, jitter]``; ``loss`` is the independent drop
-    probability of each packet on this link.
+    probability of each packet on this link; ``duplicate`` is the
+    probability that a packet arrives twice (with independently sampled
+    delays, so the copies may also be reordered) — real IP multicast can
+    duplicate across redundant routes, and the chaos campaign uses it to
+    exercise the RMP/GIOP duplicate-suppression paths.
     """
 
     latency: float = 0.0001
     jitter: float = 0.00002
     loss: float = 0.0
+    duplicate: float = 0.0
 
     def sample_delay(self, rng: random.Random) -> float:
         """Draw the one-way delay for a single packet."""
@@ -41,6 +46,10 @@ class LinkModel:
     def drops(self, rng: random.Random) -> bool:
         """Decide whether a single packet is lost on this link."""
         return self.loss > 0 and rng.random() < self.loss
+
+    def duplicates(self, rng: random.Random) -> bool:
+        """Decide whether a single packet is delivered twice."""
+        return self.duplicate > 0 and rng.random() < self.duplicate
 
 
 @dataclass
@@ -84,6 +93,18 @@ class Topology:
         self.default.loss = loss
         for m in self.overrides.values():
             m.loss = loss
+
+    def set_jitter(self, jitter: float) -> None:
+        """Set the jitter bound on the default link and every override."""
+        self.default.jitter = jitter
+        for m in self.overrides.values():
+            m.jitter = jitter
+
+    def set_duplicate(self, duplicate: float) -> None:
+        """Set the duplication probability on the default and every override."""
+        self.default.duplicate = duplicate
+        for m in self.overrides.values():
+            m.duplicate = duplicate
 
 
 def lan(loss: float = 0.0) -> Topology:

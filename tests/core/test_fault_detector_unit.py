@@ -88,3 +88,22 @@ def test_suspicion_stats_accumulate():
     total = fd.stats.suspicions_raised
     # either it was withdrawn (heard again) or 3 was convicted; both legal
     assert total >= 1
+
+
+def test_scan_purges_liveness_entries_for_non_members():
+    # note_alive records *every* datagram source (any processor may send
+    # to the group address): without the scan-time purge, liveness entries
+    # for non-members accumulate without bound under connection traffic,
+    # and a stale suspicion of a since-removed processor lingers forever.
+    cfg = FTMPConfig(suspect_timeout=0.050)
+    c = make_cluster((1, 2, 3), config=cfg)
+    c.run_for(0.05)
+    fd = c.stacks[1].group(1).fault_detector
+    fd.note_alive(9)  # a non-member (e.g. a client's Connect datagram)
+    fd._suspected.add(9)
+    assert 9 in fd._last_heard
+    c.run_for(cfg.suspect_timeout)  # at least one scan elapses
+    assert 9 not in fd._last_heard
+    assert 9 not in fd.suspected
+    # members are of course kept
+    assert 2 in fd._last_heard and 3 in fd._last_heard

@@ -25,6 +25,30 @@ class MockRMP:
         self.tops[pid] = seq
 
 
+class MockROMP:
+    """Everyone is always heard arbitrarily far ahead: the fault-view
+    drain phase completes immediately, so these tests exercise the
+    conviction/sync logic without a live ordering layer."""
+
+    def __init__(self):
+        self.transition = None
+
+    def order_ts(self, pid):
+        return 10**9
+
+    def begin_transition(self, survivors, cut_ts):
+        self.transition = (frozenset(survivors), cut_ts)
+
+    def end_transition(self):
+        self.transition = None
+
+    def transition_drained(self, cut_ts):
+        return True
+
+    def evaluate(self):
+        pass
+
+
 class MockGroup:
     def __init__(self, pid=1, membership=(1, 2, 3, 4, 5)):
         self._pid = pid
@@ -32,6 +56,7 @@ class MockGroup:
         self.view_timestamp = 0
         self.config = FTMPConfig()
         self.rmp = MockRMP()
+        self.romp = MockROMP()
         self.last_sent_seq = 0
         self.sent_suspects: List[Tuple[int, Tuple[int, ...]]] = []
         self.sent_memberships: List[Tuple] = []
@@ -70,6 +95,9 @@ class MockGroup:
 
     def evict_self(self, reason, view_timestamp):
         self.evicted.append((reason, view_timestamp))
+
+    def suspected_members(self):
+        return set()
 
 
 def suspect_msg(src, view_ts, suspects, seq=1, ts=10):

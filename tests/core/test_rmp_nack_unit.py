@@ -163,3 +163,113 @@ def test_source_answers_nack_immediately():
     # the source schedules with zero delay: fires at the next step
     ctx.scheduler.run_until(0.0)
     assert len(ctx.retransmitted) == 1
+
+
+# ----------------------------------------------------------------------
+# multi-hole gap recovery (first-hole NACKs walk the stream hole by hole)
+# ----------------------------------------------------------------------
+def test_missing_range_reports_first_hole_only():
+    ctx = MockContext()
+    rmp = RMP(ctx)
+    for seq in (1, 3, 6, 7):  # holes at 2 and at 4-5
+        rmp.on_message(regular(1, seq))
+    st = rmp.sources()[1]
+    assert rmp._missing_range(st) == (2, 2)
+    rmp.on_message(regular(1, 2))  # fills the first hole, delivers 2-3
+    assert rmp._missing_range(st) == (4, 5)
+
+
+def test_multi_hole_recovery_walks_hole_by_hole():
+    ctx = MockContext()
+    rmp = RMP(ctx)
+    for seq in (1, 3, 5):  # two single-message holes: 2 and 4
+        rmp.on_message(regular(1, seq))
+    ctx.scheduler.run_until(ctx.config.nack_delay * 2)
+    assert ctx.nacks == [(1, 2, 2)]  # only the first hole is requested
+    rmp.on_message(regular(1, 2))  # retransmission arrives: 2-3 deliver
+    # the still-armed retry timer must now target the *second* hole
+    ctx.scheduler.run_until(ctx.scheduler.now + ctx.config.nack_retry_interval * 2)
+    assert (1, 4, 4) in ctx.nacks
+    rmp.on_message(regular(1, 4))
+    assert [m.header.sequence_number for m in ctx.delivered] == [1, 2, 3, 4, 5]
+    # fully contiguous: the retry timer is gone
+    n = len(ctx.nacks)
+    ctx.scheduler.run_until(ctx.scheduler.now + ctx.config.nack_retry_interval * 3)
+    assert len(ctx.nacks) == n
+
+
+# ----------------------------------------------------------------------
+# NACK escalation-count hygiene (purge on membership change, cap eviction)
+# ----------------------------------------------------------------------
+def _nack_round(ctx, rmp, src, seq):
+    """One full NACK round: request arrives, backoff elapses, answer sent."""
+    rmp.on_message(nack(3, src, seq, seq))
+    ctx.scheduler.run_until(ctx.scheduler.now + ctx.config.retransmit_backoff * 2)
+
+
+def test_drop_source_purges_escalation_counts():
+    ctx = MockContext(pid=2)
+    rmp = RMP(ctx)
+    rmp.on_message(regular(1, 1))
+    _nack_round(ctx, rmp, 1, 1)
+    _nack_round(ctx, rmp, 1, 1)
+    assert rmp._nack_counts == {(1, 1): 2}
+    rmp.drop_source(1)
+    assert rmp._nack_counts == {}
+
+
+def test_set_baseline_purges_escalation_counts():
+    ctx = MockContext(pid=2)
+    rmp = RMP(ctx)
+    rmp.on_message(regular(1, 1))
+    _nack_round(ctx, rmp, 1, 1)
+    assert rmp._nack_counts == {(1, 1): 1}
+    rmp.set_baseline(1, 5)  # rejoin: the source restarts its numbering
+    assert rmp._nack_counts == {}
+
+
+def test_rejoined_source_first_nack_is_suppressible_again():
+    # Without the purge, a source that leaves and rejoins with reset
+    # sequence numbers inherits its old incarnation's >= 3 escalation
+    # count, and the very first NACK for a reused (src, seq) triggers an
+    # unsuppressed retransmit storm.
+    ctx = MockContext(pid=2)
+    rmp = RMP(ctx)
+    rmp.on_message(regular(1, 1))
+    for _ in range(3):  # escalate (1, 1) to count 3
+        _nack_round(ctx, rmp, 1, 1)
+    assert rmp._nack_counts[(1, 1)] >= 3
+    rmp.drop_source(1)
+    rmp.on_message(regular(1, 1))  # new incarnation reuses seq 1
+    before = len(ctx.retransmitted)
+    rmp.on_message(nack(3, 1, 1, 1))
+    # first request for the new incarnation: randomized backoff, NOT an
+    # immediate unsuppressible answer
+    assert len(ctx.retransmitted) == before
+
+
+def test_nack_count_cap_evicts_cold_keys_first():
+    ctx = MockContext(pid=2)
+    rmp = RMP(ctx)
+    rmp._NACK_COUNT_CAP = 3  # shrink the cap so the test stays small
+    for seq in range(1, 6):
+        rmp.on_message(regular(1, seq))
+    _nack_round(ctx, rmp, 1, 1)
+    _nack_round(ctx, rmp, 1, 1)  # (1, 1) is escalating: count 2
+    for seq in (2, 3, 4, 5):
+        _nack_round(ctx, rmp, 1, seq)
+    assert len(rmp._nack_counts) <= 3  # bounded, not ever-growing
+    # per-key eviction spared the escalating key and dropped cold ones
+    assert rmp._nack_counts[(1, 1)] == 2
+
+
+def test_nack_count_cap_bounds_even_when_all_keys_escalate():
+    ctx = MockContext(pid=2)
+    rmp = RMP(ctx)
+    rmp._NACK_COUNT_CAP = 2
+    for seq in range(1, 5):
+        rmp.on_message(regular(1, seq))
+    for seq in range(1, 5):
+        _nack_round(ctx, rmp, 1, seq)
+        _nack_round(ctx, rmp, 1, seq)  # every key reaches count 2
+    assert len(rmp._nack_counts) <= 2

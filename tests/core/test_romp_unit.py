@@ -206,3 +206,32 @@ def test_observe_header_notes_liveness():
     r.observe_header(heartbeat(2, ts=3).header)
     assert g.alive == [2]
     assert g.clock.time >= 3
+
+
+# ----------------------------------------------------------------------
+# §7 quiescence barrier: empty membership must NOT clear it
+# ----------------------------------------------------------------------
+def test_send_barrier_holds_while_membership_is_empty():
+    # A still-joining group has membership (): the all() over members is
+    # vacuously true, so without an explicit guard the barrier would clear
+    # before any real member has been heard past it.
+    g = MockGroup(membership=())
+    romp = ROMP(g)
+    romp.set_send_barrier(5)
+    assert not romp.can_send_ordered()
+    romp.evaluate()  # evaluate() re-checks the barrier every time
+    assert not romp.can_send_ordered()
+    assert g.barrier_cleared == 0
+
+
+def test_send_barrier_clears_once_members_are_heard_past_it():
+    g = MockGroup(membership=())
+    romp = ROMP(g)
+    romp.set_send_barrier(5)
+    # membership arrives (join completes) and every member is heard past
+    # the barrier timestamp: now — and only now — the barrier lifts
+    g.membership = (1, 2)
+    romp.receive_heartbeat(heartbeat(1, 6))
+    romp.receive_heartbeat(heartbeat(2, 7))
+    assert romp.can_send_ordered()
+    assert g.barrier_cleared == 1

@@ -1,0 +1,155 @@
+"""Unit tests of the protocol-invariant oracles on synthetic histories.
+
+Each oracle gets a clean history it must accept and a minimally-corrupted
+history it must flag — proving the chaos campaign's verdicts mean
+something (an oracle that never fires checks nothing).
+"""
+
+from repro.core.events import Delivery, RecordingListener, ViewChange
+from repro.core.messages import ConnectionId
+from repro.replication.oracles import (
+    check_convergence,
+    check_fifo,
+    check_membership_agreement,
+    check_no_duplicates,
+    check_total_order,
+    check_virtual_synchrony,
+    run_history_oracles,
+)
+
+GROUP = 1
+
+
+def deliver(lst, source, seq, ts, payload=None, cid=None, req=0):
+    lst.on_deliver(Delivery(
+        group=GROUP, source=source, sequence_number=seq, timestamp=ts,
+        connection_id=cid if cid is not None else ConnectionId.none(),
+        request_num=req,
+        payload=payload if payload is not None else f"{source}:{seq}".encode(),
+        delivered_at=float(ts),
+    ))
+
+
+def view(lst, membership, ts, removed=(), added=(), reason="fault"):
+    lst.on_view_change(ViewChange(
+        group=GROUP, membership=tuple(membership), view_timestamp=ts,
+        added=tuple(added), removed=tuple(removed), reason=reason,
+        installed_at=float(ts),
+    ))
+
+
+def pair(stream=((1, 1, 10), (2, 1, 11), (1, 2, 12), (2, 2, 13))):
+    """Two members that both delivered ``stream`` in the same order."""
+    listeners = {1: RecordingListener(), 2: RecordingListener()}
+    for lst in listeners.values():
+        view(lst, (1, 2), 0, reason="connect")
+        for src, seq, ts in stream:
+            deliver(lst, src, seq, ts)
+    return listeners
+
+
+def oracles_of(violations):
+    return {v.oracle for v in violations}
+
+
+def test_clean_history_passes_every_oracle():
+    listeners = pair()
+    assert run_history_oracles(listeners, GROUP, final_members=(1, 2)) == []
+
+
+def test_total_order_flags_swapped_common_messages():
+    listeners = pair()
+    d = listeners[2].deliveries
+    d[0], d[1] = d[1], d[0]  # member 2 saw (2,1) before (1,1)
+    violations = check_total_order(listeners, GROUP)
+    assert "total-order" in oracles_of(violations)
+    assert any({1, 2} <= set(v.members) for v in violations)
+
+
+def test_total_order_flags_diverging_content():
+    listeners = pair()
+    lst3 = RecordingListener()
+    view(lst3, (1, 2), 0, reason="connect")
+    deliver(lst3, 1, 1, 10, payload=b"DIFFERENT")  # same id, other payload
+    listeners[3] = lst3
+    violations = check_total_order(listeners, GROUP)
+    assert any("diverging" in v.detail for v in violations)
+
+
+def test_fifo_flags_out_of_order_source_sequence():
+    lst = RecordingListener()
+    deliver(lst, 1, 2, 10)
+    deliver(lst, 1, 1, 11)  # seq went backwards for source 1
+    assert oracles_of(check_fifo({1: lst}, GROUP)) == {"fifo"}
+
+
+def test_no_duplicates_flags_repeated_message_id():
+    lst = RecordingListener()
+    deliver(lst, 1, 1, 10)
+    deliver(lst, 1, 1, 12)
+    assert oracles_of(check_no_duplicates({1: lst}, GROUP)) == {"no-duplicates"}
+
+
+def test_no_duplicates_flags_repeated_giop_request():
+    cid = ConnectionId(1, 1, 2, 2)
+    lst = RecordingListener()
+    # distinct FTMP messages carrying the same GIOP (cid, request) pair
+    deliver(lst, 1, 1, 10, cid=cid, req=7)
+    deliver(lst, 1, 2, 11, cid=cid, req=7)
+    violations = check_no_duplicates({1: lst}, GROUP)
+    assert any("GIOP" in v.detail for v in violations)
+
+
+def test_virtual_synchrony_flags_diverging_cut_between_survivors():
+    listeners = {1: RecordingListener(), 2: RecordingListener()}
+    for pid, lst in listeners.items():
+        view(lst, (1, 2, 3), 0, reason="connect")
+        deliver(lst, 1, 1, 10)
+        if pid == 1:
+            deliver(lst, 3, 1, 12)  # only member 1 got 3's message pre-cut
+        view(lst, (1, 2), 100, removed=(3,))
+    violations = check_virtual_synchrony(listeners, GROUP)
+    assert oracles_of(violations) == {"virtual-synchrony"}
+
+
+def test_virtual_synchrony_exempts_the_evicted_member():
+    listeners = {1: RecordingListener(), 2: RecordingListener(),
+                 3: RecordingListener()}
+    for pid, lst in listeners.items():
+        view(lst, (1, 2, 3), 0, reason="connect")
+        deliver(lst, 1, 1, 10)
+        if pid != 3:
+            deliver(lst, 2, 1, 12)  # the victim missed this one
+            view(lst, (1, 2), 100, removed=(3,))
+        else:
+            view(lst, (), 100, removed=(3,), reason="evicted")
+    # a failed processor's set may be a prefix of the survivors': no breach
+    assert check_virtual_synchrony(listeners, GROUP) == []
+
+
+def test_convergence_flags_a_message_one_final_member_never_got():
+    listeners = pair()
+    del listeners[2].deliveries[-2:]  # member 2 is missing the tail
+    listeners[2].events[:] = listeners[2].deliveries
+    violations = check_convergence(listeners, GROUP, (1, 2))
+    assert oracles_of(violations) == {"convergence"}
+
+
+def test_convergence_exempts_sources_outside_final_membership():
+    # member 3 was convicted: its tail is grandfathered at the old view's
+    # members only, so a joiner that never saw it owes nothing
+    listeners = pair(stream=((3, 5, 9), (1, 1, 10), (2, 1, 11)))
+    late = RecordingListener()
+    view(late, (1, 2, 4), 0, reason="connect")
+    deliver(late, 1, 1, 10)
+    deliver(late, 2, 1, 11)
+    listeners[4] = late
+    assert check_convergence(listeners, GROUP, (1, 2, 4)) == []
+
+
+def test_membership_agreement_flags_divergent_views():
+    listeners = pair()
+    view(listeners[2], (1, 2, 9), 50, added=(9,), reason="add")
+    violations = check_membership_agreement(listeners, GROUP, (1, 2),
+                                            expected=(1, 2))
+    assert oracles_of(violations) == {"membership-agreement"}
