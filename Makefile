@@ -11,8 +11,10 @@ test:
 	$(PYTHON) -m pytest tests/
 
 # plain pytest: the experiment files are ordinary tests that emit their
-# tables into benchmarks/results/ (a fallback `benchmark` fixture covers
-# environments without pytest-benchmark, so no plugin flags here)
+# tables into benchmarks/results/ and merge machine-readable metrics
+# into BENCH_report.json at the repo root (a fallback `benchmark`
+# fixture covers environments without pytest-benchmark, so no plugin
+# flags here)
 bench:
 	$(PYTHON) -m pytest benchmarks/ -q
 
@@ -36,5 +38,5 @@ chaos:
 
 clean:
 	rm -rf .pytest_cache .hypothesis benchmarks/results/*.txt \
-	       test_output.txt bench_output.txt
+	       BENCH_report.json test_output.txt bench_output.txt
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -3,13 +3,23 @@
 Every experiment writes its table/series to ``benchmarks/results/<id>.txt``
 so EXPERIMENTS.md can cite the exact measured output even when pytest
 captures stdout.
+
+Machine-readable counterpart: :func:`emit_json` merges structured metrics
+into ``BENCH_report.json`` at the repository root.  Each experiment owns a
+top-level key; re-running one experiment updates only its own section, so
+``make bench`` (or any subset of it) incrementally regenerates the report.
+CI uploads the file as a build artifact for perf-regression triage — there
+is deliberately no pass/fail gate on it.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
+from typing import Any, Dict
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+JSON_REPORT = pathlib.Path(__file__).parent.parent / "BENCH_report.json"
 
 
 def emit(experiment_id: str, text: str) -> None:
@@ -18,3 +28,23 @@ def emit(experiment_id: str, text: str) -> None:
     path = RESULTS_DIR / f"{experiment_id}.txt"
     path.write_text(text + "\n")
     print(f"\n{text}\n[saved to {path}]")
+
+
+def emit_json(experiment_id: str, metrics: Dict[str, Any]) -> None:
+    """Merge ``metrics`` under ``experiment_id`` in BENCH_report.json.
+
+    The report is a single JSON object keyed by experiment id.  Merging
+    (rather than overwriting the whole file) lets a partial benchmark run
+    refresh just the experiments it executed while keeping the rest.
+    """
+    report: Dict[str, Any] = {}
+    if JSON_REPORT.exists():
+        try:
+            report = json.loads(JSON_REPORT.read_text())
+        except (ValueError, OSError):
+            report = {}  # corrupt/unreadable report: rebuild from scratch
+    if not isinstance(report, dict):
+        report = {}
+    report[experiment_id] = metrics
+    JSON_REPORT.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"[metrics merged into {JSON_REPORT}]")

@@ -21,7 +21,7 @@ from repro.baselines import FTMPProtocol
 from repro.core import FTMPConfig
 from repro.simnet import LinkModel, Network, Topology
 
-from _report import emit
+from _report import emit, emit_json
 
 PIDS = (1, 2, 3, 4, 5)
 MSG_SIZE = 64  # small payloads: framing overhead dominates unbatched
@@ -134,6 +134,30 @@ def test_e12_throughput_saturation(benchmark):
                       lat.p99 * 1e3 if lat else float("nan"),
                       round(r["datagrams_per_delivery"], 3))
     emit("E12_throughput_saturation", table.render())
+    emit_json("e12_saturation", {
+        "senders": len(PIDS),
+        "msg_size_bytes": MSG_SIZE,
+        "egress_bandwidth_bytes_s": BANDWIDTH,
+        "packet_overhead_bytes": PACKET_OVERHEAD,
+        "batch_window_s": BATCH_WINDOW,
+        "series": [
+            {
+                "mode": label,
+                "offered_msg_s": round(r["offered"]),
+                "goodput_msg_s": round(r["goodput"]),
+                "mean_latency_ms": round(r["latency"].mean * 1e3, 3)
+                if r["latency"] else None,
+                "p99_latency_ms": round(r["latency"].p99 * 1e3, 3)
+                if r["latency"] else None,
+                "datagrams_per_delivery": round(r["datagrams_per_delivery"], 3),
+            }
+            for (label, rate), r in results.items()
+        ],
+        "saturation_goodput_unbatched_msg_s": round(
+            results[("ftmp", RATES[-1])]["goodput"]),
+        "saturation_goodput_batched_msg_s": round(
+            results[("ftmp-batch", RATES[-1])]["goodput"]),
+    })
 
     # reliability is never traded away: every message is delivered at the
     # observer at every load, batching on or off

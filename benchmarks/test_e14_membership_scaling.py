@@ -17,7 +17,7 @@ Membership exchange itself is one concurrent round, not a sequential one.
 from repro.analysis import Table, make_cluster
 from repro.core import FTMPConfig, FTMPStack, RecordingListener
 
-from _report import emit
+from _report import emit, emit_json
 
 GROUP_SIZES = (3, 5, 8, 12)
 CFG = FTMPConfig(heartbeat_interval=0.005, suspect_timeout=0.060)
@@ -67,6 +67,16 @@ def test_e14_membership_scaling(benchmark):
         join_ms, fault_ms = results[n][0] * 1e3, results[n][1] * 1e3
         table.add_row(n, join_ms, fault_ms)
     emit("E14_membership_scaling", table.render())
+    emit_json("e14_membership_scaling", {
+        "series": [
+            {
+                "group_size": n,
+                "join_latency_ms": round(results[n][0] * 1e3, 3),
+                "fault_report_latency_ms": round(results[n][1] * 1e3, 3),
+            }
+            for n in GROUP_SIZES
+        ],
+    })
 
     joins = [results[n][0] for n in GROUP_SIZES]
     faults = [results[n][1] for n in GROUP_SIZES]

@@ -5,6 +5,8 @@ a deployment would care about: FTMP framing, GIOP+CDR marshaling,
 fragmentation, and a full simulated three-member ordered multicast.
 """
 
+import time
+
 from repro.core import (
     ConnectionId,
     FTMPConfig,
@@ -15,6 +17,14 @@ from repro.core import (
     decode,
     encode,
 )
+from repro.core.messages import (
+    BatchMessage,
+    RemoveProcessorMessage,
+    RetransmitRequestMessage,
+)
+from repro.core.wire import encode_reference
+
+from _report import emit, emit_json
 from repro.giop import (
     GIOPHeader,
     GIOPMessageType,
@@ -99,7 +109,6 @@ def test_three_member_ordered_multicast_round(benchmark):
     def run():
         net = Network(lan(), seed=1)
         stacks = []
-        delivered = []
         from repro.core import RecordingListener
 
         for pid in (1, 2, 3):
@@ -113,4 +122,93 @@ def test_three_member_ordered_multicast_round(benchmark):
         net.run_for(0.5)
         return len(stacks[0][1].deliveries)
 
+    # self-timed pass: wall-clock ordered-delivery rate for the JSON report
+    t0 = time.perf_counter()
+    deliveries = run()
+    wall = time.perf_counter() - t0
+    emit_json("micro_ordered_multicast", {
+        "members": 3,
+        "deliveries_per_run": deliveries,
+        "wall_seconds": round(wall, 6),
+        "ordered_deliveries_per_sec": round(deliveries / wall, 1),
+    })
     assert benchmark(run) == 30
+
+
+def _time_ns_per_op(fn, *args) -> float:
+    """Median-of-5 ns/op over self-calibrating loops (~20 ms per repeat)."""
+    # warm up + calibrate the loop count
+    fn(*args)
+    n, t = 1, 0.0
+    while True:
+        t0 = time.perf_counter()
+        for _ in range(n):
+            fn(*args)
+        t = time.perf_counter() - t0
+        if t >= 0.02:
+            break
+        n *= 4
+    samples = [t / n]
+    for _ in range(4):
+        t0 = time.perf_counter()
+        for _ in range(n):
+            fn(*args)
+        samples.append((time.perf_counter() - t0) / n)
+    samples.sort()
+    return samples[2] * 1e9
+
+
+def test_codec_fast_vs_reference():
+    """The precompiled-Struct fast path must be byte-identical to the
+    field-at-a-time reference writer, and measurably faster."""
+    cases = {
+        "regular_256b": _regular(b"x" * 256),
+        "retransmit_request": RetransmitRequestMessage(
+            header=FTMPHeader(MessageType.RETRANSMIT_REQUEST, source=2, group=9,
+                              sequence_number=0, timestamp=0, ack_timestamp=0),
+            processor_id=1, start_seq=5, stop_seq=12,
+        ),
+        "remove_processor": RemoveProcessorMessage(
+            header=FTMPHeader(MessageType.REMOVE_PROCESSOR, source=3, group=9,
+                              sequence_number=0, timestamp=100,
+                              ack_timestamp=0),
+            member_to_remove=2,
+        ),
+        "batch_8x64b": BatchMessage(
+            header=FTMPHeader(MessageType.BATCH, source=1, group=9,
+                              sequence_number=0, timestamp=0, ack_timestamp=0),
+            parts=tuple(
+                encode(RegularMessage(
+                    header=FTMPHeader(MessageType.REGULAR, source=1, group=9,
+                                      sequence_number=7 + i, timestamp=42 + i,
+                                      ack_timestamp=40),
+                    connection_id=CID, request_num=7 + i, payload=b"y" * 64,
+                ))
+                for i in range(8)
+            ),
+        ),
+    }
+    rows = ["case                 fast ns/op   reference ns/op   speedup"]
+    metrics = {}
+    for name, msg in cases.items():
+        fast_raw = encode(msg)
+        ref_raw = encode_reference(msg)
+        assert fast_raw == ref_raw, f"{name}: fast path diverges from reference"
+        assert decode(fast_raw).header.message_type == msg.header.message_type
+        fast_ns = _time_ns_per_op(encode, msg)
+        ref_ns = _time_ns_per_op(encode_reference, msg)
+        rows.append(f"{name:<20} {fast_ns:>10.0f} {ref_ns:>17.0f} "
+                    f"{ref_ns / fast_ns:>8.2f}x")
+        metrics[name] = {
+            "encode_fast_ns_op": round(fast_ns, 1),
+            "encode_reference_ns_op": round(ref_ns, 1),
+            "speedup": round(ref_ns / fast_ns, 2),
+            "wire_bytes": len(fast_raw),
+        }
+        # fixed-layout fast paths should beat the reference writer; allow
+        # generous noise margin — this is informational, CI does not gate
+        assert fast_ns < ref_ns * 1.5, f"{name}: fast path slower than reference"
+    emit("MICRO_codec_fast_vs_reference", "\n".join(rows))
+    emit_json("codec", metrics)
+    # the hot fixed-layout cases must be genuinely faster on this host
+    assert metrics["regular_256b"]["speedup"] > 1.0

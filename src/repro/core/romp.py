@@ -22,6 +22,19 @@ stamped on every outgoing message is the timestamp of this processor's
 latest totally-ordered delivery (by the delivery rule, everything at or
 below it has been received from all members), and the minimum ack heard
 across members drives retransmission-buffer garbage collection (§6).
+
+Hot-path engineering: the delivery gate and the stability rule are both
+"min over the membership of a per-member monotonic counter".  Instead of
+rescanning the membership on every received message, ROMP keeps two lazy
+min-heaps (:attr:`_cover_heap` over ``_order_ts``, :attr:`_ack_heap` over
+the advertised acks).  Because the tracked values only ever increase, an
+update pushes the new value and the query pops entries that no longer
+match the live dict — amortized O(log n) per message instead of O(n)
+scans at the queue head.  The heaps are rebuilt wholesale whenever the
+membership tuple changes (views are rare; the rebuild is one O(n) pass),
+which the query detects by tuple identity.  The ordering queue keeps a
+per-source index (``_by_src``) so per-source queries and purges no longer
+scan the whole queue.
 """
 
 from __future__ import annotations
@@ -29,7 +42,7 @@ from __future__ import annotations
 import heapq
 from collections import deque
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Deque, Dict, FrozenSet, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Deque, Dict, FrozenSet, List, Optional, Tuple
 
 from .constants import TOTALLY_ORDERED_TYPES, MessageType
 from .messages import FTMPHeader, FTMPMessage, HeartbeatMessage
@@ -63,6 +76,8 @@ class ROMP:
         #: ordering queue: (timestamp, source, insertion seq, message)
         self._queue: List[Tuple[int, int, int, FTMPMessage]] = []
         self._queue_keys: set = set()  #: (ts, src) pairs currently queued
+        #: per-source queue index: src -> {timestamp: sequence number}
+        self._by_src: Dict[int, Dict[int, int]] = {}
         self._insertion = 0
         #: my positive acknowledgment: ts of the latest ordered delivery
         self._ack = 0
@@ -78,7 +93,55 @@ class ROMP:
         #: fault-view drain (§7.2): (survivor set, cut timestamp) while a
         #: synced fault view waits to be installed
         self._transition: Optional[Tuple[FrozenSet[int], int]] = None
+        #: membership tuple the incremental min trackers were built for;
+        #: compared by identity (membership tuples are replaced, never
+        #: mutated), so the steady-state staleness check is one ``is``
+        self._gate_members: Optional[Tuple[int, ...]] = None
+        self._gate_set: FrozenSet[int] = frozenset()
+        #: lazy min-heap of (order_ts, pid) entries over the membership
+        self._cover_heap: List[Tuple[int, int]] = []
+        #: lazy min-heap of (ack, pid) entries over the membership
+        self._ack_heap: List[Tuple[int, int]] = []
         self.stats = ROMPStats()
+
+    # ------------------------------------------------------------------
+    # incremental gate/stability min tracking
+    # ------------------------------------------------------------------
+    def _sync_gate(self) -> None:
+        """Rebuild the min trackers if the membership tuple was replaced."""
+        m = self._g.membership
+        if m is self._gate_members:
+            return
+        self._gate_members = m
+        self._gate_set = frozenset(m)
+        cover = [(self._order_ts.get(p, 0), p) for p in m]
+        heapq.heapify(cover)
+        self._cover_heap = cover
+        pid = self._g.pid
+        acks = [
+            (self._ack if p == pid else self._peer_ack.get(p, 0), p) for p in m
+        ]
+        heapq.heapify(acks)
+        self._ack_heap = acks
+
+    def _cover_ts(self) -> Optional[int]:
+        """Min of ``_order_ts`` over the membership; None when it is empty.
+
+        Amortized O(1): stale heap entries (superseded by a later advance)
+        are popped on sight; every member always has its current value on
+        the heap, so the first live entry is the true minimum.
+        """
+        self._sync_gate()
+        if not self._gate_set:
+            return None
+        heap = self._cover_heap
+        order = self._order_ts
+        while heap:
+            ts, p = heap[0]
+            if order.get(p, 0) == ts:
+                return ts
+            heapq.heappop(heap)
+        return 0  # unreachable in practice: every member keeps a live entry
 
     # ------------------------------------------------------------------
     # observation of every datagram (clock, acks, liveness)
@@ -87,8 +150,11 @@ class ROMP:
         """Fold in clock/ack/liveness information from any received header."""
         self._g.clock.observe(h.timestamp)
         src = h.source
-        if h.ack_timestamp > self._peer_ack.get(src, 0):
-            self._peer_ack[src] = h.ack_timestamp
+        ack = h.ack_timestamp
+        if ack > self._peer_ack.get(src, 0):
+            self._peer_ack[src] = ack
+            if src in self._gate_set:
+                heapq.heappush(self._ack_heap, (ack, src))
             self._maybe_collect()
         self._g.note_alive(src)
 
@@ -100,8 +166,9 @@ class ROMP:
         h = msg.header
         self.observe_header(h)
         self._advance_order_ts(h.source, h.timestamp)
+        self._sync_gate()
         if h.message_type in TOTALLY_ORDERED_TYPES:
-            if h.source not in self._g.membership:
+            if h.source not in self._gate_set:
                 # A source that is not (yet) a member: stage its ordered
                 # messages until an AddProcessor admits it — never let a
                 # non-member block the head of the ordering queue.
@@ -112,7 +179,7 @@ class ROMP:
             self._enqueue(msg)
         else:
             # Suspect / Membership: reliable, source-ordered, NOT total order
-            if h.source not in self._g.membership:
+            if h.source not in self._gate_set:
                 return  # stale control traffic from an evicted processor
             self.stats.bypass_deliveries += 1
             self._g.pgmp_receive_source_ordered(msg)
@@ -124,6 +191,7 @@ class ROMP:
         if key in self._queue_keys:
             return
         self._queue_keys.add(key)
+        self._by_src.setdefault(h.source, {})[h.timestamp] = h.sequence_number
         heapq.heappush(self._queue, (h.timestamp, h.source, self._insertion, msg))
         self._insertion += 1
         if len(self._queue) > self.stats.max_queue_depth:
@@ -139,6 +207,8 @@ class ROMP:
     def _advance_order_ts(self, src: int, ts: int) -> None:
         if ts > self._order_ts.get(src, 0):
             self._order_ts[src] = ts
+            if src in self._gate_set:
+                heapq.heappush(self._cover_heap, (ts, src))
 
     # ------------------------------------------------------------------
     # the total-order delivery rule
@@ -149,8 +219,7 @@ class ROMP:
         delivered_any = False
         while self._queue:
             ts, src, _ins, msg = self._queue[0]
-            membership = self._g.membership
-            gate: Iterable[int] = membership
+            self._sync_gate()
             if self._transition is not None:
                 # Fault-view drain (§7.2): the old view's messages are
                 # delivered gated only on the survivors — the convicted
@@ -161,19 +230,32 @@ class ROMP:
                 survivors, cut = self._transition
                 if ts > cut:
                     break
-                gate = survivors
-            if src not in membership and (ts, src) not in self._g.legacy_keys:
-                # A not-yet-added member's message: it always follows the
-                # AddProcessor (smaller timestamp) in the queue; if the
-                # source will never join, the view change purges it.
-                # (Messages grandfathered by a fault view are delivered.)
-                break
-            if not all(self._order_ts.get(p, 0) >= ts for p in gate):
-                break
+                if src not in self._gate_set and (ts, src) not in self._g.legacy_keys:
+                    break
+                order = self._order_ts
+                if not all(order.get(p, 0) >= ts for p in survivors):
+                    break
+            else:
+                if src not in self._gate_set and (ts, src) not in self._g.legacy_keys:
+                    # A not-yet-added member's message: it always follows the
+                    # AddProcessor (smaller timestamp) in the queue; if the
+                    # source will never join, the view change purges it.
+                    # (Messages grandfathered by a fault view are delivered.)
+                    break
+                cover = self._cover_ts()
+                if cover is not None and cover < ts:
+                    break
             heapq.heappop(self._queue)
             self._queue_keys.discard((ts, src))
+            index = self._by_src.get(src)
+            if index is not None:
+                index.pop(ts, None)
+                if not index:
+                    del self._by_src[src]
             if ts > self._ack:
                 self._ack = ts
+                if self._g.pid in self._gate_set:
+                    heapq.heappush(self._ack_heap, (ts, self._g.pid))
             self.stats.ordered_deliveries += 1
             delivered_any = True
             self._dispatch(msg)
@@ -205,17 +287,21 @@ class ROMP:
         return self._ack
 
     def stability_timestamp(self) -> int:
-        """min over members of their acks — everything at/below is stable."""
-        membership = self._g.membership
-        if not membership:
+        """min over members of their acks — everything at/below is stable.
+
+        Amortized O(1) via the lazy ack min-heap (acks only increase)."""
+        self._sync_gate()
+        if not self._gate_set:
             return 0
-        values = []
-        for p in membership:
-            if p == self._g.pid:
-                values.append(self._ack)
-            else:
-                values.append(self._peer_ack.get(p, 0))
-        return min(values)
+        heap = self._ack_heap
+        pid = self._g.pid
+        peer = self._peer_ack
+        while heap:
+            ack, p = heap[0]
+            if (self._ack if p == pid else peer.get(p, 0)) == ack:
+                return ack
+            heapq.heappop(heap)
+        return 0  # unreachable in practice: every member keeps a live entry
 
     def _maybe_collect(self) -> None:
         self._release_safe()
@@ -257,12 +343,13 @@ class ROMP:
         if self._send_barrier is None:
             return
         barrier = self._send_barrier
-        if not self._g.membership:
-            # an empty membership (e.g. a still-joining group) makes the
-            # all() below vacuously true — the §7 quiescence barrier must
-            # hold until real members have actually been heard past it
+        cover = self._cover_ts()
+        if cover is None:
+            # an empty membership (e.g. a still-joining group) must NOT
+            # clear the §7 quiescence barrier — it holds until real
+            # members have actually been heard past it
             return
-        if all(self._order_ts.get(p, 0) > barrier for p in self._g.membership):
+        if cover > barrier:
             self._send_barrier = None
             self._g.on_send_barrier_cleared()
 
@@ -301,6 +388,9 @@ class ROMP:
         self._order_ts.pop(src, None)
         self._peer_ack.pop(src, None)
         self._staging.pop(src, None)
+        # the min trackers may hold entries for the purged source whose
+        # live value just vanished; force a rebuild at the next query
+        self._gate_members = None
 
     def flush_staging(self, src: int) -> None:
         """Move a freshly admitted member's staged messages into the queue.
@@ -313,33 +403,44 @@ class ROMP:
         for msg in self._staging.pop(src, ()):  # preserves arrival (seq) order
             self._enqueue(msg)
 
+    def _drop_keys(self, src: int, timestamps) -> int:
+        """Remove the given (timestamp, ``src``) keys from the queue."""
+        doomed = set(timestamps)
+        if not doomed:
+            return 0
+        self._queue = [
+            e for e in self._queue if not (e[1] == src and e[0] in doomed)
+        ]
+        heapq.heapify(self._queue)
+        for ts in doomed:
+            self._queue_keys.discard((ts, src))
+        index = self._by_src.get(src)
+        if index is not None:
+            for ts in doomed:
+                index.pop(ts, None)
+            if not index:
+                del self._by_src[src]
+        return len(doomed)
+
     def purge_queue_after(self, src: int, seq_cutoff: int) -> int:
         """Drop queued messages from ``src`` with seq > ``seq_cutoff``.
 
         Used at fault-view installation: messages beyond the synchronized
         prefix were not received by every survivor and must not be
         delivered anywhere (virtual synchrony)."""
-        keep = [
-            e
-            for e in self._queue
-            if not (e[1] == src and e[3].header.sequence_number > seq_cutoff)
-        ]
-        dropped = len(self._queue) - len(keep)
-        if dropped:
-            self._queue = keep
-            heapq.heapify(self._queue)
-            self._queue_keys = {(ts, s) for ts, s, _i, _m in self._queue}
-        return dropped
+        index = self._by_src.get(src)
+        if not index:
+            return 0
+        return self._drop_keys(
+            src, [ts for ts, seq in index.items() if seq > seq_cutoff]
+        )
 
     def purge_queue_of(self, src: int) -> int:
         """Drop queued (undeliverable) messages from a departed source."""
-        keep = [e for e in self._queue if e[1] != src]
-        dropped = len(self._queue) - len(keep)
-        if dropped:
-            self._queue = keep
-            heapq.heapify(self._queue)
-            self._queue_keys = {(ts, s) for ts, s, _i, _m in self._queue}
-        return dropped
+        index = self._by_src.get(src)
+        if not index:
+            return 0
+        return self._drop_keys(src, list(index))
 
     def order_ts(self, src: int) -> int:
         """Timestamp up to which ``src``'s stream has been heard contiguously."""
@@ -350,9 +451,9 @@ class ROMP:
         return len(self._queue)
 
     def queued_from(self, src: int) -> int:
-        """Queued messages originated by ``src``."""
-        return sum(1 for e in self._queue if e[1] == src)
+        """Queued messages originated by ``src`` (O(1) via the index)."""
+        return len(self._by_src.get(src, ()))
 
     def keys_from(self, src: int) -> List[Tuple[int, int]]:
         """(timestamp, source) keys of queued messages from ``src``."""
-        return [(ts, s) for ts, s, _i, _m in self._queue if s == src]
+        return [(ts, src) for ts in sorted(self._by_src.get(src, ()))]

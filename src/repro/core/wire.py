@@ -21,14 +21,48 @@ Header layout (offsets in bytes)::
 
 Body encodings use length-prefixed collections: ``u16 count`` for
 processor lists and sequence-number vectors, ``u32 length`` for payloads.
+
+Hot-path engineering: the fixed-layout message types (Heartbeat, Regular,
+RetransmitRequest, RemoveProcessor) encode in a single precompiled
+:class:`struct.Struct` ``pack`` call per message and decode with
+``unpack_from`` at fixed offsets — no intermediate slices, no per-field
+``struct.pack`` allocations.  The field-at-a-time :class:`_Writer` /
+:class:`_Reader` pair survives for the variable-layout membership/control
+messages and as the :func:`encode_reference` regression oracle, which must
+stay byte-identical to the fast path for every message type.
+
+BATCH framing (compact part records): all parts of a Batch share the
+sender's source/group/magic/version with the envelope, so the envelope
+body stores one compact record per part instead of each part's full
+40-byte header::
+
+    u16  part count
+    then per part (compact record, envelope endianness):
+        u8   part flags        (bit7 clear)
+        u8   part type
+        u32  part seq number
+        u64  part timestamp
+        u64  part ack timestamp
+        u16  body length
+        ...  body bytes (verbatim)
+    or (verbatim record, for parts that do not share the envelope's
+    source/group/endianness or exceed the u16 body bound):
+        u8   0x80
+        u32  part length
+        ...  full part encoding
+
+The receiver reconstructs each part's full wire encoding byte-for-byte
+(the elided fields come from the envelope header), so retention and
+retransmission identity are untouched: a reconstructed part is
+indistinguishable from the sender's original encoding.
 """
 
 from __future__ import annotations
 
 import struct
-from typing import Dict, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
-from .constants import HEADER_SIZE, MAGIC, MessageType
+from .constants import HEADER_SIZE, MAGIC, VERSION_MAJOR, VERSION_MINOR, MessageType
 from .messages import (
     AddProcessorMessage,
     BatchMessage,
@@ -47,6 +81,7 @@ from .messages import (
 
 __all__ = [
     "encode",
+    "encode_reference",
     "decode",
     "CodecError",
     "header_of",
@@ -56,6 +91,11 @@ __all__ = [
 
 _FLAG_LITTLE_ENDIAN = 0x01
 _FLAG_RETRANSMISSION = 0x02
+#: Record marker inside a BATCH body: the part is stored verbatim (full
+#: encoding) instead of as a compact record.  Lives in the high bit of the
+#: record's first byte, which is a flags byte (bits 0-1 used) for compact
+#: records — 0x80 can never be a legal part flags value.
+_REC_VERBATIM = 0x80
 
 #: Byte offset of the flags field within the endianness-independent prefix
 #: (magic ``4s`` + version ``BB`` precede it).  Kept next to the codec so a
@@ -64,18 +104,78 @@ _FLAGS_OFFSET = 6
 
 _PREFIX = struct.Struct("4sBBBB")  # magic, ver_major, ver_minor, flags, type
 
+# ----------------------------------------------------------------------
+# precompiled fixed layouts, both endiannesses ("<" and ">" suppress
+# padding, so these match the historical field-at-a-time encodings)
+# ----------------------------------------------------------------------
+#: whole header in one call: prefix + size/source/group/seq/ts/ack
+_HDR = {
+    True: struct.Struct("<4sBBBBIIIIQQ"),
+    False: struct.Struct(">4sBBBBIIIIQQ"),
+}
+#: header + Regular body prefix (connection id ×4, request num, payload len)
+_HDR_REGULAR = {
+    True: struct.Struct("<4sBBBBIIIIQQIIIIQI"),
+    False: struct.Struct(">4sBBBBIIIIQQIIIIQI"),
+}
+#: header + RetransmitRequest body (processor, start, stop)
+_HDR_RETRANSMIT = {
+    True: struct.Struct("<4sBBBBIIIIQQIII"),
+    False: struct.Struct(">4sBBBBIIIIQQIII"),
+}
+#: header + RemoveProcessor body (member)
+_HDR_REMOVE = {
+    True: struct.Struct("<4sBBBBIIIIQQI"),
+    False: struct.Struct(">4sBBBBIIIIQQI"),
+}
+#: Regular body alone (decode side)
+_REGULAR_BODY = {
+    True: struct.Struct("<IIIIQI"),
+    False: struct.Struct(">IIIIQI"),
+}
+_RETRANSMIT_BODY = {
+    True: struct.Struct("<III"),
+    False: struct.Struct(">III"),
+}
+_REMOVE_BODY = {
+    True: struct.Struct("<I"),
+    False: struct.Struct(">I"),
+}
+#: compact BATCH part record: flags, type, seq, timestamp, ack, body len
+_BATCH_REC = {
+    True: struct.Struct("<BBIQQH"),
+    False: struct.Struct(">BBIQQH"),
+}
+#: verbatim BATCH part record: 0x80 marker, full part length
+_BATCH_VERBATIM = {
+    True: struct.Struct("<BI"),
+    False: struct.Struct(">BI"),
+}
+_U16 = {True: struct.Struct("<H"), False: struct.Struct(">H")}
+
+_Buffer = Union[bytes, bytearray, memoryview]
+
 
 class CodecError(Exception):
     """Raised on malformed FTMP datagrams."""
 
 
+def _flags_of(h: FTMPHeader) -> int:
+    flags = 0
+    if h.little_endian:
+        flags |= _FLAG_LITTLE_ENDIAN
+    if h.retransmission:
+        flags |= _FLAG_RETRANSMISSION
+    return flags
+
+
 class _Writer:
-    """Endianness-aware append-only byte writer."""
+    """Endianness-aware append-only byte writer (reference/slow path)."""
 
     __slots__ = ("_parts", "_e")
 
     def __init__(self, little_endian: bool):
-        self._parts: list[bytes] = []
+        self._parts: list = []
         self._e = "<" if little_endian else ">"
 
     def u8(self, v: int) -> None:
@@ -90,7 +190,7 @@ class _Writer:
     def u64(self, v: int) -> None:
         self._parts.append(struct.pack(self._e + "Q", v))
 
-    def raw(self, b: bytes) -> None:
+    def raw(self, b: _Buffer) -> None:
         self._parts.append(b)
 
     def blob(self, b: bytes) -> None:
@@ -123,7 +223,7 @@ class _Reader:
 
     __slots__ = ("_data", "_pos", "_e")
 
-    def __init__(self, data: bytes, pos: int, little_endian: bool):
+    def __init__(self, data: _Buffer, pos: int, little_endian: bool):
         self._data = data
         self._pos = pos
         self._e = "<" if little_endian else ">"
@@ -154,7 +254,7 @@ class _Reader:
         end = self._pos + n
         if end > len(self._data):
             raise CodecError("truncated payload")
-        b = self._data[self._pos : end]
+        b = bytes(self._data[self._pos : end])
         self._pos = end
         return b
 
@@ -175,10 +275,122 @@ class _Reader:
 
 
 # ----------------------------------------------------------------------
-# encoding
+# BATCH part records (shared by the fast and reference encoders)
+# ----------------------------------------------------------------------
+def _part_record(part: _Buffer, envelope: FTMPHeader,
+                 little: bool) -> Optional[Tuple[int, int, int, int, int]]:
+    """(flags, type, seq, ts, ack) when ``part`` can be stored compactly.
+
+    A part is compactable when its magic/version/source/group/endianness
+    match the envelope (always true for parts the send path coalesces) and
+    its body fits the u16 length field; anything else falls back to a
+    verbatim record so arbitrary hand-built Batches still round-trip.
+    """
+    if len(part) < HEADER_SIZE or len(part) - HEADER_SIZE > 0xFFFF:
+        return None
+    magic, vmaj, vmin, pflags, ptype = _PREFIX.unpack_from(part, 0)
+    if (
+        magic != MAGIC
+        or (vmaj, vmin) != (VERSION_MAJOR, VERSION_MINOR)
+        or bool(pflags & _FLAG_LITTLE_ENDIAN) != little
+    ):
+        return None
+    _m, _vj, _vn, _f, _t, psize, psrc, pgrp, pseq, pts, pack_ts = _HDR[little].unpack_from(part, 0)
+    if psize != len(part) or psrc != envelope.source or pgrp != envelope.group:
+        return None
+    return (pflags, ptype, pseq, pts, pack_ts)
+
+
+def _encode_batch_body(msg: BatchMessage, little: bool) -> List[bytes]:
+    """Encoded-body chunks of a Batch (count + one record per part)."""
+    chunks: List[bytes] = [_U16[little].pack(len(msg.parts))]
+    rec = _BATCH_REC[little]
+    verbatim = _BATCH_VERBATIM[little]
+    h = msg.header
+    for part in msg.parts:
+        fields = _part_record(part, h, little)
+        if fields is not None:
+            chunks.append(rec.pack(*fields, len(part) - HEADER_SIZE))
+            chunks.append(bytes(part[HEADER_SIZE:]))
+        else:
+            chunks.append(verbatim.pack(_REC_VERBATIM, len(part)))
+            chunks.append(bytes(part))
+    return chunks
+
+
+# ----------------------------------------------------------------------
+# encoding — precompiled fast path
 # ----------------------------------------------------------------------
 def encode(msg: FTMPMessage) -> bytes:
     """Serialize an FTMP message; also back-fills ``header.message_size``."""
+    h = msg.header
+    little = h.little_endian
+    flags = _flags_of(h)
+    cls = msg.__class__
+    if cls is RegularMessage:
+        size = HEADER_SIZE + 28 + len(msg.payload)
+        h.message_size = size
+        cid = msg.connection_id
+        return _HDR_REGULAR[little].pack(
+            h.magic, h.version[0], h.version[1], flags, int(h.message_type),
+            size, h.source, h.group, h.sequence_number, h.timestamp,
+            h.ack_timestamp,
+            cid.client_domain, cid.client_group, cid.server_domain,
+            cid.server_group, msg.request_num, len(msg.payload),
+        ) + msg.payload
+    if cls is HeartbeatMessage:
+        h.message_size = HEADER_SIZE
+        return _HDR[little].pack(
+            h.magic, h.version[0], h.version[1], flags, int(h.message_type),
+            HEADER_SIZE, h.source, h.group, h.sequence_number, h.timestamp,
+            h.ack_timestamp,
+        )
+    if cls is RetransmitRequestMessage:
+        size = HEADER_SIZE + 12
+        h.message_size = size
+        return _HDR_RETRANSMIT[little].pack(
+            h.magic, h.version[0], h.version[1], flags, int(h.message_type),
+            size, h.source, h.group, h.sequence_number, h.timestamp,
+            h.ack_timestamp, msg.processor_id, msg.start_seq, msg.stop_seq,
+        )
+    if cls is RemoveProcessorMessage:
+        size = HEADER_SIZE + 4
+        h.message_size = size
+        return _HDR_REMOVE[little].pack(
+            h.magic, h.version[0], h.version[1], flags, int(h.message_type),
+            size, h.source, h.group, h.sequence_number, h.timestamp,
+            h.ack_timestamp, msg.member_to_remove,
+        )
+    if cls is BatchMessage:
+        chunks = _encode_batch_body(msg, little)
+        size = HEADER_SIZE + sum(len(c) for c in chunks)
+        h.message_size = size
+        header = _HDR[little].pack(
+            h.magic, h.version[0], h.version[1], flags, int(h.message_type),
+            size, h.source, h.group, h.sequence_number, h.timestamp,
+            h.ack_timestamp,
+        )
+        return header + b"".join(chunks)
+    # variable-layout membership/control messages: writer path
+    w = _Writer(little)
+    _encode_body(msg, w)
+    body = w.getvalue()
+    size = HEADER_SIZE + len(body)
+    h.message_size = size
+    return _HDR[little].pack(
+        h.magic, h.version[0], h.version[1], flags, int(h.message_type),
+        size, h.source, h.group, h.sequence_number, h.timestamp,
+        h.ack_timestamp,
+    ) + body
+
+
+def encode_reference(msg: FTMPMessage) -> bytes:
+    """Field-at-a-time reference encoder (regression oracle).
+
+    Byte-identical to :func:`encode` for every message type; kept so the
+    codec property tests can prove the precompiled fast path never drifts
+    from the straightforward per-field encoding.
+    """
     h = msg.header
     w = _Writer(h.little_endian)
     _encode_body(msg, w)
@@ -187,12 +399,8 @@ def encode(msg: FTMPMessage) -> bytes:
     size = HEADER_SIZE + len(body)
     h.message_size = size
 
-    flags = 0
-    if h.little_endian:
-        flags |= _FLAG_LITTLE_ENDIAN
-    if h.retransmission:
-        flags |= _FLAG_RETRANSMISSION
-    prefix = _PREFIX.pack(h.magic, h.version[0], h.version[1], flags, int(h.message_type))
+    prefix = _PREFIX.pack(h.magic, h.version[0], h.version[1], _flags_of(h),
+                          int(h.message_type))
     e = "<" if h.little_endian else ">"
     rest = struct.pack(
         e + "IIIIQQ",
@@ -242,26 +450,26 @@ def _encode_body(msg: FTMPMessage, w: _Writer) -> None:
         w.seq_vector(msg.sequence_numbers)
         w.pid_list(msg.new_membership)
     elif isinstance(msg, BatchMessage):
-        w.u16(len(msg.parts))
-        for part in msg.parts:
-            w.blob(part)
+        for chunk in _encode_batch_body(msg, msg.header.little_endian):
+            w.raw(chunk)
     else:  # pragma: no cover - exhaustive over FTMPMessage
         raise CodecError(f"unknown message class {type(msg).__name__}")
 
 
 # ----------------------------------------------------------------------
-# decoding
+# decoding — precompiled unpack_from, no intermediate slices
 # ----------------------------------------------------------------------
-def peek_header(data: bytes) -> FTMPHeader:
+def peek_header(data: _Buffer) -> FTMPHeader:
     """Decode only the 40-byte header (used by traces and filters)."""
     if len(data) < HEADER_SIZE:
         raise CodecError(f"datagram shorter than header: {len(data)} bytes")
-    magic, vmaj, vmin, flags, mtype = _PREFIX.unpack_from(data, 0)
+    flags = data[_FLAGS_OFFSET]
+    little = bool(flags & _FLAG_LITTLE_ENDIAN)
+    magic, vmaj, vmin, flags, mtype, size, source, group, seq, ts, ack = (
+        _HDR[little].unpack_from(data, 0)
+    )
     if magic != MAGIC:
         raise CodecError(f"bad magic {magic!r}")
-    little = bool(flags & _FLAG_LITTLE_ENDIAN)
-    e = "<" if little else ">"
-    size, source, group, seq, ts, ack = struct.unpack_from(e + "IIIIQQ", data, 8)
     try:
         message_type = MessageType(mtype)
     except ValueError as exc:
@@ -281,45 +489,110 @@ def peek_header(data: bytes) -> FTMPHeader:
     )
 
 
-def decode(data: bytes) -> FTMPMessage:
+def _decode_batch(h: FTMPHeader, data: _Buffer, little: bool) -> BatchMessage:
+    """Unpack a Batch envelope, reconstructing each part's full encoding.
+
+    Works off a single buffer with offset arithmetic: the only per-part
+    allocation is the reconstructed part itself (elided header fields are
+    re-packed from the envelope; body bytes are copied once).
+    """
+    n = len(data)
+    pos = HEADER_SIZE
+    u16 = _U16[little]
+    rec = _BATCH_REC[little]
+    verbatim = _BATCH_VERBATIM[little]
+    hdr = _HDR[little]
+    if pos + 2 > n:
+        raise CodecError("truncated FTMP message body")
+    (count,) = u16.unpack_from(data, pos)
+    pos += 2
+    parts = []
+    for _ in range(count):
+        if pos >= n:
+            raise CodecError("truncated batch record")
+        if data[pos] & _REC_VERBATIM:
+            if pos + verbatim.size > n:
+                raise CodecError("truncated batch record")
+            _marker, plen = verbatim.unpack_from(data, pos)
+            pos += verbatim.size
+            if pos + plen > n:
+                raise CodecError("truncated batch part")
+            parts.append(bytes(data[pos : pos + plen]))
+            pos += plen
+        else:
+            if pos + rec.size > n:
+                raise CodecError("truncated batch record")
+            pflags, ptype, pseq, pts, pack_ts, blen = rec.unpack_from(data, pos)
+            pos += rec.size
+            if pos + blen > n:
+                raise CodecError("truncated batch part")
+            parts.append(
+                hdr.pack(MAGIC, VERSION_MAJOR, VERSION_MINOR, pflags, ptype,
+                         HEADER_SIZE + blen, h.source, h.group, pseq, pts,
+                         pack_ts)
+                + bytes(data[pos : pos + blen])
+            )
+            pos += blen
+    return BatchMessage(h, tuple(parts))
+
+
+def decode(data: _Buffer) -> FTMPMessage:
     """Deserialize a full FTMP message (header + body)."""
     h = peek_header(data)
     if h.message_size != len(data):
         raise CodecError(
             f"size field {h.message_size} != datagram length {len(data)}"
         )
-    r = _Reader(data, HEADER_SIZE, h.little_endian)
+    little = h.little_endian
     t = h.message_type
     if t == MessageType.REGULAR:
-        return RegularMessage(h, r.connection_id(), r.u64(), r.blob())
-    if t == MessageType.RETRANSMIT_REQUEST:
-        return RetransmitRequestMessage(h, r.u32(), r.u32(), r.u32())
+        s = _REGULAR_BODY[little]
+        try:
+            cd, cg, sd, sg, req, plen = s.unpack_from(data, HEADER_SIZE)
+        except struct.error as exc:
+            raise CodecError("truncated FTMP message body") from exc
+        start = HEADER_SIZE + s.size
+        if start + plen > len(data):
+            raise CodecError("truncated payload")
+        return RegularMessage(h, ConnectionId(cd, cg, sd, sg), req,
+                              bytes(data[start : start + plen]))
     if t == MessageType.HEARTBEAT:
         return HeartbeatMessage(h)
+    if t == MessageType.RETRANSMIT_REQUEST:
+        try:
+            proc, start_seq, stop_seq = _RETRANSMIT_BODY[little].unpack_from(
+                data, HEADER_SIZE)
+        except struct.error as exc:
+            raise CodecError("truncated FTMP message body") from exc
+        return RetransmitRequestMessage(h, proc, start_seq, stop_seq)
+    if t == MessageType.REMOVE_PROCESSOR:
+        try:
+            (member,) = _REMOVE_BODY[little].unpack_from(data, HEADER_SIZE)
+        except struct.error as exc:
+            raise CodecError("truncated FTMP message body") from exc
+        return RemoveProcessorMessage(h, member)
+    if t == MessageType.BATCH:
+        return _decode_batch(h, data, little)
+    r = _Reader(data, HEADER_SIZE, little)
     if t == MessageType.CONNECT_REQUEST:
         return ConnectRequestMessage(h, r.connection_id(), r.pid_list())
     if t == MessageType.CONNECT:
         return ConnectMessage(h, r.connection_id(), r.u32(), r.u32(), r.u64(), r.pid_list())
     if t == MessageType.ADD_PROCESSOR:
         return AddProcessorMessage(h, r.u64(), r.pid_list(), r.seq_vector(), r.u32())
-    if t == MessageType.REMOVE_PROCESSOR:
-        return RemoveProcessorMessage(h, r.u32())
     if t == MessageType.SUSPECT:
         return SuspectMessage(h, r.u64(), r.pid_list())
     if t == MessageType.MEMBERSHIP:
         return MembershipMessage(h, r.u64(), r.pid_list(), r.seq_vector(), r.pid_list())
-    if t == MessageType.BATCH:
-        n = r.u16()
-        return BatchMessage(h, tuple(r.blob() for _ in range(n)))
     raise CodecError(f"unhandled message type {t}")  # pragma: no cover
 
 
-def header_of(data: bytes) -> FTMPHeader:
+def header_of(data: _Buffer) -> FTMPHeader:
     """Alias of :func:`peek_header` for readability at call sites."""
     return peek_header(data)
 
 
-def mark_retransmission(raw: bytes) -> bytes:
+def mark_retransmission(raw: _Buffer) -> bytes:
     """Copy of an encoded message with the retransmission flag set (§3.2).
 
     A retransmission is byte-identical to the original message except for

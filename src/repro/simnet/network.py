@@ -179,46 +179,58 @@ class Network:
     # datagram delivery
     # ------------------------------------------------------------------
     def multicast(self, src: int, group_addr: int, data: bytes) -> None:
-        """Best-effort multicast of ``data`` to every member of ``group_addr``."""
+        """Best-effort multicast of ``data`` to every member of ``group_addr``.
+
+        The fan-out shares one ``data`` buffer across every receiver (the
+        scheduler events reference it, they never copy it) and hoists the
+        per-packet attribute lookups out of the receiver loop — this is
+        the single hottest loop of the whole simulator.
+        """
         sender = self._node(src)
         if sender.crashed:
             return
+        topology = self.topology
         # NIC serialization: the packet leaves the sender only when its
         # egress is free; offered load beyond the bandwidth queues here
         egress_delay = 0.0
-        bw = self.topology.egress_bandwidth
+        bw = topology.egress_bandwidth
         if bw:
             now = self.scheduler.now
             start = max(now, self._egress_free.get(src, 0.0))
-            finish = start + (len(data) + self.topology.packet_overhead) / bw
+            finish = start + (len(data) + topology.packet_overhead) / bw
             self._egress_free[src] = finish
             egress_delay = finish - now
         delivered = 0
         dropped = 0
+        nodes = self._nodes
+        rng = self.rng
+        schedule = self.scheduler.schedule
+        deliver = self._deliver
+        partition = self._partition
         for pid in self._groups.get(group_addr, ()):  # deterministic set iteration
-            node = self._nodes[pid]
+            node = nodes[pid]
             if node.crashed or node.receiver is None:
                 continue
-            if self._partitioned(src, pid):
+            if partition is not None and partition.get(src, -1) != partition.get(pid, -1):
                 dropped += 1
                 continue
             if pid == src:
-                delay = self.topology.self_delay
+                delay = topology.self_delay
             else:
-                link = self.topology.link(src, pid)
-                if link.drops(self.rng):
+                link = topology.link(src, pid)
+                if link.drops(rng):
                     dropped += 1
                     continue
-                delay = link.sample_delay(self.rng)
-                if link.duplicates(self.rng):
+                delay = link.sample_delay(rng)
+                if link.duplicates(rng):
                     # second copy with its own delay: may arrive before or
                     # after the first (duplication + reordering in one)
-                    self.scheduler.schedule(
-                        egress_delay + link.sample_delay(self.rng),
-                        self._deliver, pid, data,
+                    schedule(
+                        egress_delay + link.sample_delay(rng),
+                        deliver, pid, data,
                     )
             delivered += 1
-            self.scheduler.schedule(egress_delay + delay, self._deliver, pid, data)
+            schedule(egress_delay + delay, deliver, pid, data)
         self.trace.record_send(
             self.scheduler.now, src, group_addr, len(data), delivered, dropped
         )

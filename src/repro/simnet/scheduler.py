@@ -30,18 +30,29 @@ class Event:
     user code only ever needs :meth:`cancel` and :attr:`time`.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_sched")
 
-    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple,
+                 sched: Optional["Scheduler"] = None):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        #: owning scheduler while the event sits on its heap (detached when
+        #: popped, so a late cancel() of an already-fired event is a no-op
+        #: for the live counter)
+        self._sched = sched
 
     def cancel(self) -> None:
         """Mark the event as cancelled; it will be skipped when popped."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        sched = self._sched
+        if sched is not None:
+            self._sched = None
+            sched._on_cancel()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -63,11 +74,17 @@ class Scheduler:
     ['b', 'a']
     """
 
+    #: cancelled-entry slack tolerated on the heap before compaction; kept
+    #: generous so steady re-arm/cancel timer churn never triggers an O(n)
+    #: rebuild, while a burst of cancellations (mass teardown) is reclaimed
+    _COMPACT_MIN_GARBAGE = 1024
+
     def __init__(self) -> None:
         self._now: float = 0.0
         self._heap: list[Event] = []
         self._counter = itertools.count()
         self._events_processed = 0
+        self._live = 0  #: uncancelled events currently on the heap
         self._named: Optional["NamedTimerSet"] = None
 
     # ------------------------------------------------------------------
@@ -85,8 +102,24 @@ class Scheduler:
 
     @property
     def pending(self) -> int:
-        """Number of events still on the heap (including cancelled ones)."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of live (uncancelled) events still on the heap.
+
+        O(1): a counter maintained on push / pop / cancel, instead of the
+        historical linear scan over the heap.
+        """
+        return self._live
+
+    def _on_cancel(self) -> None:
+        """Bookkeeping for a cancellation of an event still on the heap."""
+        self._live -= 1
+        # lazy compaction: cancelled entries are normally discarded when
+        # they surface at the heap top, but a cancellation-heavy workload
+        # (mass timer teardown) may strand arbitrarily many dead entries
+        # below live ones — rebuild once garbage dominates
+        garbage = len(self._heap) - self._live
+        if garbage > self._COMPACT_MIN_GARBAGE and garbage > self._live:
+            self._heap = [e for e in self._heap if not e.cancelled]
+            heapq.heapify(self._heap)
 
     # ------------------------------------------------------------------
     # scheduling
@@ -101,8 +134,9 @@ class Scheduler:
         """Schedule ``fn(*args)`` at absolute simulated ``time``."""
         if time < self._now:
             raise SimTimeError(f"cannot schedule at {time} < now {self._now}")
-        ev = Event(time, next(self._counter), fn, args)
+        ev = Event(time, next(self._counter), fn, args, sched=self)
         heapq.heappush(self._heap, ev)
+        self._live += 1
         return ev
 
     # ------------------------------------------------------------------
@@ -114,6 +148,8 @@ class Scheduler:
             ev = heapq.heappop(self._heap)
             if ev.cancelled:
                 continue
+            ev._sched = None
+            self._live -= 1
             self._now = ev.time
             self._events_processed += 1
             ev.fn(*ev.args)
@@ -148,6 +184,8 @@ class Scheduler:
             if ev.time > time:
                 break
             heapq.heappop(self._heap)
+            ev._sched = None
+            self._live -= 1
             self._now = ev.time
             self._events_processed += 1
             ev.fn(*ev.args)

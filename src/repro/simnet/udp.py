@@ -49,6 +49,10 @@ class UdpFabric:
         self._groups: Dict[int, Set[int]] = {}
         self._addrs: Dict[int, Tuple[str, int]] = {}
         self._endpoints: Dict[int, "UdpEndpoint"] = {}
+        #: per-group fan-out target cache, invalidated on any membership
+        #: or address change — spares ``multicast`` a tuple rebuild (and
+        #: the lock-held comprehension) on every single datagram
+        self._targets: Dict[int, Tuple[Tuple[str, int], ...]] = {}
         self._t0 = time.monotonic()
         self.loss_rate = loss_rate
         self.rng = random.Random(seed)
@@ -66,24 +70,30 @@ class UdpFabric:
         with self._lock:
             self._endpoints[pid] = ep
             self._addrs[pid] = ep.address
+            self._targets.clear()  # pid's address may now resolve in any group
         return ep
 
     def join(self, pid: int, group_addr: int) -> None:
         with self._lock:
             self._groups.setdefault(group_addr, set()).add(pid)
+            self._targets.pop(group_addr, None)
 
     def leave(self, pid: int, group_addr: int) -> None:
         with self._lock:
             self._groups.get(group_addr, set()).discard(pid)
+            self._targets.pop(group_addr, None)
 
     def targets(self, group_addr: int) -> Tuple[Tuple[str, int], ...]:
         """Socket addresses of every current member of ``group_addr``."""
         with self._lock:
-            return tuple(
-                self._addrs[pid]
-                for pid in self._groups.get(group_addr, ())
-                if pid in self._addrs
-            )
+            cached = self._targets.get(group_addr)
+            if cached is None:
+                cached = self._targets[group_addr] = tuple(
+                    self._addrs[pid]
+                    for pid in self._groups.get(group_addr, ())
+                    if pid in self._addrs
+                )
+            return cached
 
     def close(self) -> None:
         """Close every endpoint (idempotent)."""

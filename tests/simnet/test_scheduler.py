@@ -123,3 +123,51 @@ def test_pending_excludes_cancelled():
     assert s.pending == 2
     ev.cancel()
     assert s.pending == 1
+
+
+def test_pending_counter_tracks_push_pop_cancel():
+    s = Scheduler()
+    events = [s.schedule(float(i + 1), lambda: None) for i in range(6)]
+    assert s.pending == 6
+    # double-cancel must decrement exactly once
+    events[0].cancel()
+    events[0].cancel()
+    assert s.pending == 5
+    # popping live events decrements; popping cancelled ones must not
+    s.run_until(3.0)  # fires events[1], events[2] (events[0] skipped)
+    assert s.pending == 3
+    # cancelling an event that already fired is a no-op for the counter
+    events[1].cancel()
+    assert s.pending == 3
+    s.run()
+    assert s.pending == 0
+
+
+def test_pending_counter_survives_compaction():
+    s = Scheduler()
+    threshold = Scheduler._COMPACT_MIN_GARBAGE
+    # strand a burst of cancellations beneath one live far-future event
+    live = s.schedule(1000.0, lambda: None)
+    doomed = [s.schedule(float(i + 1), lambda: None) for i in range(threshold + 2)]
+    for ev in doomed:
+        ev.cancel()
+    # compaction has rebuilt the heap: the burst of dead entries is gone
+    # (a handful cancelled after the rebuild may linger below threshold)
+    assert s.pending == 1
+    assert len(s._heap) < threshold
+    assert live in s._heap
+    s.run()
+    assert s.pending == 0
+    assert s.events_processed == 1
+
+
+def test_cancel_after_fire_is_noop():
+    s = Scheduler()
+    hits = []
+    ev = s.schedule(1.0, hits.append, "a")
+    s.schedule(2.0, hits.append, "b")
+    s.run_until(1.5)
+    ev.cancel()  # already fired: must not disturb remaining events
+    assert s.pending == 1
+    s.run()
+    assert hits == ["a", "b"]
