@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench lint experiments examples soak chaos clean
+.PHONY: install test bench bench-diff lint experiments examples soak chaos clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -18,6 +18,12 @@ test:
 bench:
 	$(PYTHON) -m pytest benchmarks/ -q
 
+# regenerate the report, then diff it against the committed copy; fails
+# only on a >25% regression of a gated metric (saturation goodput, codec
+# speedups) — everything else soft-warns
+bench-diff: bench
+	$(PYTHON) benchmarks/_report.py diff
+
 lint:
 	$(PYTHON) -m ruff check src/ tests/ benchmarks/
 
@@ -30,7 +36,7 @@ examples:
 soak:
 	$(PYTHON) -m pytest tests/integration/test_soak.py -v
 
-# seeded chaos campaign: 20 seeds x all six scenario classes, with
+# seeded chaos campaign: 20 seeds x all seven scenario classes, with
 # violation artifacts (replayable JSON) written to chaos-artifacts/
 chaos:
 	PYTHONPATH=src $(PYTHON) -m repro.analysis.chaos run --seeds 20 \

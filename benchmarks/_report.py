@@ -8,15 +8,24 @@ Machine-readable counterpart: :func:`emit_json` merges structured metrics
 into ``BENCH_report.json`` at the repository root.  Each experiment owns a
 top-level key; re-running one experiment updates only its own section, so
 ``make bench`` (or any subset of it) incrementally regenerates the report.
-CI uploads the file as a build artifact for perf-regression triage — there
-is deliberately no pass/fail gate on it.
+
+Baseline-diff mode (``python benchmarks/_report.py diff``, or ``make
+bench-diff``): compares the freshly regenerated report against the
+committed copy (``git show HEAD:BENCH_report.json``) and prints every
+per-metric delta.  Most metrics are informational (soft-warn) — the run
+fails only when a *gated* metric regresses by more than the threshold:
+``e12_saturation.saturation_goodput_batched_msg_s`` and every codec
+``speedup``, the two headline trajectories CI guards.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import pathlib
-from typing import Any, Dict
+import subprocess
+import sys
+from typing import Any, Dict, Iterator, Optional, Tuple
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 JSON_REPORT = pathlib.Path(__file__).parent.parent / "BENCH_report.json"
@@ -48,3 +57,138 @@ def emit_json(experiment_id: str, metrics: Dict[str, Any]) -> None:
     report[experiment_id] = metrics
     JSON_REPORT.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(f"[metrics merged into {JSON_REPORT}]")
+
+
+# ----------------------------------------------------------------------
+# baseline-diff mode
+# ----------------------------------------------------------------------
+
+#: dotted-path prefixes whose regression FAILS the diff (higher is
+#: better for every gated metric); everything else only soft-warns
+GATED_METRICS = (
+    "e12_saturation.saturation_goodput_batched_msg_s",
+)
+GATED_SUFFIXES = (".speedup",)  # every codec variant's speedup gates
+
+#: metrics where *lower* is better — sign of "regression" flips
+LOWER_IS_BETTER_TOKENS = ("latency", "ns_op", "datagrams_per_delivery",
+                          "wire_bytes", "queue")
+
+
+def _numeric_leaves(node: Any, path: str = "") -> Iterator[Tuple[str, float]]:
+    """Yield (dotted.path, value) for every numeric leaf of a JSON tree.
+
+    Lists of objects keyed by a ``mode`` field (the experiments' series
+    rows) are indexed by that label, plain lists by position.
+    """
+    if isinstance(node, bool):
+        return
+    if isinstance(node, (int, float)):
+        yield path, float(node)
+    elif isinstance(node, dict):
+        for k in sorted(node):
+            yield from _numeric_leaves(node[k], f"{path}.{k}" if path else k)
+    elif isinstance(node, list):
+        for i, item in enumerate(node):
+            label = item.get("mode", i) if isinstance(item, dict) else i
+            key = item.get("offered_msg_s") if isinstance(item, dict) else None
+            tag = f"{label}@{key}" if key is not None else str(label)
+            yield from _numeric_leaves(item, f"{path}[{tag}]")
+
+
+def _is_gated(path: str) -> bool:
+    return path in GATED_METRICS or any(
+        path.startswith("codec.") and path.endswith(sfx)
+        for sfx in GATED_SUFFIXES
+    )
+
+
+def _lower_is_better(path: str) -> bool:
+    return any(tok in path for tok in LOWER_IS_BETTER_TOKENS)
+
+
+def _baseline_report(ref: str) -> Optional[Dict[str, Any]]:
+    """The committed BENCH_report.json at ``ref``, or None if absent."""
+    try:
+        blob = subprocess.run(
+            ["git", "show", f"{ref}:BENCH_report.json"],
+            cwd=JSON_REPORT.parent, capture_output=True, text=True, check=True,
+        ).stdout
+        return json.loads(blob)
+    except (subprocess.CalledProcessError, ValueError, OSError):
+        return None
+
+
+def diff_against_baseline(ref: str = "HEAD", threshold: float = 0.25) -> int:
+    """Print per-metric deltas vs the committed report; return exit code.
+
+    Returns 1 only when a gated metric regresses by more than
+    ``threshold`` (fraction, e.g. 0.25 = 25%); new, removed, or drifting
+    ungated metrics are reported but never fail the run.
+    """
+    if not JSON_REPORT.exists():
+        print(f"no fresh {JSON_REPORT.name}; run `make bench` first")
+        return 1
+    fresh = dict(_numeric_leaves(json.loads(JSON_REPORT.read_text())))
+    baseline_tree = _baseline_report(ref)
+    if baseline_tree is None:
+        print(f"no committed {JSON_REPORT.name} at {ref}; "
+              "nothing to diff against (treating as first run: PASS)")
+        return 0
+    baseline = dict(_numeric_leaves(baseline_tree))
+
+    failures = []
+    warns = 0
+    print(f"BENCH_report.json vs {ref} "
+          f"(gate: >{threshold:.0%} regression on gated metrics)\n")
+    for path in sorted(set(fresh) | set(baseline)):
+        new, old = fresh.get(path), baseline.get(path)
+        if old is None:
+            print(f"  [new]     {path} = {new:g}")
+            continue
+        if new is None:
+            print(f"  [removed] {path} (was {old:g})")
+            continue
+        if old == new:
+            continue
+        change = (new - old) / abs(old) if old else float("inf")
+        regressed = change < 0 if not _lower_is_better(path) else change > 0
+        magnitude = abs(change)
+        gated = _is_gated(path)
+        marker = "  "
+        if regressed and magnitude > threshold:
+            if gated:
+                marker = "FAIL"
+                failures.append((path, old, new, change))
+            else:
+                marker = "warn"
+                warns += 1
+        print(f"  [{marker}]  {path}: {old:g} -> {new:g} ({change:+.1%})")
+    print()
+    if failures:
+        print(f"{len(failures)} gated metric(s) regressed >{threshold:.0%}:")
+        for path, old, new, change in failures:
+            print(f"  {path}: {old:g} -> {new:g} ({change:+.1%})")
+        return 1
+    print(f"gated metrics OK ({warns} ungated warn(s))")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+    d = sub.add_parser("diff", help="diff fresh report against the "
+                                    "committed baseline copy")
+    d.add_argument("--ref", default="HEAD",
+                   help="git ref holding the baseline (default HEAD)")
+    d.add_argument("--threshold", type=float, default=0.25,
+                   help="gated-regression failure threshold "
+                        "(fraction, default 0.25)")
+    args = parser.parse_args(argv)
+    if args.command == "diff":
+        return diff_against_baseline(ref=args.ref, threshold=args.threshold)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

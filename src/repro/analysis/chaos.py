@@ -37,6 +37,7 @@ from ..replication.oracles import (
     check_quiescence,
     run_history_oracles,
 )
+from ..simnet import LinkModel, Topology
 from .harness import Cluster, make_cluster
 
 __all__ = ["ChaosResult", "default_chaos_config", "run_chaos_scenario",
@@ -49,8 +50,22 @@ def default_chaos_config() -> FTMPConfig:
     ``suspect_timeout`` must exceed the longest partition window a
     :class:`ChaosPlan` generates (transient partitions heal without
     convictions; only real crashes are convicted).
+
+    Every scenario class runs the full closed-loop datapath — adaptive
+    batching, stability-driven flow control, paced + deduplicated
+    retransmissions — so the legacy fault classes double as regression
+    coverage for the flow-control machinery, not just the protocol core.
     """
-    return FTMPConfig(heartbeat_interval=0.010, suspect_timeout=0.150)
+    # pacing must sit *below* the overload scenario's NIC capacity
+    # (~300 datagrams/s at the smallest sampled bandwidth) or recovery
+    # traffic congests the very link it is repairing; the dedupe window
+    # spans two NACK retry periods so one multicast retransmission
+    # answers every member chasing the same gap
+    return FTMPConfig(heartbeat_interval=0.010, suspect_timeout=0.150,
+                      batch_window=0.001, batch_adaptive=True,
+                      flow_control_window=24,
+                      retransmit_rate_limit=150.0, retransmit_burst=8,
+                      nack_dedupe_window=0.020)
 
 
 @dataclass
@@ -90,6 +105,18 @@ def _schedule_traffic(cluster: Cluster, plan: ChaosPlan) -> None:
             cluster.net.scheduler.at(t + jitter * 1e-6, send, pid)
             jitter += 1
         t += plan.send_interval
+
+    # overload bursts: dense extra traffic inside the planned windows,
+    # offered above the egress drain rate so backpressure must engage
+    for ev in plan.events:
+        if ev.kind != "burst":
+            continue
+        t = ev.at
+        while t < ev.stop:
+            for pid in plan.senders:
+                cluster.net.scheduler.at(t + jitter * 1e-6, send, pid)
+                jitter += 1
+            t += ev.value
 
 
 def _inject_ordering_bug(cluster: Cluster) -> None:
@@ -165,7 +192,18 @@ def run_chaos_scenario(
     """Run one seeded scenario and check every oracle against it."""
     plan = ChaosPlan.generate(seed, scenario, pids)
     cfg = config if config is not None else default_chaos_config()
-    cluster = make_cluster(plan.initial_members, config=cfg, seed=seed)
+    topology = None
+    if plan.egress_bandwidth > 0.0:
+        # overload plans model a constrained NIC: offered load beyond the
+        # egress bandwidth must queue behind the credit window, not grow
+        # an unbounded in-network queue
+        topology = Topology(
+            default=LinkModel(latency=0.0001, jitter=0.00005),
+            egress_bandwidth=plan.egress_bandwidth,
+            packet_overhead=plan.packet_overhead,
+        )
+    cluster = make_cluster(plan.initial_members, config=cfg, seed=seed,
+                           topology=topology)
     injector = FaultInjector(cluster.net)
     plan.apply(cluster, injector, cfg)
     _schedule_traffic(cluster, plan)

@@ -50,6 +50,20 @@ class FTMPConfig:
     #: (the paper's "any processor ... may retransmit" turned off).
     retransmit_any_holder: bool = True
 
+    # --- retransmission pacing (extension) ------------------------------
+    #: Token-bucket rate cap on retransmissions answered by this
+    #: processor (retransmissions / second).  Recovery traffic beyond the
+    #: rate is deferred, not dropped, so loss bursts cannot starve fresh
+    #: sends of the egress.  0 disables pacing (legacy behaviour).
+    retransmit_rate_limit: float = 0.0
+    #: Bucket depth for the pacing token bucket: a burst of up to this
+    #: many retransmissions may go out back-to-back.
+    retransmit_burst: int = 8
+    #: Suppress duplicate RetransmitRequests: a request for a (source,
+    #: seq) this processor answered less than this many seconds ago is
+    #: ignored (the answer is still in flight).  0 disables (legacy).
+    nack_dedupe_window: float = 0.0
+
     # --- connections (paper §7) ----------------------------------------
     #: Client retries ConnectRequest at this period until Connect arrives.
     connect_retry_interval: float = 0.020
@@ -79,6 +93,25 @@ class FTMPConfig:
     #: bytes; also the per-message eligibility cap (bigger messages are
     #: sent unbatched).
     batch_max_bytes: int = 1200
+    #: Adapt the coalescing window to the offered load: when the recent
+    #: send rate would not fill a window with at least ``batch_min_fill``
+    #: messages, eligible sends bypass the window entirely (near-unbatched
+    #: low-load latency); under load the window grows back toward
+    #: ``batch_window`` / ``batch_max_bytes`` coalescing.  Only meaningful
+    #: with ``batch_window > 0``.
+    batch_adaptive: bool = False
+    #: Minimum expected messages per window for the adaptive window to
+    #: engage coalescing (the break-even batch size).
+    batch_min_fill: int = 4
+
+    # --- flow control (extension) ----------------------------------------
+    #: Per-sender credit window: the maximum number of this processor's
+    #: own Regular messages that may be in flight — sent but not yet
+    #: *stable* (at/below ``romp.stability_timestamp()``, the §6 positive
+    #: acknowledgement signal).  Application sends beyond the window queue
+    #: at the sender (backpressure) instead of flooding the network.
+    #: 0 disables flow control (legacy behaviour).
+    flow_control_window: int = 0
 
     # --- delivery guarantee ----------------------------------------------
     #: "agreed" (default): deliver as soon as the total order is decided.

@@ -25,10 +25,12 @@ message goes out the moment it is stamped.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import (
     TYPE_CHECKING,
     Callable,
+    Deque,
     Dict,
     List,
     Optional,
@@ -75,6 +77,8 @@ __all__ = [
     "SendPath",
     "ReceivePath",
     "BatchStats",
+    "FlowControlStats",
+    "FlowController",
     "ProcessorGroup",
 ]
 
@@ -194,6 +198,11 @@ class GroupContext(Protocol):
 
     def on_send_barrier_cleared(self) -> None: ...
 
+    # -- flow control (stability-driven credit window) -------------------
+    def on_stability_advance(self, stable: int) -> None: ...
+
+    def credit_blocked(self) -> bool: ...
+
 
 @dataclass
 class BatchStats:
@@ -208,6 +217,103 @@ class BatchStats:
     flushes_on_order: int = 0  #: a non-batchable send forced the flush
     heartbeats_suppressed: int = 0
     batch_decode_errors: int = 0
+    #: adaptive window: sends that skipped the window because the recent
+    #: rate would not fill it (low-load latency restored to unbatched)
+    adaptive_bypasses: int = 0
+
+
+@dataclass
+class FlowControlStats:
+    """Credit-window counters of one group's sender (flow control)."""
+
+    sends_admitted: int = 0  #: Regulars that consumed a credit and went out
+    sends_queued: int = 0  #: application sends held back (no credits)
+    sends_released: int = 0  #: queued sends later admitted by stability
+    credit_stalls: int = 0  #: transitions into the fully blocked state
+    max_queue_depth: int = 0
+
+
+class FlowController:
+    """Per-sender credit window driven by the §6 stability signal.
+
+    The ROMP layer already computes, from the piggybacked positive
+    acknowledgement timestamps, the *stability timestamp* — the highest
+    ordering timestamp every member has acknowledged (the same signal
+    that bounds the retransmission buffers, §5/§6).  The flow controller
+    feeds it back to the sender: at most ``flow_control_window`` of this
+    processor's own Regular messages may be in flight (sent but not yet
+    stable) at once.  Application sends beyond the window queue here —
+    backpressure — and drain as stability advances, so a sender can never
+    run further ahead of the group than the window, no matter the offered
+    load.  Control traffic (membership, NACKs, heartbeats) is never
+    subject to credits: it is exactly what makes stability advance.
+    """
+
+    def __init__(self, group: "ProcessorGroup", stats: FlowControlStats):
+        self._g = group
+        self.stats = stats
+        #: ordering timestamps of our own in-flight (unstable) Regulars;
+        #: timestamps are per-source monotonic, so this deque is sorted
+        self._inflight: Deque[int] = deque()
+        self._queue: Deque[Tuple[bytes, ConnectionId, int]] = deque()
+
+    @property
+    def enabled(self) -> bool:
+        return self._g.config.flow_control_window > 0
+
+    @property
+    def inflight(self) -> int:
+        """Own Regulars sent but not yet covered by the stability timestamp."""
+        return len(self._inflight)
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    @property
+    def credits(self) -> int:
+        """Sends the window still allows before backpressure engages."""
+        if not self.enabled:
+            return 0
+        return max(0, self._g.config.flow_control_window - len(self._inflight))
+
+    @property
+    def blocked(self) -> bool:
+        """True while application sends are queued on exhausted credits."""
+        return bool(self._queue)
+
+    def submit(self, payload: bytes, cid: ConnectionId, request_num: int) -> bool:
+        """Admit a send now (True) or queue it on backpressure (False)."""
+        if not self.enabled:
+            return True
+        if not self._queue and len(self._inflight) < self._g.config.flow_control_window:
+            return True
+        if not self._queue:
+            self.stats.credit_stalls += 1
+        self._queue.append((payload, cid, request_num))
+        self.stats.sends_queued += 1
+        if len(self._queue) > self.stats.max_queue_depth:
+            self.stats.max_queue_depth = len(self._queue)
+        return False
+
+    def note_sent(self, timestamp: int) -> None:
+        """Record an admitted Regular's ordering timestamp (one credit)."""
+        if self.enabled:
+            self._inflight.append(timestamp)
+            self.stats.sends_admitted += 1
+
+    def on_stability(self, stable: int) -> None:
+        """Stability advanced: recycle credits, drain queued sends."""
+        inflight = self._inflight
+        while inflight and inflight[0] <= stable:
+            inflight.popleft()
+        if self._queue:
+            window = self._g.config.flow_control_window
+            while self._queue and len(inflight) < window:
+                payload, cid, request_num = self._queue.popleft()
+                self.stats.sends_released += 1
+                # _send_regular calls note_sent, growing _inflight again
+                self._g._send_regular(payload, cid, request_num)
 
 
 class SendPath:
@@ -241,6 +347,10 @@ class SendPath:
         self._pending: List[bytes] = []
         self._pending_bytes = 0
         self._stopped = False
+        # adaptive batching: EWMA of the gap between batchable sends —
+        # the load signal deciding window vs. immediate transmission
+        self._gap_ewma = float("inf")
+        self._last_batchable = -1e9
 
     # ------------------------------------------------------------------
     # header stamping
@@ -282,7 +392,11 @@ class SendPath:
             self._ctx.trace("send", type=mtype.name, seq=h.sequence_number,
                             ts=h.timestamp)
         if address is None and self._batchable(mtype, raw):
-            self._append(raw)
+            if self._adaptive_bypass():
+                self._batch.adaptive_bypasses += 1
+                self._transmit(self._address(), raw)
+            else:
+                self._append(raw)
         else:
             self._flush_pending_first()
             self._transmit(self._address() if address is None else address, raw)
@@ -314,6 +428,39 @@ class SendPath:
             and mtype == MessageType.REGULAR
             and len(raw) <= cfg.batch_max_bytes
         )
+
+    def _adaptive_bypass(self) -> bool:
+        """Decide window vs. immediate send for an eligible Regular.
+
+        The fixed window taxes every low-load send ~``batch_window`` of
+        latency for nothing: the window closes with one message in it.
+        With ``batch_adaptive`` on, an EWMA of the gap between eligible
+        sends estimates how many messages the *next* window would
+        coalesce; below ``batch_min_fill`` the send bypasses the window
+        (latency returns to unbatched), above it the window engages and
+        saturation goodput keeps the full coalescing win.  A send never
+        bypasses a non-empty window — that would reorder the sender's
+        reliable stream on the wire.
+        """
+        cfg = self._ctx.config
+        if not cfg.batch_adaptive:
+            return False
+        now = self._ctx.now()
+        gap = now - self._last_batchable
+        self._last_batchable = now
+        if gap >= cfg.batch_window * cfg.batch_min_fill:
+            # idle long enough that no plausible rate fills a window:
+            # hard-reset the estimate so one stale burst cannot tax the
+            # first messages of a quiet period.  Clamped at the engage
+            # threshold — an unbounded idle gap would otherwise take ~100
+            # EWMA steps to decay, taxing the front of the next burst.
+            self._gap_ewma = cfg.batch_window * cfg.batch_min_fill
+        else:
+            ewma = self._gap_ewma
+            self._gap_ewma = gap if ewma == float("inf") else 0.75 * ewma + 0.25 * gap
+        if self._pending:
+            return False
+        return self._gap_ewma * cfg.batch_min_fill > cfg.batch_window
 
     def _append(self, raw: bytes) -> None:
         self._pending.append(raw)
@@ -375,10 +522,15 @@ class SendPath:
     def _heartbeat_tick(self) -> None:
         if self._stopped:
             return
-        if self._pending:
+        if self._pending and not self._ctx.credit_blocked():
             # Piggyback suppression: the window flushes within
             # batch_window anyway, carrying fresher timestamps and a
-            # fresher ack than a Heartbeat would.
+            # fresher ack than a Heartbeat would.  Never while the sender
+            # is blocked on credits: a fully backpressured sender cannot
+            # produce the Regular traffic this suppression counts on, yet
+            # its heartbeats are exactly what advances the peers' view of
+            # its clock/ack — and with it the stability timestamp that
+            # will refill its credits (liveness).
             self._batch.heartbeats_suppressed += 1
         else:
             idle = self._ctx.now() - self._last_send_time
@@ -496,6 +648,7 @@ class ProcessorGroup:
         self.buffer = RetransmissionBuffer(gc_enabled=stack.config.buffer_gc_enabled)
         self.stats = GroupStats()
         self.batch_stats = BatchStats()
+        self.flow = FlowController(self, FlowControlStats())
         self.rmp = RMP(self)
         self.romp = ROMP(self)
         self.pgmp = PGMP(self)
@@ -523,6 +676,7 @@ class ProcessorGroup:
         prefix = f"group.{self.group_id}"
         reg.register(f"{prefix}.send", self.stats)
         reg.register(f"{prefix}.batch", self.batch_stats)
+        reg.register(f"{prefix}.flow", self.flow.stats)
         reg.register(f"{prefix}.rmp", self.rmp.stats)
         reg.register(f"{prefix}.romp", self.romp.stats)
         reg.register(f"{prefix}.pgmp", self.pgmp.stats)
@@ -537,6 +691,9 @@ class ProcessorGroup:
                 "buffer_bytes": self.buffer.bytes,
                 "last_sent_seq": self.last_sent_seq,
                 "pending_batch": self.send_path.pending_batch,
+                "fc_credits": self.flow.credits,
+                "fc_inflight": self.flow.inflight,
+                "fc_queue_depth": self.flow.queue_depth,
             },
         )
 
@@ -710,6 +867,8 @@ class ProcessorGroup:
             self.stats.ordered_sends_deferred += 1
             self._pending_ordered.append((payload, cid, request_num))
             return
+        if not self.flow.submit(payload, cid, request_num):
+            return  # backpressured; a stability advance will release it
         self._send_regular(payload, cid, request_num)
 
     def _send_regular(self, payload: bytes, cid: ConnectionId, request_num: int) -> None:
@@ -720,12 +879,20 @@ class ProcessorGroup:
             payload=payload,
         )
         self.stats.regulars_sent += 1
+        self.flow.note_sent(msg.header.timestamp)
         self.send_path.send(msg)
 
     def on_send_barrier_cleared(self) -> None:
         pending, self._pending_ordered = self._pending_ordered, []
         for payload, cid, request_num in pending:
-            self._send_regular(payload, cid, request_num)
+            if self.flow.submit(payload, cid, request_num):
+                self._send_regular(payload, cid, request_num)
+
+    def on_stability_advance(self, stable: int) -> None:
+        self.flow.on_stability(stable)
+
+    def credit_blocked(self) -> bool:
+        return self.flow.blocked
 
     def send_retransmit_request(self, source: int, start: int, stop: int) -> None:
         if self.traced:

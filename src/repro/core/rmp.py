@@ -45,6 +45,8 @@ class RMPStats:
     retransmissions_sent: int = 0
     retransmissions_suppressed: int = 0
     retransmit_requests_received: int = 0
+    retransmissions_paced: int = 0  #: deferred by the pacing token bucket
+    duplicate_requests_suppressed: int = 0  #: NACK repeats inside the dedupe window
 
 
 @dataclass
@@ -70,6 +72,9 @@ class RMP:
     #: individually so in-flight escalations keep their counts
     _NACK_COUNT_CAP = 4096
 
+    #: bound on the duplicate-request answer-time map; purged lazily
+    _ANSWERED_CAP = 4096
+
     def __init__(self, group: "GroupContext"):
         self._g = group
         self._sources: Dict[int, SourceState] = {}
@@ -77,6 +82,13 @@ class RMP:
         self._retransmit_jobs: Dict[tuple, object] = {}
         #: (source, seq) -> how many RetransmitRequests we have seen for it
         self._nack_counts: Dict[tuple, int] = {}
+        #: (source, seq) -> when we last committed to answering it
+        #: (duplicate-request suppression, ``nack_dedupe_window``)
+        self._answered: Dict[tuple, float] = {}
+        #: pacing token bucket, kept as the earliest next emission time
+        self._pace_next = -1e9
+        #: counter naming unsuppressible paced emissions in the job map
+        self._anon = 0
         self.stats = RMPStats()
 
     # ------------------------------------------------------------------
@@ -223,10 +235,13 @@ class RMP:
             key = (buffered.source, buffered.sequence_number)
             if key in self._retransmit_jobs:
                 continue
+            if self._is_duplicate_request(key):
+                continue
             if not self._g.config.retransmit_suppression:
-                # ablation A1: no backoff, no suppression
-                self.stats.retransmissions_sent += 1
-                self._g.retransmit_raw(buffered.data)
+                # ablation A1: no backoff, no suppression (pacing still
+                # applies — the bucket is orthogonal to the ablation)
+                self._note_answered(key)
+                self._emit_unsuppressible(buffered.data)
                 continue
             # pop + reinsert keeps the dict in recency order; the cap below
             # evicts single keys — stalest first, never the key just
@@ -244,10 +259,10 @@ class RMP:
             if count >= 3 and wanted_src != self._g.pid:
                 # The requester keeps asking: whatever copy it has been
                 # offered is not reaching it (e.g. the source's link to it
-                # is down).  Answer immediately and unsuppressibly so a
-                # different network path carries the message.
-                self.stats.retransmissions_sent += 1
-                self._g.retransmit_raw(buffered.data)
+                # is down).  Answer unsuppressibly so a different network
+                # path carries the message.
+                self._note_answered(key)
+                self._emit_unsuppressible(buffered.data)
                 continue
             if wanted_src == self._g.pid:
                 # The original source answers immediately.
@@ -256,15 +271,89 @@ class RMP:
                 # Other holders back off randomly and suppress if a copy
                 # shows up first — avoids a retransmission implosion.
                 delay = self._g.rng.random() * self._g.config.retransmit_backoff
+            self._note_answered(key)
             self._retransmit_jobs[key] = self._g.schedule(
                 delay, self._do_retransmit, key, buffered.data
             )
 
-    def _do_retransmit(self, key: tuple, raw: bytes) -> None:
+    def _do_retransmit(self, key: tuple, raw: bytes, paced: bool = False) -> None:
         if self._retransmit_jobs.pop(key, None) is None:
             return
+        if not paced:
+            delay = self._pace_delay()
+            if delay > 0.0:
+                # the bucket is dry: keep the answer pending (still
+                # suppressible by another holder's copy) until its slot
+                self.stats.retransmissions_paced += 1
+                self._retransmit_jobs[key] = self._g.schedule(
+                    delay, self._do_retransmit, key, raw, True
+                )
+                return
         self.stats.retransmissions_sent += 1
         self._g.retransmit_raw(raw)
+
+    # ------------------------------------------------------------------
+    # retransmission pacing & duplicate-request suppression (extension)
+    # ------------------------------------------------------------------
+    def _pace_delay(self) -> float:
+        """Reserve the next token-bucket slot; 0 when tokens are available.
+
+        Each call reserves exactly one emission: recovery traffic beyond
+        ``retransmit_rate_limit`` per second (with ``retransmit_burst``
+        of slack) is deferred, never dropped, so a loss burst's repair
+        cannot monopolize the sender's egress against fresh sends.
+        """
+        rate = self._g.config.retransmit_rate_limit
+        if rate <= 0.0:
+            return 0.0
+        now = self._g.now()
+        interval = 1.0 / rate
+        # a full bucket admits exactly ``retransmit_burst`` back-to-back
+        earliest = max(self._pace_next,
+                       now - (self._g.config.retransmit_burst - 1) * interval)
+        self._pace_next = earliest + interval
+        delay = earliest - now
+        # float residue from repeated interval sums must not read as a
+        # positive delay (it would needlessly defer an in-burst emission)
+        return delay if delay > 1e-9 else 0.0
+
+    def _emit_unsuppressible(self, raw: bytes) -> None:
+        """Send a retransmission that must not be cancelled by suppression,
+        deferring through the pacing bucket when it is dry."""
+        delay = self._pace_delay()
+        if delay <= 0.0:
+            self.stats.retransmissions_sent += 1
+            self._g.retransmit_raw(raw)
+            return
+        self.stats.retransmissions_paced += 1
+        key = ("#paced", self._anon)  # never matches a (source, seq) key
+        self._anon += 1
+        self._retransmit_jobs[key] = self._g.schedule(
+            delay, self._do_retransmit, key, raw, True
+        )
+
+    def _is_duplicate_request(self, key: tuple) -> bool:
+        """True when we committed to answering ``key`` inside the window."""
+        window = self._g.config.nack_dedupe_window
+        if window <= 0.0:
+            return False
+        last = self._answered.get(key)
+        if last is not None and self._g.now() - last < window:
+            self.stats.duplicate_requests_suppressed += 1
+            return True
+        return False
+
+    def _note_answered(self, key: tuple) -> None:
+        window = self._g.config.nack_dedupe_window
+        if window <= 0.0:
+            return
+        now = self._g.now()
+        self._answered[key] = now
+        if len(self._answered) > self._ANSWERED_CAP:
+            cutoff = now - window
+            self._answered = {
+                k: t for k, t in self._answered.items() if t >= cutoff
+            }
 
     def _suppress_retransmission(self, src: int, seq: int) -> None:
         job = self._retransmit_jobs.pop((src, seq), None)
@@ -313,6 +402,10 @@ class RMP:
     def _purge_nack_counts(self, src: int) -> None:
         for key in [k for k in self._nack_counts if k[0] == src]:
             del self._nack_counts[key]
+        # the dedupe window must not suppress the first NACK for a reused
+        # (src, seq) from the source's next incarnation
+        for key in [k for k in self._answered if k[0] == src]:
+            del self._answered[key]
 
     def sources(self) -> Dict[int, SourceState]:
         """Read-only view of per-source state (used by PGMP seq vectors)."""

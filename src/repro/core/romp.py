@@ -90,6 +90,9 @@ class ROMP:
         self._STAGING_CAP = 4096
         #: safe-delivery hold queue: ordered Regulars awaiting stability
         self._unsafe: Deque[FTMPMessage] = deque()
+        #: highest stability timestamp already reported upward (the
+        #: flow-control credit window recycles on this signal)
+        self._stable_notified = 0
         #: fault-view drain (§7.2): (survivor set, cut timestamp) while a
         #: synced fault view waits to be installed
         self._transition: Optional[Tuple[FrozenSet[int], int]] = None
@@ -261,6 +264,8 @@ class ROMP:
             self._dispatch(msg)
         if delivered_any:
             self._maybe_collect()
+        else:
+            self._notify_stability()
         self._check_send_barrier()
 
     def _dispatch(self, msg: FTMPMessage) -> None:
@@ -305,6 +310,7 @@ class ROMP:
 
     def _maybe_collect(self) -> None:
         self._release_safe()
+        self._notify_stability()
         if not self._g.config.buffer_gc_enabled:
             return
         stable = self.stability_timestamp()
@@ -313,6 +319,18 @@ class ROMP:
             if reclaimed:
                 self.stats.gc_runs += 1
                 self.stats.messages_reclaimed += reclaimed
+
+    def _notify_stability(self) -> None:
+        """Report stability advances upward (flow-control credit releases).
+
+        Stability can also jump without new traffic — e.g. a fault view
+        removing the slowest member — so :meth:`evaluate` calls this too,
+        not just the ack-advance path.
+        """
+        stable = self.stability_timestamp()
+        if stable > self._stable_notified:
+            self._stable_notified = stable
+            self._g.on_stability_advance(stable)
 
     def _release_safe(self) -> None:
         if not self._unsafe:

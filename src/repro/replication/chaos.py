@@ -3,8 +3,8 @@
 A :class:`ChaosPlan` is a *value*: from one ``(scenario, seed)`` pair,
 :meth:`ChaosPlan.generate` deterministically samples a timeline of loss
 bursts, reorder/duplication windows, transient partitions, crash and
-crash-restart faults, and join/graceful-leave churn, plus a traffic
-specification.  :meth:`ChaosPlan.apply` arms the timeline against a live
+crash-restart faults, join/graceful-leave churn, and overload traffic
+bursts against a bandwidth-limited NIC, plus a traffic specification.  :meth:`ChaosPlan.apply` arms the timeline against a live
 :class:`~repro.analysis.harness.Cluster` through the existing
 :class:`~repro.replication.fault_injection.FaultInjector` — so the full
 run (network RNG included) is replayable from the two integers recorded
@@ -32,7 +32,8 @@ from .fault_injection import FaultInjector
 __all__ = ["ChaosEvent", "ChaosPlan", "SCENARIOS", "PROTECTED_PID"]
 
 #: scenario classes the campaign sweeps (ISSUE acceptance: >= 4)
-SCENARIOS = ("loss", "reorder", "partition", "crash", "churn", "combo")
+SCENARIOS = ("loss", "reorder", "partition", "crash", "churn", "combo",
+             "overload")
 
 #: the sponsor/anchor processor a plan never harms
 PROTECTED_PID = 1
@@ -53,7 +54,7 @@ _DURATION = 2.2
 class ChaosEvent:
     """One planned fault or membership action (serialized into artifacts)."""
 
-    kind: str  #: "loss" | "jitter" | "duplicate" | "partition" | "crash" | "crash_restart" | "join" | "leave"
+    kind: str  #: "loss" | "jitter" | "duplicate" | "partition" | "crash" | "crash_restart" | "join" | "leave" | "burst"
     at: float
     stop: float = 0.0  #: end of a burst/partition window (0 if not a window)
     pids: Tuple[int, ...] = ()  #: processors acted on (minority set, crash target, ...)
@@ -82,6 +83,10 @@ class ChaosPlan:
     traffic_start: float = _TRAFFIC_START
     traffic_stop: float = _TRAFFIC_STOP
     duration: float = _DURATION
+    #: >0 models a constrained NIC (bytes/s per sender) so offered load
+    #: can exceed the drain rate — the "overload" scenario sets these
+    egress_bandwidth: float = 0.0
+    packet_overhead: int = 0
 
     # ------------------------------------------------------------------
     # generation
@@ -113,6 +118,8 @@ class ChaosPlan:
             budget = plan._gen_crash(rng, others, budget)
         elif scenario == "churn":
             budget = plan._gen_churn(rng, others, budget)
+        elif scenario == "overload":
+            plan._gen_overload(rng, pids)
         else:  # combo: one helping of each ingredient the budget allows
             plan._gen_loss(rng, bursts=1)
             plan._gen_reorder(rng, bursts=1)
@@ -179,6 +186,39 @@ class ChaosPlan:
             budget -= 1
         return budget
 
+    def _gen_overload(self, rng: random.Random, pids: Tuple[int, ...]) -> None:
+        # offered load above saturation: every member sends, the NIC is
+        # bandwidth-limited, and burst windows push the per-sender rate
+        # past the egress drain rate — the flow-control credit loop (not
+        # an unbounded network queue) must absorb the excess.  A loss
+        # burst on top exercises NACK recovery under retransmit pacing.
+        self.senders = tuple(pids)
+        self.egress_bandwidth = rng.uniform(35_000.0, 55_000.0)
+        self.packet_overhead = 66
+        # backpressure queues and the paced retransmit backlog drain more
+        # slowly than fault-free convergence: give the cool-down headroom
+        self.duration = _DURATION + 0.8
+        # the loss burst comes *first*, at baseline load: dropping packets
+        # while the NIC is pinned — during a burst or its queue-drain tail
+        # — puts recovery into a congestion regime where paced NACK
+        # traffic competes with the very backlog it repairs
+        loss_len = rng.uniform(0.08, 0.15)
+        loss_start = rng.uniform(_FAULT_START, 0.45)
+        self.events.append(ChaosEvent("loss", loss_start,
+                                      loss_start + loss_len,
+                                      value=rng.uniform(0.03, 0.10)))
+        earliest = loss_start + loss_len + 0.15  # NACK-recovery margin
+        for _ in range(rng.randint(1, 2)):
+            length = rng.uniform(0.10, 0.20)
+            start = rng.uniform(earliest,
+                                max(earliest, _FAULT_STOP - length))
+            # pids stays empty: a burst acts on plan.senders, and event
+            # pids are reserved for members a fault *harms* (the plan
+            # protections test reads them that way)
+            self.events.append(
+                ChaosEvent("burst", start, start + length,
+                           value=rng.uniform(0.0008, 0.0015)))
+
     def _gen_join(self, rng: random.Random) -> None:
         joiner = max(self.initial_members) + 1 + sum(1 for e in self.events if e.kind == "join")
         at = rng.uniform(_FAULT_START, _FAULT_STOP - 0.1)
@@ -217,6 +257,8 @@ class ChaosPlan:
                 )
             elif ev.kind == "leave":
                 cluster.net.scheduler.at(ev.at, self._do_leave, cluster, ev.pids[0])
+            elif ev.kind == "burst":
+                pass  # traffic, not a fault: armed by the campaign runner
             else:  # pragma: no cover - generate() only emits the kinds above
                 raise ValueError(f"unknown chaos event kind {ev.kind!r}")
 
@@ -250,5 +292,7 @@ class ChaosPlan:
             "traffic_start": self.traffic_start,
             "traffic_stop": self.traffic_stop,
             "duration": self.duration,
+            "egress_bandwidth": self.egress_bandwidth,
+            "packet_overhead": self.packet_overhead,
             "events": [e.as_dict() for e in self.events],
         }

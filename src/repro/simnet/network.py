@@ -235,6 +235,18 @@ class Network:
             self.scheduler.now, src, group_addr, len(data), delivered, dropped
         )
 
+    def egress_backlog(self, pid: int) -> float:
+        """Seconds until ``pid``'s NIC egress drains (0 when idle).
+
+        The flow-control experiments use this as the ground-truth queueing
+        signal: without backpressure, offered load beyond the bandwidth
+        accumulates here and every later packet inherits the backlog as
+        latency.
+        """
+        if not self.topology.egress_bandwidth:
+            return 0.0
+        return max(0.0, self._egress_free.get(pid, 0.0) - self.scheduler.now)
+
     def _deliver(self, pid: int, data: bytes) -> None:
         node = self._nodes.get(pid)
         if node is None or node.crashed or node.receiver is None:

@@ -1,0 +1,160 @@
+"""Adaptive batching window (FTMPConfig.batch_adaptive).
+
+An EWMA of the gap between eligible sends estimates how many messages
+the next window would coalesce.  Below ``batch_min_fill`` the send
+bypasses the window (low-load latency returns to unbatched); above it
+the fixed-window coalescing engages unchanged.  Off by default, and only
+meaningful with ``batch_window > 0``.
+"""
+
+from repro.analysis.harness import make_cluster
+from repro.core import FTMPConfig
+from repro.simnet import LinkModel, Topology
+
+
+def adaptive_cluster(gap: float, n_msgs: int, adaptive: bool = True,
+                     seed: int = 3, window: float = 0.001):
+    c = make_cluster(
+        (1, 2, 3),
+        topology=Topology(default=LinkModel(latency=0.0001, jitter=0.00002)),
+        seed=seed,
+        config=FTMPConfig(heartbeat_interval=0.002, suspect_timeout=10.0,
+                          batch_window=window, batch_adaptive=adaptive),
+    )
+    for i in range(n_msgs):
+        c.net.scheduler.at(gap * i, c.stacks[1].multicast, 1,
+                           f"1:{i}".encode())
+    c.run_for(gap * n_msgs + 1.0)
+    return c
+
+
+def test_low_rate_bypasses_window():
+    # 100 msg/s against a 1 ms window: a window would coalesce exactly one
+    # message, so every send should go straight to the wire
+    c = adaptive_cluster(gap=0.010, n_msgs=50)
+    snap = c.stacks[1].snapshot()
+    assert snap["group.1.batch.adaptive_bypasses"] == 50
+    assert snap["group.1.batch.batches_sent"] == 0
+    c.assert_agreement()
+    c.stop()
+
+
+def test_high_rate_engages_coalescing():
+    # 10k msg/s: ~10 messages per window — the window must engage after a
+    # short EWMA ramp and carry the overwhelming majority of the traffic
+    c = adaptive_cluster(gap=0.0001, n_msgs=400)
+    snap = c.stacks[1].snapshot()
+    assert snap["group.1.batch.batches_sent"] > 10
+    assert snap["group.1.batch.messages_batched"] > 350
+    assert snap["group.1.batch.adaptive_bypasses"] < 50  # ramp only
+    c.assert_agreement()
+    c.stop()
+
+
+def test_adaptive_off_means_fixed_window():
+    c = adaptive_cluster(gap=0.010, n_msgs=50, adaptive=False)
+    snap = c.stacks[1].snapshot()
+    assert snap["group.1.batch.adaptive_bypasses"] == 0
+    # the fixed window taxes every lone send with a timer flush
+    assert snap["group.1.batch.flushes_on_timer"] == 50
+    c.assert_agreement()
+    c.stop()
+
+
+def test_adaptive_low_rate_latency_near_unbatched():
+    from repro.analysis.harness import TimedWorkload
+
+    def mean_low_rate_latency(adaptive: bool) -> float:
+        c = make_cluster(
+            (1, 2, 3),
+            topology=Topology(default=LinkModel(latency=0.0001,
+                                                jitter=0.00002)),
+            seed=3,
+            # tight heartbeats so the ordering gate's wait (~one heartbeat
+            # interval) does not mask the batch window's latency tax
+            config=FTMPConfig(heartbeat_interval=0.0003, suspect_timeout=10.0,
+                              batch_window=0.001, batch_adaptive=adaptive),
+        )
+        w = TimedWorkload(c)
+        w.uniform(senders=(1,), start=0.05, stop=0.55, interval=0.010)
+        c.run_for(1.0)
+        lat = w.latencies((2, 3))
+        c.stop()
+        return sum(lat) / len(lat)
+
+    lat_fixed = mean_low_rate_latency(adaptive=False)
+    lat_adapt = mean_low_rate_latency(adaptive=True)
+    # the fixed window adds ~batch_window to every send at this rate;
+    # adaptive recovers most of it
+    assert lat_adapt < lat_fixed - 0.0005, (lat_fixed, lat_adapt)
+
+
+def test_rate_transition_quiet_burst_quiet():
+    c = make_cluster(
+        (1, 2, 3),
+        topology=Topology(default=LinkModel(latency=0.0001, jitter=0.00002)),
+        seed=3,
+        config=FTMPConfig(heartbeat_interval=0.002, suspect_timeout=10.0,
+                          batch_window=0.001, batch_adaptive=True),
+    )
+    n = 0
+    # quiet phase: 20 sends at 100/s
+    for i in range(20):
+        c.net.scheduler.at(0.010 * i, c.stacks[1].multicast, 1,
+                           f"1:{n + i}".encode())
+    n += 20
+    # burst phase: 300 sends at 10k/s
+    for i in range(300):
+        c.net.scheduler.at(0.5 + 0.0001 * i, c.stacks[1].multicast, 1,
+                           f"1:{n + i}".encode())
+    n += 300
+    # quiet again: the idle hard-reset must restore bypassing at once
+    for i in range(20):
+        c.net.scheduler.at(1.0 + 0.010 * i, c.stacks[1].multicast, 1,
+                           f"1:{n + i}".encode())
+    n += 20
+    c.run_for(2.0)
+    snap = c.stacks[1].snapshot()
+    # the two quiet phases bypass (40 sends) plus a short burst ramp
+    assert snap["group.1.batch.adaptive_bypasses"] >= 40
+    assert snap["group.1.batch.adaptive_bypasses"] <= 70
+    # the burst still coalesced heavily
+    assert snap["group.1.batch.messages_batched"] > 250
+    expected = [f"1:{i}".encode() for i in range(n)]
+    for pid in (1, 2, 3):
+        assert c.listeners[pid].payloads(1) == expected
+    c.assert_agreement()
+    c.stop()
+
+
+def test_bypass_never_reorders_past_pending_window():
+    # A send while the window is non-empty must never bypass it — that
+    # would put the sender's reliable stream out of order on the wire.
+    c = make_cluster(
+        (1, 2),
+        seed=2,
+        config=FTMPConfig(heartbeat_interval=0.002, suspect_timeout=10.0,
+                          batch_window=0.050, batch_adaptive=True,
+                          batch_min_fill=4),
+    )
+    g = c.stacks[1].group(1)
+    # prime the EWMA into "bypass" territory with slow sends
+    for i in range(5):
+        c.net.scheduler.at(0.3 * i, c.stacks[1].multicast, 1, b"slow%d" % i)
+    c.run_for(1.6)
+    # two back-to-back sends: the first may bypass, but once something
+    # sits in the window the second must join it, not jump the queue
+    c.stacks[1].multicast(1, b"first")
+    if g.send_path.pending_batch == 0:
+        # first bypassed (EWMA still slow); force one into the window by
+        # sending again within the same instant until one is pending
+        c.stacks[1].multicast(1, b"second")
+    pending_before = g.send_path.pending_batch
+    c.stacks[1].multicast(1, b"third")
+    assert g.send_path.pending_batch >= pending_before  # joined, no bypass
+    c.run_for(1.0)
+    payloads = c.listeners[2].payloads(1)
+    mine = [p for p in payloads if not p.startswith(b"slow")]
+    assert mine == [b"first", b"second", b"third"][:len(mine)]
+    c.assert_agreement()
+    c.stop()

@@ -1,0 +1,202 @@
+"""Stability-driven flow control (FTMPConfig.flow_control_window).
+
+The credit window bounds how far a sender's own Regular stream may run
+ahead of the group-wide *stability timestamp* (ROMP's §6 positive-ack
+minimum).  Sends beyond the window queue at the sender — backpressure —
+and drain as stability advances.  Off by default; with the window at 0
+the controller is inert and the datapath is bit-identical to the legacy
+stack (the legacy suites assert that side).
+"""
+
+from repro.analysis.harness import make_cluster
+from repro.core import FTMPConfig
+from repro.simnet import LinkModel, Topology, lossy_lan
+
+
+def fc_cluster(window: int, seed: int = 3, loss: float = 0.0, **cfg):
+    topo = (
+        lossy_lan(loss)
+        if loss
+        else Topology(default=LinkModel(latency=0.0001, jitter=0.00002))
+    )
+    return make_cluster(
+        (1, 2, 3),
+        topology=topo,
+        seed=seed,
+        config=FTMPConfig(heartbeat_interval=0.002, suspect_timeout=10.0,
+                          flow_control_window=window, **cfg),
+    )
+
+
+def test_flow_control_off_by_default_inert():
+    c = fc_cluster(window=0)
+    for i in range(50):
+        c.stacks[1].multicast(1, f"1:{i}".encode())
+    g = c.stacks[1].group(1)
+    assert g.flow.queue_depth == 0  # nothing ever queues
+    assert g.flow.credits == 0  # gauge reads 0 when disabled
+    c.run_for(1.0)
+    snap = c.stacks[1].snapshot()
+    assert snap["group.1.flow.sends_admitted"] == 0
+    assert snap["group.1.flow.sends_queued"] == 0
+    c.assert_agreement()
+    c.stop()
+
+
+def test_burst_beyond_window_queues_then_drains_in_order():
+    c = fc_cluster(window=8)
+    g = c.stacks[1].group(1)
+    for i in range(100):
+        c.stacks[1].multicast(1, f"1:{i}".encode())
+    # only the window's worth went out; the rest are backpressured
+    assert g.flow.inflight == 8
+    assert g.flow.queue_depth == 92
+    assert g.flow.blocked
+    c.run_for(2.0)
+    # stability advances released everything, in submission order
+    assert g.flow.queue_depth == 0
+    expected = [f"1:{i}".encode() for i in range(100)]
+    for pid in (1, 2, 3):
+        assert c.listeners[pid].payloads(1) == expected
+    snap = c.stacks[1].snapshot()
+    assert snap["group.1.flow.sends_queued"] == 92
+    assert snap["group.1.flow.sends_released"] == 92
+    assert snap["group.1.flow.sends_admitted"] == 100
+    assert snap["group.1.flow.credit_stalls"] >= 1
+    assert snap["group.1.flow.max_queue_depth"] == 92
+    c.assert_agreement()
+    c.stop()
+
+
+def test_inflight_tracks_stability_not_wire():
+    c = fc_cluster(window=8)
+    g = c.stacks[1].group(1)
+    c.stacks[1].multicast(1, b"one")
+    assert g.flow.inflight == 1
+    assert g.flow.credits == 7
+    c.run_for(0.5)  # acked by everyone -> stable -> credit recycled
+    assert g.flow.inflight == 0
+    assert g.flow.credits == 8
+    c.stop()
+
+
+def test_flow_control_survives_loss():
+    c = fc_cluster(window=8, loss=0.15, seed=11)
+    for i in range(60):
+        c.net.scheduler.at(0.0004 * i, c.stacks[1].multicast, 1,
+                           f"1:{i}".encode())
+    c.run_for(3.0)
+    expected = [f"1:{i}".encode() for i in range(60)]
+    for pid in (1, 2, 3):
+        assert c.listeners[pid].payloads(1) == expected
+    assert c.stacks[1].group(1).flow.queue_depth == 0
+    c.assert_agreement()
+    c.stop()
+
+
+def test_multiple_flow_controlled_senders():
+    c = fc_cluster(window=4)
+    for i in range(40):
+        for s in (1, 2, 3):
+            c.net.scheduler.at(0.0002 * i, c.stacks[s].multicast, 1,
+                               f"{s}:{i}".encode())
+    c.run_for(2.0)
+    c.assert_agreement()
+    for pid in (1, 2, 3):
+        payloads = c.listeners[pid].payloads(1)
+        for s in (1, 2, 3):
+            own = [p for p in payloads if p.startswith(f"{s}:".encode())]
+            assert own == [f"{s}:{i}".encode() for i in range(40)]
+    c.stop()
+
+
+def test_control_traffic_not_subject_to_credits():
+    # A membership change must go through while the sender is fully
+    # backpressured: credits gate only application Regulars.
+    c = fc_cluster(window=2)
+    g1 = c.stacks[1].group(1)
+    for i in range(30):
+        c.stacks[1].multicast(1, f"1:{i}".encode())
+    assert g1.flow.blocked
+    c.stacks[4] = type(c.stacks[1])(c.net.endpoint(4), c.stacks[1].config)
+    c.stacks[4].join_as_new_member(1, 5001)
+    c.stacks[1].add_processor(1, 4)  # control send despite zero credits
+    c.run_for(2.0)
+    assert 4 in g1.membership
+    for pid in (1, 2, 3, 4):
+        assert 4 in c.stacks[pid].group(1).membership
+    c.stop()
+
+
+# ----------------------------------------------------------------------
+# the heartbeat-liveness regression (satellite fix)
+# ----------------------------------------------------------------------
+def test_heartbeats_not_suppressed_while_credit_blocked():
+    # Regression: heartbeat suppression under batching keyed only on a
+    # non-empty batch window.  A sender blocked on credits with a pending
+    # window would then go silent — but its heartbeats are exactly what
+    # advances the peers' stability view and refills its credits.
+    c = fc_cluster(window=2, batch_window=0.004)
+    g = c.stacks[1].group(1)
+    for i in range(50):
+        c.stacks[1].multicast(1, f"1:{i}".encode())
+    assert g.flow.blocked
+    hb_before = g.stats.heartbeats_sent
+    c.run_for(2.0)
+    # everything drained (liveness held: stability kept advancing)...
+    assert g.flow.queue_depth == 0
+    expected = [f"1:{i}".encode() for i in range(50)]
+    for pid in (1, 2, 3):
+        assert c.listeners[pid].payloads(1) == expected
+    # ...and nobody suspected the backpressured sender
+    for pid in (1, 2, 3):
+        assert not c.stacks[pid].group(1).fault_detector.suspected
+    assert g.stats.heartbeats_sent > hb_before
+    c.stop()
+
+
+def test_heartbeat_tick_fires_despite_pending_window_when_blocked():
+    # Direct unit exercise of the guard in SendPath._heartbeat_tick: a
+    # pending batch normally suppresses the heartbeat, but never while
+    # the flow controller reports blocked.
+    c = fc_cluster(window=1, batch_window=0.050)
+    g = c.stacks[1].group(1)
+    c.stacks[1].multicast(1, b"a")  # consumes the only credit
+    c.stacks[1].multicast(1, b"b")  # queues: blocked
+    # arrange a pending window: bypass the flow controller deliberately
+    g.send_path._pending = [b"fake-part"]
+    assert g.flow.blocked and g.send_path.pending_batch > 0
+    suppressed_before = g.batch_stats.heartbeats_suppressed
+    hb_before = g.stats.heartbeats_sent
+    g.send_path._last_send_time = -1.0  # look idle to the heartbeat check
+    g.send_path._heartbeat_tick()
+    assert g.stats.heartbeats_sent == hb_before + 1  # fired, not suppressed
+    assert g.batch_stats.heartbeats_suppressed == suppressed_before
+    g.send_path._pending = []
+    c.stop()
+
+
+def test_quiescence_barrier_and_credits_compose():
+    # Sends deferred by the §7 quiescence barrier re-enter through the
+    # flow controller when the barrier clears — the two queues compose
+    # without reordering or losing messages.
+    c = fc_cluster(window=4)
+    c.run_for(0.1)  # let clocks advance so a low barrier can clear
+    g = c.stacks[1].group(1)
+    barrier = g.clock.time + 2  # just ahead: heartbeats clear it soon
+    g.romp.set_send_barrier(barrier)
+    for i in range(12):
+        c.stacks[1].multicast(1, f"1:{i}".encode())
+    assert g.stats.ordered_sends_deferred == 12
+    assert g.flow.inflight == 0  # nothing reached the wire
+    c.run_for(2.0)
+    snap = c.stacks[1].snapshot()
+    # the barrier released into the flow controller: only a window's
+    # worth was admitted at once, the rest queued and drained
+    assert snap["group.1.flow.sends_queued"] == 8
+    assert snap["group.1.flow.sends_released"] == 8
+    assert snap["group.1.flow.sends_admitted"] == 12
+    expected = [f"1:{i}".encode() for i in range(12)]
+    for pid in (1, 2, 3):
+        assert c.listeners[pid].payloads(1) == expected
+    c.stop()

@@ -22,6 +22,7 @@ class MockGroup:
         self.source_ordered: List = []
         self.alive: List[int] = []
         self.barrier_cleared = 0
+        self.stability_advances: List[int] = []
 
     @property
     def pid(self):
@@ -41,6 +42,9 @@ class MockGroup:
 
     def on_send_barrier_cleared(self):
         self.barrier_cleared += 1
+
+    def on_stability_advance(self, stable):
+        self.stability_advances.append(stable)
 
 
 def regular(src, ts, seq=None, ack=0):
