@@ -13,9 +13,16 @@ Baseline-diff mode (``python benchmarks/_report.py diff``, or ``make
 bench-diff``): compares the freshly regenerated report against the
 committed copy (``git show HEAD:BENCH_report.json``) and prints every
 per-metric delta.  Most metrics are informational (soft-warn) — the run
-fails only when a *gated* metric regresses by more than the threshold:
-``e12_saturation.saturation_goodput_batched_msg_s`` and every codec
-``speedup``, the two headline trajectories CI guards.
+fails only when a *gated* metric regresses by more than the threshold.
+Gated metrics are deliberately machine-independent (the baseline may
+have been committed from a different machine than the runner diffing
+against it): the batched/unbatched and flow-controlled/batched
+saturation-goodput ratios derived from each report, both computed from
+*simulated* time and therefore deterministic for a given seed.  Every
+wall-clock figure only soft-warns — including the codec ``speedup``
+ratios, which measurement shows swing well past 25% between machines
+on unchanged code (the fast and reference codecs stress different CPU
+paths, so their ratio does not transfer across hardware).
 """
 
 from __future__ import annotations
@@ -63,12 +70,17 @@ def emit_json(experiment_id: str, metrics: Dict[str, Any]) -> None:
 # baseline-diff mode
 # ----------------------------------------------------------------------
 
-#: dotted-path prefixes whose regression FAILS the diff (higher is
-#: better for every gated metric); everything else only soft-warns
+#: dotted paths whose regression FAILS the diff (higher is better for
+#: every gated metric); everything else only soft-warns.  Both gated
+#: metrics are ratios of simulated-time measurements — deterministic
+#: for a given seed, so the gate is immune to runner speed.  Codec
+#: speedups are same-run ratios but of *wall-clock* numbers, and the
+#: fast/reference ratio itself varies >25% across machines on unchanged
+#: code — they soft-warn like every other wall-clock figure.
 GATED_METRICS = (
-    "e12_saturation.saturation_goodput_batched_msg_s",
+    "derived.goodput_ratio_batched_over_unbatched",
+    "derived.goodput_ratio_fc_over_batched",
 )
-GATED_SUFFIXES = (".speedup",)  # every codec variant's speedup gates
 
 #: metrics where *lower* is better — sign of "regression" flips
 LOWER_IS_BETTER_TOKENS = ("latency", "ns_op", "datagrams_per_delivery",
@@ -96,11 +108,29 @@ def _numeric_leaves(node: Any, path: str = "") -> Iterator[Tuple[str, float]]:
             yield from _numeric_leaves(item, f"{path}[{tag}]")
 
 
+def _derived_leaves(tree: Dict[str, Any]) -> Iterator[Tuple[str, float]]:
+    """Machine-independent ratio metrics computed from a report tree.
+
+    Both sides of each ratio come from the same benchmark run, so the
+    derived value survives a change of runner; these are what the CI
+    gate actually guards, while the absolute inputs only soft-warn.
+    """
+    e12 = tree.get("e12_saturation", {})
+    e17 = tree.get("e17_overload_flow_control", {})
+    batched = e12.get("saturation_goodput_batched_msg_s")
+    unbatched = e12.get("saturation_goodput_unbatched_msg_s")
+    fc = e17.get("saturation_goodput_fc_msg_s")
+    if isinstance(batched, (int, float)) and isinstance(unbatched, (int, float)) \
+            and unbatched:
+        yield ("derived.goodput_ratio_batched_over_unbatched",
+               batched / unbatched)
+    if isinstance(fc, (int, float)) and isinstance(batched, (int, float)) \
+            and batched:
+        yield "derived.goodput_ratio_fc_over_batched", fc / batched
+
+
 def _is_gated(path: str) -> bool:
-    return path in GATED_METRICS or any(
-        path.startswith("codec.") and path.endswith(sfx)
-        for sfx in GATED_SUFFIXES
-    )
+    return path in GATED_METRICS
 
 
 def _lower_is_better(path: str) -> bool:
@@ -129,13 +159,16 @@ def diff_against_baseline(ref: str = "HEAD", threshold: float = 0.25) -> int:
     if not JSON_REPORT.exists():
         print(f"no fresh {JSON_REPORT.name}; run `make bench` first")
         return 1
-    fresh = dict(_numeric_leaves(json.loads(JSON_REPORT.read_text())))
+    fresh_tree = json.loads(JSON_REPORT.read_text())
+    fresh = dict(_numeric_leaves(fresh_tree))
+    fresh.update(_derived_leaves(fresh_tree))
     baseline_tree = _baseline_report(ref)
     if baseline_tree is None:
         print(f"no committed {JSON_REPORT.name} at {ref}; "
               "nothing to diff against (treating as first run: PASS)")
         return 0
     baseline = dict(_numeric_leaves(baseline_tree))
+    baseline.update(_derived_leaves(baseline_tree))
 
     failures = []
     warns = 0

@@ -22,7 +22,14 @@ from .constants import (
     TOTALLY_ORDERED_TYPES,
     MessageType,
 )
-from .datapath import BatchStats, GroupContext, ReceivePath, SendPath
+from .datapath import (
+    BatchStats,
+    FlowControlSaturated,
+    FlowControlStats,
+    GroupContext,
+    ReceivePath,
+    SendPath,
+)
 from .events import (
     ConnectionEvent,
     Delivery,
@@ -60,6 +67,8 @@ __all__ = [
     "SendPath",
     "ReceivePath",
     "BatchStats",
+    "FlowControlStats",
+    "FlowControlSaturated",
     "StatsRegistry",
     "StackStats",
     "GroupStats",

@@ -79,8 +79,18 @@ __all__ = [
     "BatchStats",
     "FlowControlStats",
     "FlowController",
+    "FlowControlSaturated",
     "ProcessorGroup",
 ]
+
+
+class FlowControlSaturated(RuntimeError):
+    """A multicast exceeded ``flow_queue_limit`` backpressured sends.
+
+    Raised instead of queueing so the application gets a synchronous
+    load-shedding signal; the send was *not* accepted and will not be
+    transmitted later.
+    """
 
 
 class GroupContext(Protocol):
@@ -229,6 +239,7 @@ class FlowControlStats:
     sends_admitted: int = 0  #: Regulars that consumed a credit and went out
     sends_queued: int = 0  #: application sends held back (no credits)
     sends_released: int = 0  #: queued sends later admitted by stability
+    sends_rejected: int = 0  #: multicasts refused at ``flow_queue_limit``
     credit_stalls: int = 0  #: transitions into the fully blocked state
     max_queue_depth: int = 0
 
@@ -282,12 +293,25 @@ class FlowController:
         """True while application sends are queued on exhausted credits."""
         return bool(self._queue)
 
-    def submit(self, payload: bytes, cid: ConnectionId, request_num: int) -> bool:
-        """Admit a send now (True) or queue it on backpressure (False)."""
+    def submit(self, payload: bytes, cid: ConnectionId, request_num: int,
+               enforce_limit: bool = True) -> bool:
+        """Admit a send now (True) or queue it on backpressure (False).
+
+        With ``flow_queue_limit`` set, a send beyond the cap raises
+        :class:`FlowControlSaturated` instead of queueing.  Internal
+        re-submissions of already-accepted sends (the §7 barrier drain)
+        pass ``enforce_limit=False`` — they must never be dropped.
+        """
         if not self.enabled:
             return True
         if not self._queue and len(self._inflight) < self._g.config.flow_control_window:
             return True
+        limit = self._g.config.flow_queue_limit
+        if enforce_limit and limit > 0 and len(self._queue) >= limit:
+            self.stats.sends_rejected += 1
+            raise FlowControlSaturated(
+                f"flow-control queue full ({limit} sends already backpressured)"
+            )
         if not self._queue:
             self.stats.credit_stalls += 1
         self._queue.append((payload, cid, request_num))
@@ -307,13 +331,26 @@ class FlowController:
         inflight = self._inflight
         while inflight and inflight[0] <= stable:
             inflight.popleft()
-        if self._queue:
-            window = self._g.config.flow_control_window
-            while self._queue and len(inflight) < window:
-                payload, cid, request_num = self._queue.popleft()
-                self.stats.sends_released += 1
-                # _send_regular calls note_sent, growing _inflight again
-                self._g._send_regular(payload, cid, request_num)
+        self.drain()
+
+    def drain(self) -> None:
+        """Release queued sends while credits last — never past a barrier.
+
+        A stability advance can arrive while a §7 Connect quiescence
+        barrier is pending (heartbeats keep flowing precisely so a
+        blocked sender's credits refill); releasing ordered Regulars
+        then would violate the join-quiescence invariant, so the queue
+        holds until :meth:`ProcessorGroup.on_send_barrier_cleared` kicks
+        this drain again.
+        """
+        if not self._queue or not self._g.romp.can_send_ordered():
+            return
+        window = self._g.config.flow_control_window
+        while self._queue and len(self._inflight) < window:
+            payload, cid, request_num = self._queue.popleft()
+            self.stats.sends_released += 1
+            # _send_regular calls note_sent, growing _inflight again
+            self._g._send_regular(payload, cid, request_num)
 
 
 class SendPath:
@@ -856,20 +893,34 @@ class ProcessorGroup:
         return self.send_path.next_header(mtype, reliable)
 
     def multicast(self, payload: bytes, connection_id: Optional[ConnectionId] = None,
-                  request_num: int = 0) -> None:
-        """Multicast an application (GIOP) payload as a Regular message."""
+                  request_num: int = 0) -> bool:
+        """Multicast an application (GIOP) payload as a Regular message.
+
+        Returns True when the send went to the wire immediately, False
+        when it was accepted but queued (§7 quiescence barrier or
+        exhausted flow-control credits) for later release.  With
+        ``flow_queue_limit`` set, a send beyond the cap raises
+        :class:`FlowControlSaturated` instead of queueing.
+        """
         if self.joining:
             raise RuntimeError("cannot multicast before the join completes")
         cid = connection_id if connection_id is not None else ConnectionId.none()
         if not self.romp.can_send_ordered():
             # §7 quiescence after a Connect: hold ordered application
             # traffic until every member is heard past the barrier.
+            limit = self.config.flow_queue_limit
+            if limit > 0 and len(self._pending_ordered) + self.flow.queue_depth >= limit:
+                self.flow.stats.sends_rejected += 1
+                raise FlowControlSaturated(
+                    f"send queue full ({limit} sends held at the barrier)"
+                )
             self.stats.ordered_sends_deferred += 1
             self._pending_ordered.append((payload, cid, request_num))
-            return
+            return False
         if not self.flow.submit(payload, cid, request_num):
-            return  # backpressured; a stability advance will release it
+            return False  # backpressured; a stability advance releases it
         self._send_regular(payload, cid, request_num)
+        return True
 
     def _send_regular(self, payload: bytes, cid: ConnectionId, request_num: int) -> None:
         msg = RegularMessage(
@@ -883,9 +934,16 @@ class ProcessorGroup:
         self.send_path.send(msg)
 
     def on_send_barrier_cleared(self) -> None:
+        # Sends credit-queued before the Connect predate anything the
+        # barrier deferred (once a barrier is up, multicast queues there,
+        # not in the flow controller): drain them first to keep FIFO.
+        # This is also what releases a flow queue held by drain() while
+        # the barrier was pending — without it the queue would deadlock
+        # if stability never advances again.
+        self.flow.drain()
         pending, self._pending_ordered = self._pending_ordered, []
         for payload, cid, request_num in pending:
-            if self.flow.submit(payload, cid, request_num):
+            if self.flow.submit(payload, cid, request_num, enforce_limit=False):
                 self._send_regular(payload, cid, request_num)
 
     def on_stability_advance(self, stable: int) -> None:

@@ -22,7 +22,7 @@ has been ordered locally.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional, Set
 
 from .constants import RELIABLE_TYPES, MessageType
 from .messages import FTMPMessage, HeartbeatMessage, RetransmitRequestMessage
@@ -87,8 +87,9 @@ class RMP:
         self._answered: Dict[tuple, float] = {}
         #: pacing token bucket, kept as the earliest next emission time
         self._pace_next = -1e9
-        #: counter naming unsuppressible paced emissions in the job map
-        self._anon = 0
+        #: keys in ``_retransmit_jobs`` whose pending answer must NOT be
+        #: cancelled by an arriving copy (escalated / ablation answers)
+        self._unsuppressible: Set[tuple] = set()
         self.stats = RMPStats()
 
     # ------------------------------------------------------------------
@@ -241,7 +242,7 @@ class RMP:
                 # ablation A1: no backoff, no suppression (pacing still
                 # applies — the bucket is orthogonal to the ablation)
                 self._note_answered(key)
-                self._emit_unsuppressible(buffered.data)
+                self._emit_unsuppressible(key, buffered.data)
                 continue
             # pop + reinsert keeps the dict in recency order; the cap below
             # evicts single keys — stalest first, never the key just
@@ -262,7 +263,7 @@ class RMP:
                 # is down).  Answer unsuppressibly so a different network
                 # path carries the message.
                 self._note_answered(key)
-                self._emit_unsuppressible(buffered.data)
+                self._emit_unsuppressible(key, buffered.data)
                 continue
             if wanted_src == self._g.pid:
                 # The original source answers immediately.
@@ -279,6 +280,7 @@ class RMP:
     def _do_retransmit(self, key: tuple, raw: bytes, paced: bool = False) -> None:
         if self._retransmit_jobs.pop(key, None) is None:
             return
+        self._unsuppressible.discard(key)
         if not paced:
             delay = self._pace_delay()
             if delay > 0.0:
@@ -317,17 +319,23 @@ class RMP:
         # positive delay (it would needlessly defer an in-burst emission)
         return delay if delay > 1e-9 else 0.0
 
-    def _emit_unsuppressible(self, raw: bytes) -> None:
+    def _emit_unsuppressible(self, key: tuple, raw: bytes) -> None:
         """Send a retransmission that must not be cancelled by suppression,
-        deferring through the pacing bucket when it is dry."""
+        deferring through the pacing bucket when it is dry.
+
+        A deferred answer stays under its real ``(source, seq)`` key so
+        a repeated RetransmitRequest for the same message hits the
+        pending-job check and cannot enqueue a second paced copy (even
+        with ``nack_dedupe_window`` disabled); the key is marked
+        unsuppressible so an arriving copy does not cancel it either.
+        """
         delay = self._pace_delay()
         if delay <= 0.0:
             self.stats.retransmissions_sent += 1
             self._g.retransmit_raw(raw)
             return
         self.stats.retransmissions_paced += 1
-        key = ("#paced", self._anon)  # never matches a (source, seq) key
-        self._anon += 1
+        self._unsuppressible.add(key)
         self._retransmit_jobs[key] = self._g.schedule(
             delay, self._do_retransmit, key, raw, True
         )
@@ -356,7 +364,10 @@ class RMP:
             }
 
     def _suppress_retransmission(self, src: int, seq: int) -> None:
-        job = self._retransmit_jobs.pop((src, seq), None)
+        key = (src, seq)
+        if key in self._unsuppressible:
+            return  # an escalated answer: a copy elsewhere must not cancel it
+        job = self._retransmit_jobs.pop(key, None)
         if job is not None:
             job.cancel()
             self.stats.retransmissions_suppressed += 1
@@ -394,6 +405,7 @@ class RMP:
             self._cancel_nack(st)
         for key in [k for k in self._retransmit_jobs if k[0] == src]:
             self._retransmit_jobs.pop(key).cancel()
+            self._unsuppressible.discard(key)
         # Without this, a processor that leaves and rejoins with reset
         # sequence numbers inherits stale >= 3 counts and every first NACK
         # for a reused (src, seq) triggers an unsuppressed retransmit storm.
@@ -422,3 +434,4 @@ class RMP:
         for job in self._retransmit_jobs.values():
             job.cancel()
         self._retransmit_jobs.clear()
+        self._unsuppressible.clear()

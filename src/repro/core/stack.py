@@ -145,9 +145,16 @@ class FTMPStack:
 
     def multicast(self, group_id: int, payload: bytes,
                   connection_id: Optional[ConnectionId] = None,
-                  request_num: int = 0) -> None:
-        """Reliably, totally-ordered multicast of an application payload."""
-        self._require_group(group_id).multicast(payload, connection_id, request_num)
+                  request_num: int = 0) -> bool:
+        """Reliably, totally-ordered multicast of an application payload.
+
+        Returns True when the send went out immediately, False when it
+        was accepted but queued at the sender (flow-control credits or a
+        §7 quiescence barrier).  Raises ``FlowControlSaturated`` when
+        ``flow_queue_limit`` sends are already queued.
+        """
+        return self._require_group(group_id).multicast(payload, connection_id,
+                                                       request_num)
 
     def add_processor(self, group_id: int, new_pid: int) -> None:
         """Add a non-faulty processor to a group (§7.1)."""
@@ -169,12 +176,16 @@ class FTMPStack:
     def connection_binding(self, cid: ConnectionId) -> Optional[ConnectionBinding]:
         return self.connections.binding(cid)
 
-    def send_on_connection(self, cid: ConnectionId, payload: bytes, request_num: int) -> None:
-        """Multicast a GIOP payload over an established logical connection."""
+    def send_on_connection(self, cid: ConnectionId, payload: bytes, request_num: int) -> bool:
+        """Multicast a GIOP payload over an established logical connection.
+
+        Returns the same admission signal as :meth:`multicast`.
+        """
         binding = self.connections.binding(cid)
         if binding is None or not binding.established:
             raise RuntimeError(f"connection {cid} is not established")
-        self._require_group(binding.group_id).multicast(payload, cid, request_num)
+        return self._require_group(binding.group_id).multicast(payload, cid,
+                                                               request_num)
 
     def release_connection_local(self, cid: ConnectionId) -> None:
         """Tear down local state for a released connection (§7).

@@ -8,8 +8,10 @@ the controller is inert and the datapath is bit-identical to the legacy
 stack (the legacy suites assert that side).
 """
 
+import pytest
+
 from repro.analysis.harness import make_cluster
-from repro.core import FTMPConfig
+from repro.core import FlowControlSaturated, FTMPConfig
 from repro.simnet import LinkModel, Topology, lossy_lan
 
 
@@ -176,6 +178,36 @@ def test_heartbeat_tick_fires_despite_pending_window_when_blocked():
     c.stop()
 
 
+def test_stability_advance_does_not_breach_quiescence_barrier():
+    # The other direction of the barrier/credits composition: a stability
+    # advance while a §7 Connect barrier is pending (heartbeats keep
+    # flowing exactly so a blocked sender's credits refill) must NOT
+    # release credit-queued Regulars past the barrier — and the queue
+    # must drain once the barrier clears, even without a further
+    # stability advance.
+    c = fc_cluster(window=2)
+    c.run_for(0.1)  # let clocks advance so the barrier can clear later
+    g = c.stacks[1].group(1)
+    for i in range(10):
+        c.stacks[1].multicast(1, f"1:{i}".encode())
+    assert g.flow.inflight == 2 and g.flow.queue_depth == 8
+    g.romp.set_send_barrier(g.clock.time + 5000)
+    sent_before = g.stats.regulars_sent
+    c.run_for(0.2)  # stability covers the 2 in-flight; barrier still up
+    assert not g.romp.can_send_ordered()
+    assert g.flow.inflight == 0  # credits recycled by stability...
+    assert g.flow.queue_depth == 8  # ...but the queue held at the barrier
+    assert g.stats.regulars_sent == sent_before
+    c.run_for(10.0)  # heartbeats clear the barrier; everything drains
+    assert g.romp.can_send_ordered()
+    assert g.flow.queue_depth == 0
+    expected = [f"1:{i}".encode() for i in range(10)]
+    for pid in (1, 2, 3):
+        assert c.listeners[pid].payloads(1) == expected
+    c.assert_agreement()
+    c.stop()
+
+
 def test_quiescence_barrier_and_credits_compose():
     # Sends deferred by the §7 quiescence barrier re-enter through the
     # flow controller when the barrier clears — the two queues compose
@@ -199,4 +231,59 @@ def test_quiescence_barrier_and_credits_compose():
     expected = [f"1:{i}".encode() for i in range(12)]
     for pid in (1, 2, 3):
         assert c.listeners[pid].payloads(1) == expected
+    c.stop()
+
+
+# ----------------------------------------------------------------------
+# synchronous backpressure surface: admission signal + queue cap
+# ----------------------------------------------------------------------
+def test_multicast_returns_admission():
+    c = fc_cluster(window=1)
+    assert c.stacks[1].multicast(1, b"a") is True  # consumed the credit
+    assert c.stacks[1].multicast(1, b"b") is False  # queued: backpressure
+    c.run_for(1.0)
+    for pid in (1, 2, 3):
+        assert c.listeners[pid].payloads(1) == [b"a", b"b"]
+    c.stop()
+
+
+def test_flow_queue_limit_rejects_with_explicit_error():
+    c = fc_cluster(window=2, flow_queue_limit=5)
+    g = c.stacks[1].group(1)
+    admitted = [c.stacks[1].multicast(1, f"1:{i}".encode()) for i in range(7)]
+    assert admitted == [True] * 2 + [False] * 5
+    with pytest.raises(FlowControlSaturated):
+        c.stacks[1].multicast(1, b"overflow")
+    assert g.flow.queue_depth == 5  # the rejected send was not queued
+    assert g.flow.stats.sends_rejected == 1
+    c.run_for(2.0)
+    # accepted sends all drain and deliver; the rejected one never does
+    expected = [f"1:{i}".encode() for i in range(7)]
+    for pid in (1, 2, 3):
+        assert c.listeners[pid].payloads(1) == expected
+    c.assert_agreement()
+    c.stop()
+
+
+def test_flow_queue_limit_counts_barrier_deferrals():
+    # The cap bounds everything held at the sender, including sends
+    # deferred by a §7 quiescence barrier — otherwise the barrier queue
+    # would be the unbounded loophole.
+    c = fc_cluster(window=2, flow_queue_limit=3)
+    c.run_for(0.05)
+    g = c.stacks[1].group(1)
+    g.romp.set_send_barrier(g.clock.time + 100000)
+    for i in range(3):
+        assert c.stacks[1].multicast(1, f"1:{i}".encode()) is False
+    with pytest.raises(FlowControlSaturated):
+        c.stacks[1].multicast(1, b"overflow")
+    assert g.flow.stats.sends_rejected == 1
+    c.stop()
+
+
+def test_flow_queue_unbounded_by_default():
+    c = fc_cluster(window=1)
+    for i in range(500):
+        c.stacks[1].multicast(1, f"1:{i}".encode())  # never raises
+    assert c.stacks[1].group(1).flow.queue_depth == 499
     c.stop()

@@ -179,6 +179,52 @@ def test_escalated_answer_survives_pacing_unsuppressed():
     assert len(ctx.retransmitted) == sent_before + 1  # still answered
 
 
+def test_repeated_request_for_escalated_answer_not_amplified():
+    # Regression: escalated paced answers used to be keyed anonymously,
+    # so with pacing on but the dedupe window off, every repeated
+    # RetransmitRequest for the same escalated message enqueued another
+    # paced copy — amplifying the recovery traffic the pacer bounds.
+    # The answer now pends under its real (source, seq) key and repeats
+    # hit the pending-job check.
+    ctx = MockContext(pid=2, config=FTMPConfig(
+        retransmit_rate_limit=100.0, retransmit_burst=0,
+        nack_dedupe_window=0.0,
+    ))
+    rmp = RMP(ctx)
+    rmp.on_message(regular(1, 1))
+    for _ in range(2):
+        rmp.on_message(nack(3, 1, 1, 1))
+        ctx.scheduler.run_until(ctx.scheduler.now + 1.0)
+    sent_before = len(ctx.retransmitted)
+    rmp.on_message(nack(3, 1, 1, 1))  # third request: escalates, deferred
+    assert len(rmp._retransmit_jobs) == 1
+    for _ in range(3):  # repeats while the paced answer is still pending
+        rmp.on_message(nack(3, 1, 1, 1))
+    assert len(rmp._retransmit_jobs) == 1  # deduped, no second copy
+    ctx.scheduler.run_until(ctx.scheduler.now + 1.0)
+    assert len(ctx.retransmitted) == sent_before + 1  # answered exactly once
+    assert rmp._retransmit_jobs == {}
+
+
+def test_unsuppressible_mark_cleared_after_answer_and_on_drop():
+    # The unsuppressible mark must not outlive the paced answer (or the
+    # source): a stale mark would shield future ordinary backoff answers
+    # for the same key from §5 suppression forever.
+    ctx = MockContext(pid=2, config=FTMPConfig(
+        retransmit_rate_limit=100.0, retransmit_burst=0,
+    ))
+    rmp = RMP(ctx)
+    rmp.on_message(regular(1, 1))
+    for _ in range(3):  # third request escalates; let each answer drain
+        rmp.on_message(nack(3, 1, 1, 1))
+        ctx.scheduler.run_until(ctx.scheduler.now + 1.0)
+    assert not rmp._unsuppressible
+    rmp.on_message(nack(3, 1, 1, 1))  # escalated again: pending + marked
+    assert rmp._unsuppressible == {(1, 1)}
+    rmp.drop_source(1)  # source left: pending answer and mark both go
+    assert not rmp._unsuppressible and not rmp._retransmit_jobs
+
+
 def test_ablation_no_suppression_still_paced():
     ctx = MockContext(pid=2, config=FTMPConfig(
         retransmit_suppression=False,
