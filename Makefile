@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-diff lint experiments examples soak chaos clean
+.PHONY: install test bench bench-diff lint experiments examples soak chaos explore clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -41,6 +41,14 @@ soak:
 chaos:
 	PYTHONPATH=src $(PYTHON) -m repro.analysis.chaos run --seeds 20 \
 	    --artifact-dir chaos-artifacts
+
+# schedule exploration: the chaos scenarios again, but with every
+# contested same-time scheduler choice permuted by a PCT policy; on a
+# violation the failing schedule is delta-debugged down to a minimized
+# replayable artifact in explore-artifacts/
+explore:
+	PYTHONPATH=src $(PYTHON) -m repro.analysis.explore run \
+	    --plan-seeds 3 --schedules 10 --artifact-dir explore-artifacts
 
 clean:
 	rm -rf .pytest_cache .hypothesis benchmarks/results/*.txt \

@@ -40,8 +40,9 @@ from ..replication.oracles import (
 from ..simnet import LinkModel, Topology
 from .harness import Cluster, make_cluster
 
-__all__ = ["ChaosResult", "default_chaos_config", "run_chaos_scenario",
-           "run_campaign", "replay_artifact", "main"]
+__all__ = ["ChaosResult", "default_chaos_config", "execute_plan",
+           "build_artifact", "write_artifact", "plan_topology",
+           "run_chaos_scenario", "run_campaign", "replay_artifact", "main"]
 
 
 def default_chaos_config() -> FTMPConfig:
@@ -150,10 +151,16 @@ def _transcript(cluster: Cluster, pid: int) -> List[dict]:
     ]
 
 
-def _write_artifact(directory: str, result: ChaosResult, plan: ChaosPlan,
-                    config: FTMPConfig, injector: FaultInjector,
-                    cluster: Cluster, inject_ordering_bug: bool) -> str:
-    os.makedirs(directory, exist_ok=True)
+def build_artifact(result: ChaosResult, plan: ChaosPlan,
+                   config: FTMPConfig, injector: FaultInjector,
+                   cluster: Cluster, inject_ordering_bug: bool,
+                   extra: Optional[dict] = None) -> dict:
+    """The shared self-contained violation-artifact dict.
+
+    Both the chaos campaign and the schedule explorer emit this format;
+    the explorer adds a ``schedule`` section (decision log) and shrink
+    provenance through ``extra``.
+    """
     involved = sorted({m for v in result.violations for m in v.members})
     if PROTECTED_PID not in involved:
         involved.append(PROTECTED_PID)  # reference transcript
@@ -161,8 +168,6 @@ def _write_artifact(directory: str, result: ChaosResult, plan: ChaosPlan,
         "seed": plan.seed,
         "scenario": plan.scenario,
         "inject_ordering_bug": inject_ordering_bug,
-        "replay": (f"python -m repro.analysis.chaos replay "
-                   f"{plan.scenario}-{plan.seed}.json"),
         "config": dataclasses.asdict(config),
         "plan": plan.as_dict(),
         "injections": [dataclasses.asdict(i) for i in injector.injected],
@@ -174,36 +179,51 @@ def _write_artifact(directory: str, result: ChaosResult, plan: ChaosPlan,
             for p in sorted(involved)
         },
     }
-    path = os.path.join(directory, f"{plan.scenario}-{plan.seed}.json")
+    if extra:
+        artifact.update(extra)
+    return artifact
+
+
+def write_artifact(directory: str, filename: str, artifact: dict) -> str:
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, filename)
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(artifact, fh, indent=2)
     return path
 
 
-def run_chaos_scenario(
-    seed: int,
-    scenario: str,
-    pids: Tuple[int, ...] = (1, 2, 3, 4, 5),
-    config: Optional[FTMPConfig] = None,
-    artifact_dir: Optional[str] = None,
-    inject_ordering_bug: bool = False,
-    gc_check_interval: float = 0.05,
-) -> ChaosResult:
-    """Run one seeded scenario and check every oracle against it."""
-    plan = ChaosPlan.generate(seed, scenario, pids)
-    cfg = config if config is not None else default_chaos_config()
-    topology = None
+def plan_topology(plan: ChaosPlan) -> Optional[Topology]:
+    """The network topology a plan calls for (None = default LAN)."""
     if plan.egress_bandwidth > 0.0:
         # overload plans model a constrained NIC: offered load beyond the
         # egress bandwidth must queue behind the credit window, not grow
         # an unbounded in-network queue
-        topology = Topology(
+        return Topology(
             default=LinkModel(latency=0.0001, jitter=0.00005),
             egress_bandwidth=plan.egress_bandwidth,
             packet_overhead=plan.packet_overhead,
         )
-    cluster = make_cluster(plan.initial_members, config=cfg, seed=seed,
-                           topology=topology)
+    return None
+
+
+def execute_plan(
+    plan: ChaosPlan,
+    config: Optional[FTMPConfig] = None,
+    scheduler=None,
+    inject_ordering_bug: bool = False,
+    gc_check_interval: float = 0.05,
+) -> Tuple[ChaosResult, Cluster, FaultInjector]:
+    """Run one :class:`ChaosPlan` to completion and check every oracle.
+
+    The execution core shared by the chaos campaign and the schedule
+    explorer (which passes a ``scheduler`` carrying a
+    :class:`~repro.simnet.SchedulePolicy` to permute same-time event
+    orders).  The cluster is returned *running* so the caller can write
+    artifacts from it; callers own ``cluster.stop()``.
+    """
+    cfg = config if config is not None else default_chaos_config()
+    cluster = make_cluster(plan.initial_members, config=cfg, seed=plan.seed,
+                           topology=plan_topology(plan), scheduler=scheduler)
     injector = FaultInjector(cluster.net)
     plan.apply(cluster, injector, cfg)
     _schedule_traffic(cluster, plan)
@@ -231,7 +251,8 @@ def run_chaos_scenario(
     # the surviving membership is scenario-dependent (convictions, churn):
     # take the anchor's view and require everyone in it to agree
     final = cluster.listeners[PROTECTED_PID].current_membership(cluster.group) or ()
-    result = ChaosResult(seed=seed, scenario=scenario, final_members=final)
+    result = ChaosResult(seed=plan.seed, scenario=plan.scenario,
+                         final_members=final)
     result.deliveries = sum(
         len(lst.payloads(cluster.group)) for lst in cluster.listeners.values()
     )
@@ -240,12 +261,32 @@ def run_chaos_scenario(
         cluster.listeners, cluster.group, final_members=final
     )
     result.violations += check_quiescence(cluster.stacks, cluster.group, final)
+    return result, cluster, injector
 
+
+def run_chaos_scenario(
+    seed: int,
+    scenario: str,
+    pids: Tuple[int, ...] = (1, 2, 3, 4, 5),
+    config: Optional[FTMPConfig] = None,
+    artifact_dir: Optional[str] = None,
+    inject_ordering_bug: bool = False,
+    gc_check_interval: float = 0.05,
+) -> ChaosResult:
+    """Run one seeded scenario and check every oracle against it."""
+    plan = ChaosPlan.generate(seed, scenario, pids)
+    cfg = config if config is not None else default_chaos_config()
+    result, cluster, injector = execute_plan(
+        plan, cfg, inject_ordering_bug=inject_ordering_bug,
+        gc_check_interval=gc_check_interval,
+    )
     if result.violations and artifact_dir:
-        result.artifact_path = _write_artifact(
-            artifact_dir, result, plan, cfg, injector, cluster,
-            inject_ordering_bug,
+        filename = f"{plan.scenario}-{plan.seed}.json"
+        artifact = build_artifact(
+            result, plan, cfg, injector, cluster, inject_ordering_bug,
+            extra={"replay": f"python -m repro.analysis.chaos replay {filename}"},
         )
+        result.artifact_path = write_artifact(artifact_dir, filename, artifact)
     cluster.stop()
     return result
 

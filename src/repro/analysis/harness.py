@@ -100,9 +100,17 @@ def make_cluster(
     config: Optional[FTMPConfig] = None,
     seed: int = 0,
     create_group: bool = True,
+    scheduler=None,
 ) -> Cluster:
-    """Build a cluster of FTMP stacks over a fresh simulated network."""
-    net = Network(topology if topology is not None else lan(), seed=seed)
+    """Build a cluster of FTMP stacks over a fresh simulated network.
+
+    ``scheduler`` lets a caller supply a pre-built
+    :class:`~repro.simnet.Scheduler` — the schedule explorer passes one
+    carrying a :class:`~repro.simnet.SchedulePolicy` so same-time event
+    orders can be systematically permuted and recorded.
+    """
+    net = Network(topology if topology is not None else lan(), seed=seed,
+                  scheduler=scheduler)
     cfg = config if config is not None else FTMPConfig()
     stacks: Dict[int, FTMPStack] = {}
     listeners: Dict[int, RecordingListener] = {}

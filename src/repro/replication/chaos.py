@@ -282,6 +282,36 @@ class ChaosPlan:
     # ------------------------------------------------------------------
     # serialization (for violation artifacts)
     # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(cls, d: dict) -> "ChaosPlan":
+        """Rebuild a plan from its :meth:`as_dict` form.
+
+        The schedule explorer's shrinker edits a plan (drops events,
+        shortens the timeline) before writing it into an artifact, so a
+        replay must reconstruct the plan *from the artifact*, not
+        re-generate it from ``(scenario, seed)``.
+        """
+        plan = cls(
+            seed=int(d["seed"]),
+            scenario=d["scenario"],
+            initial_members=tuple(d["initial_members"]),
+            senders=tuple(d.get("senders", ())),
+            send_interval=float(d.get("send_interval", 0.02)),
+            traffic_start=float(d.get("traffic_start", _TRAFFIC_START)),
+            traffic_stop=float(d.get("traffic_stop", _TRAFFIC_STOP)),
+            duration=float(d.get("duration", _DURATION)),
+            egress_bandwidth=float(d.get("egress_bandwidth", 0.0)),
+            packet_overhead=int(d.get("packet_overhead", 0)),
+        )
+        plan.events = [
+            ChaosEvent(kind=e["kind"], at=float(e["at"]),
+                       stop=float(e.get("stop", 0.0)),
+                       pids=tuple(e.get("pids", ())),
+                       value=float(e.get("value", 0.0)))
+            for e in d.get("events", ())
+        ]
+        return plan
+
     def as_dict(self) -> dict:
         return {
             "seed": self.seed,

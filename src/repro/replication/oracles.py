@@ -58,10 +58,24 @@ class Violation:
     oracle: str
     detail: str
     members: Tuple[int, ...] = ()
+    #: machine-readable equivalence key: ``(oracle, stable discriminators)``.
+    #: Two violations with the same key are "the same bug" for the schedule
+    #: shrinker — it only accepts a reduction if the reduced run still
+    #: raises a violation whose key matches the original's, so a shrink
+    #: can never silently swap the target bug for an unrelated one.  Keys
+    #: deliberately exclude run-size-dependent detail (counts, indices,
+    #: timestamps) that legitimate reductions would perturb.
+    key: Tuple[object, ...] = ()
+
+    @property
+    def signature(self) -> Tuple[object, ...]:
+        """The equivalence key, falling back to the oracle name alone."""
+        return self.key if self.key else (self.oracle,)
 
     def as_dict(self) -> Dict[str, object]:
         return {"oracle": self.oracle, "detail": self.detail,
-                "members": list(self.members)}
+                "members": list(self.members),
+                "key": list(self.signature)}
 
 
 def _ids(listener: RecordingListener, group: int) -> List[MessageId]:
@@ -95,6 +109,7 @@ def check_total_order(listeners: Dict[int, RecordingListener],
                     f"message {mid} has diverging (timestamp, payload) "
                     f"across members: {seen} vs {(d.timestamp, d.payload)}",
                     (pid,),
+                    key=("total-order", "content"),
                 ))
             key = (d.timestamp, d.source)
             if prev_key is not None and key <= prev_key:
@@ -103,6 +118,7 @@ def check_total_order(listeners: Dict[int, RecordingListener],
                     f"member {pid} delivered non-monotonic ordering keys "
                     f"{prev_key} then {key}",
                     (pid,),
+                    key=("total-order", "monotonic"),
                 ))
             prev_key = key
     pids = sorted(ids)
@@ -123,6 +139,7 @@ def check_total_order(listeners: Dict[int, RecordingListener],
                     f"different orders; first divergence at common index "
                     f"{at}: {seq_a[at:at + 3]} vs {seq_b[at:at + 3]}",
                     (a, b),
+                    key=("total-order", "pair-order"),
                 ))
     return violations
 
@@ -148,6 +165,7 @@ def check_fifo(listeners: Dict[int, RecordingListener],
                     f"order: (seq {prev[0]}, ts {prev[1]}) then "
                     f"(seq {d.sequence_number}, ts {d.timestamp})",
                     (pid,),
+                    key=("fifo", d.source),
                 ))
             last[d.source] = (d.sequence_number, d.timestamp)
     return violations
@@ -172,6 +190,7 @@ def check_no_duplicates(listeners: Dict[int, RecordingListener],
                     "no-duplicates",
                     f"member {pid} delivered message {mid} more than once",
                     (pid,),
+                    key=("no-duplicates", "message"),
                 ))
             seen_ids.add(mid)
             cid = d.connection_id
@@ -184,6 +203,7 @@ def check_no_duplicates(listeners: Dict[int, RecordingListener],
                         f"(cid={cid}, request={d.request_num}) from source "
                         f"{d.source} more than once",
                         (pid,),
+                        key=("no-duplicates", "giop"),
                     ))
                 seen_requests.add(rid)
     return violations
@@ -270,6 +290,7 @@ def check_virtual_synchrony(listeners: Dict[int, RecordingListener],
                 f"view {key} -> ts {succ_ts}: delivery sets diverge "
                 f"({'; '.join(diffs)})",
                 tuple(p for p, _m, _s in entries),
+                key=("virtual-synchrony",),
             ))
     return violations
 
@@ -309,6 +330,7 @@ def check_convergence(listeners: Dict[int, RecordingListener], group: int,
                     f"that member {a} delivered after {b}'s first delivery, "
                     f"e.g. {missing[:5]}",
                     (a, b),
+                    key=("convergence",),
                 ))
     return violations
 
@@ -330,6 +352,7 @@ def check_membership_agreement(listeners: Dict[int, RecordingListener],
                 f"member {pid} reports membership {membership}, "
                 f"expected {reference}",
                 (pid,),
+                key=("membership-agreement",),
             ))
     return violations
 
@@ -375,6 +398,7 @@ def check_buffer_gc_safety(stacks: Dict[int, object], group: int,
                         f"live member retains it (reclaimed below a "
                         f"peer's ack)",
                         (pid,),
+                        key=("buffer-gc-safety", src),
                     ))
     return violations
 
@@ -391,6 +415,7 @@ def check_quiescence(stacks: Dict[int, object], group: int,
             violations.append(Violation(
                 "quiescence", f"final member {pid} no longer has the group",
                 (pid,),
+                key=("quiescence", "group-gone"),
             ))
             continue
         # only gaps in *member* sources matter: an evicted processor that
@@ -403,6 +428,7 @@ def check_quiescence(stacks: Dict[int, object], group: int,
                 f"member {pid} has unrecovered sequence gaps from "
                 f"source(s) {sorted(gappy)}",
                 (pid,),
+                key=("quiescence", "gaps"),
             ))
         if g.romp.queued():
             violations.append(Violation(
@@ -410,6 +436,7 @@ def check_quiescence(stacks: Dict[int, object], group: int,
                 f"member {pid} has {g.romp.queued()} messages stuck in the "
                 f"ordering queue",
                 (pid,),
+                key=("quiescence", "ordering-queue"),
             ))
         if g.romp.unsafe_held():
             violations.append(Violation(
@@ -417,6 +444,7 @@ def check_quiescence(stacks: Dict[int, object], group: int,
                 f"member {pid} holds {g.romp.unsafe_held()} undelivered "
                 f"safe-mode messages",
                 (pid,),
+                key=("quiescence", "safe-hold"),
             ))
     return violations
 

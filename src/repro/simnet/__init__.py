@@ -12,6 +12,14 @@ Public surface:
 """
 
 from .scheduler import Event, NamedTimerSet, Scheduler, SimTimeError
+from .schedules import (
+    FifoPolicy,
+    PCTPolicy,
+    RandomPolicy,
+    ReplayPolicy,
+    Schedule,
+    SchedulePolicy,
+)
 from .topology import LinkModel, Topology, lan, lossy_lan, two_site_wan, wan
 from .trace import NetworkTrace, PacketRecord
 from .transport import Endpoint, TimerHandle
@@ -23,6 +31,12 @@ __all__ = [
     "NamedTimerSet",
     "Scheduler",
     "SimTimeError",
+    "SchedulePolicy",
+    "FifoPolicy",
+    "RandomPolicy",
+    "PCTPolicy",
+    "ReplayPolicy",
+    "Schedule",
     "LinkModel",
     "Topology",
     "lan",

@@ -19,7 +19,7 @@ Exactly the properties FTMP assumes of IP Multicast hold here:
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, Optional, Set
+from typing import Callable, Dict, Optional, Set, Tuple
 
 from .scheduler import Event, Scheduler
 from .topology import Topology
@@ -105,6 +105,12 @@ class Network:
         self.trace = NetworkTrace(keep_packets=keep_packets)
         self._nodes: Dict[int, _Node] = {}
         self._groups: Dict[int, Set[int]] = {}
+        #: per-group receiver tuple in ascending pid order, rebuilt on
+        #: join/leave — the multicast fan-out iterates this instead of a
+        #: set, so the receiver order (and therefore the per-receiver RNG
+        #: draw order) is deterministic by construction, not by accident
+        #: of CPython's set layout
+        self._fanout: Dict[int, Tuple[int, ...]] = {}
         self._partition: Optional[Dict[int, int]] = None  # pid -> component id
         #: per-sender egress busy-until time (NIC serialization model)
         self._egress_free: Dict[int, float] = {}
@@ -138,11 +144,15 @@ class Network:
     # group membership at the IP level
     # ------------------------------------------------------------------
     def join(self, pid: int, group_addr: int) -> None:
-        self._groups.setdefault(group_addr, set()).add(pid)
+        members = self._groups.setdefault(group_addr, set())
+        members.add(pid)
+        self._fanout[group_addr] = tuple(sorted(members))
         self._node(pid).joined.add(group_addr)
 
     def leave(self, pid: int, group_addr: int) -> None:
-        self._groups.get(group_addr, set()).discard(pid)
+        members = self._groups.get(group_addr, set())
+        members.discard(pid)
+        self._fanout[group_addr] = tuple(sorted(members))
         self._node(pid).joined.discard(group_addr)
 
     def members(self, group_addr: int) -> Set[int]:
@@ -207,7 +217,7 @@ class Network:
         schedule = self.scheduler.schedule
         deliver = self._deliver
         partition = self._partition
-        for pid in self._groups.get(group_addr, ()):  # deterministic set iteration
+        for pid in self._fanout.get(group_addr, ()):  # ascending pid order
             node = nodes[pid]
             if node.crashed or node.receiver is None:
                 continue

@@ -8,13 +8,20 @@ reproducible), so ties are broken by a monotonically increasing insertion
 counter rather than by object identity.
 
 Simulated time is a ``float`` in **seconds**.
+
+A :class:`~repro.simnet.schedules.SchedulePolicy` can be installed to
+delegate the tie-break among *ready* (same-time) events to an exploration
+policy; with no policy installed (the default) the hot path is exactly the
+historical O(1) heap pop.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, Optional
+from typing import Any, Callable, List, Optional
+
+from .schedules import SchedulePolicy
 
 __all__ = ["Event", "Scheduler", "SimTimeError", "NamedTimerSet"]
 
@@ -79,13 +86,40 @@ class Scheduler:
     #: rebuild, while a burst of cancellations (mass teardown) is reclaimed
     _COMPACT_MIN_GARBAGE = 1024
 
-    def __init__(self) -> None:
+    def __init__(self, policy: Optional[SchedulePolicy] = None) -> None:
         self._now: float = 0.0
         self._heap: list[Event] = []
         self._counter = itertools.count()
         self._events_processed = 0
         self._live = 0  #: uncancelled events currently on the heap
         self._named: Optional["NamedTimerSet"] = None
+        self._policy: Optional[SchedulePolicy] = None
+        self._decisions: List[int] = []
+        if policy is not None:
+            self.set_policy(policy)
+
+    # ------------------------------------------------------------------
+    # schedule exploration (see repro.simnet.schedules)
+    # ------------------------------------------------------------------
+    @property
+    def policy(self) -> Optional[SchedulePolicy]:
+        """The installed schedule policy (None = plain FIFO tie-break)."""
+        return self._policy
+
+    @property
+    def decision_log(self) -> List[int]:
+        """Chosen index at each contested choice point so far.
+
+        Only populated while a policy is installed; replaying the same
+        scenario with a :class:`~repro.simnet.schedules.ReplayPolicy`
+        over this list reproduces the run byte-exactly.
+        """
+        return self._decisions
+
+    def set_policy(self, policy: Optional[SchedulePolicy]) -> None:
+        """Install (or clear) the schedule policy and reset the log."""
+        self._policy = policy
+        self._decisions = []
 
     # ------------------------------------------------------------------
     # time
@@ -142,8 +176,52 @@ class Scheduler:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
+    def _step_policy(self, limit_time: Optional[float]) -> bool:
+        """One policy-arbitrated step: collect the ready set (every live
+        event at the earliest pending timestamp, in insertion order), let
+        the policy pick, record contested choices, run the pick, and push
+        the rest back.  O(k log n) per step — exploration runs accept the
+        overhead; the policy-free path never comes through here.
+        """
+        heap = self._heap
+        ready: list[Event] = []
+        while heap:
+            top = heap[0]
+            if top.cancelled:
+                heapq.heappop(heap)
+                continue
+            if limit_time is not None and top.time > limit_time:
+                return False
+            t = top.time
+            while heap and heap[0].time == t:
+                ev = heapq.heappop(heap)
+                if not ev.cancelled:
+                    ready.append(ev)  # heap pops arrive in seq order
+            if ready:
+                break
+        if not ready:
+            return False
+        if len(ready) == 1:
+            idx = 0  # forced: not a choice point, not recorded
+        else:
+            idx = self._policy.choose(ready)
+            if not 0 <= idx < len(ready):
+                idx = 0
+            self._decisions.append(idx)
+        ev = ready.pop(idx)
+        for other in ready:
+            heapq.heappush(heap, other)
+        ev._sched = None
+        self._live -= 1
+        self._now = ev.time
+        self._events_processed += 1
+        ev.fn(*ev.args)
+        return True
+
     def step(self) -> bool:
         """Run the next pending event.  Returns False when the heap is empty."""
+        if self._policy is not None:
+            return self._step_policy(None)
         while self._heap:
             ev = heapq.heappop(self._heap)
             if ev.cancelled:
@@ -176,6 +254,14 @@ class Scheduler:
         runs are the normal way to drive a protocol experiment.
         """
         ran = 0
+        if self._policy is not None:
+            while self._step_policy(time):
+                ran += 1
+                if max_events is not None and ran >= max_events:
+                    return ran
+            if time > self._now:
+                self._now = time
+            return ran
         while self._heap:
             ev = self._heap[0]
             if ev.cancelled:

@@ -1,0 +1,235 @@
+"""Schedule policies: systematic exploration of same-time event orders.
+
+The discrete-event :class:`~repro.simnet.scheduler.Scheduler` breaks ties
+between same-time events by insertion order (FIFO), so one seed always
+produces one interleaving.  Whole classes of concurrency bugs — two
+timers firing "simultaneously" at different processors, a delivery racing
+a membership change — live precisely in the orders FIFO never tries.
+
+A :class:`SchedulePolicy` is the seam that opens those orders up: when a
+policy is installed, every time the scheduler is about to run an event it
+collects the *ready set* (all live events at the earliest pending
+timestamp, in insertion order) and asks the policy which one runs first.
+Every contested choice (ready set larger than one) is appended to the
+scheduler's decision log as the chosen index, so the full interleaving is
+captured by a plain list of small integers — a :class:`Schedule` — that
+:class:`ReplayPolicy` re-executes byte-exactly.
+
+Policies:
+
+* :class:`FifoPolicy` — always index 0: bit-identical to running with no
+  policy at all (the property tests assert this), but with the decision
+  log recorded;
+* :class:`RandomPolicy` — uniform choice from a private seeded RNG;
+* :class:`PCTPolicy` — probabilistic concurrency testing adapted to
+  one-shot events: each event draws a priority that is a pure function of
+  ``(seed, event.seq)``, the highest-priority ready event runs, and at
+  ``depth - 1`` change points (choice indices pre-sampled from the seed)
+  the priority order is inverted for one decision.  Like classic PCT,
+  ``depth`` bounds how many "against-priority" steps a schedule contains,
+  which concentrates probability mass on low-depth ordering bugs;
+* :class:`ReplayPolicy` — consumes a recorded decision list; when the
+  list is exhausted (or an index no longer fits the ready set) it falls
+  back to FIFO, which is what makes *any* truncation or edit of a
+  decision list a valid schedule — the property the shrinker relies on.
+
+None of the policies ever touches the global :mod:`random` state: each
+owns private :class:`random.Random` instances derived from its seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from .scheduler import Event
+
+__all__ = [
+    "SchedulePolicy",
+    "FifoPolicy",
+    "RandomPolicy",
+    "PCTPolicy",
+    "ReplayPolicy",
+    "Schedule",
+]
+
+
+class SchedulePolicy:
+    """Chooses which ready (same-time) event the scheduler runs next."""
+
+    #: short machine-readable policy name, serialized into artifacts
+    name = "abstract"
+
+    def choose(self, ready: Sequence["Event"]) -> int:
+        """Return the index (into ``ready``) of the event to run.
+
+        ``ready`` holds at least two live events sharing the earliest
+        pending timestamp, ordered by insertion sequence — so index 0 is
+        always the FIFO choice.  Out-of-range returns are clamped to 0
+        by the scheduler.  Called only for contested choices.
+        """
+        raise NotImplementedError
+
+
+class FifoPolicy(SchedulePolicy):
+    """Insertion order — the scheduler's built-in tie-break, made explicit.
+
+    Running under ``FifoPolicy`` is behaviourally identical to running
+    with no policy; the only difference is that contested choices are
+    recorded, so a baseline run yields a replayable :class:`Schedule`.
+    """
+
+    name = "fifo"
+
+    def choose(self, ready: Sequence["Event"]) -> int:
+        return 0
+
+
+class RandomPolicy(SchedulePolicy):
+    """Uniform random choice among ready events, from a private RNG."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._rng = random.Random(f"schedule-random:{seed}")
+
+    def choose(self, ready: Sequence["Event"]) -> int:
+        return self._rng.randrange(len(ready))
+
+
+class PCTPolicy(SchedulePolicy):
+    """Probabilistic concurrency testing over one-shot events.
+
+    Classic PCT assigns random priorities to threads, always runs the
+    highest-priority runnable thread, and lowers one priority at each of
+    ``depth - 1`` random change points; a bug of depth ``d`` is then found
+    with probability >= 1/(n * k^(d-1)).  Our schedulable unit is a
+    one-shot event rather than a thread, so the adaptation is:
+
+    * every event's priority is a pure function of ``(seed, event.seq)``
+      — no allocation-order or global-RNG dependence, so the same seed
+      prices the same event identically across runs;
+    * each contested choice runs the highest-priority ready event;
+    * ``depth - 1`` change points are pre-sampled (from the seed alone)
+      over the first ``horizon`` contested choices; at a change point the
+      order inverts — the *lowest*-priority ready event runs — which is
+      the one-shot-event analogue of demoting the favoured thread.
+    """
+
+    name = "pct"
+
+    def __init__(self, seed: int = 0, depth: int = 3, horizon: int = 4096):
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        self.seed = seed
+        self.depth = depth
+        self.horizon = horizon
+        self._change_points = self.change_points(seed, depth, horizon)
+        self._decision = 0  #: contested choices seen so far
+        self._prio_cache: dict = {}
+
+    @staticmethod
+    def change_points(seed: int, depth: int, horizon: int = 4096) -> frozenset:
+        """The ``depth - 1`` inversion points — a pure function of the
+        arguments (private RNG; global :mod:`random` state untouched)."""
+        rng = random.Random(f"pct-change:{seed}:{depth}:{horizon}")
+        k = min(max(depth - 1, 0), horizon)
+        return frozenset(rng.sample(range(horizon), k))
+
+    @staticmethod
+    def priority(seed: int, event_seq: int) -> float:
+        """Event priority — a pure function of ``(seed, event_seq)``."""
+        return random.Random(f"pct-priority:{seed}:{event_seq}").random()
+
+    def _prio(self, seq: int) -> float:
+        p = self._prio_cache.get(seq)
+        if p is None:
+            p = self._prio_cache[seq] = self.priority(self.seed, seq)
+        return p
+
+    def choose(self, ready: Sequence["Event"]) -> int:
+        decision = self._decision
+        self._decision += 1
+        pick = min if decision in self._change_points else max
+        best = pick(range(len(ready)), key=lambda i: self._prio(ready[i].seq))
+        return best
+
+
+class ReplayPolicy(SchedulePolicy):
+    """Re-executes a recorded decision list; FIFO once it runs out.
+
+    The FIFO fallback (also used when a recorded index no longer fits the
+    ready set) makes every prefix, subsequence or edit of a decision list
+    a *valid* schedule, so the shrinker can cut freely and re-validate.
+    """
+
+    name = "replay"
+
+    def __init__(self, decisions: Sequence[int]):
+        self.decisions = list(decisions)
+        self._next = 0
+
+    @property
+    def consumed(self) -> int:
+        """Recorded decisions consumed so far (diagnostic)."""
+        return self._next
+
+    def choose(self, ready: Sequence["Event"]) -> int:
+        if self._next >= len(self.decisions):
+            return 0
+        idx = self.decisions[self._next]
+        self._next += 1
+        if not 0 <= idx < len(ready):
+            return 0
+        return idx
+
+
+@dataclass
+class Schedule:
+    """A serializable interleaving: policy metadata + the decision log.
+
+    ``decisions[i]`` is the index chosen at the i-th *contested* choice
+    point (ready set larger than one); forced choices are not recorded
+    because replay reconstructs them.  Replaying the same scenario under
+    :meth:`replay_policy` reproduces the run byte-exactly.
+    """
+
+    policy: str = "fifo"
+    seed: int = 0
+    depth: int = 0
+    decisions: List[int] = field(default_factory=list)
+
+    def replay_policy(self) -> ReplayPolicy:
+        return ReplayPolicy(self.decisions)
+
+    def as_dict(self) -> dict:
+        return {
+            "policy": self.policy,
+            "seed": self.seed,
+            "depth": self.depth,
+            "decisions": list(self.decisions),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Schedule":
+        return cls(
+            policy=d.get("policy", "fifo"),
+            seed=int(d.get("seed", 0)),
+            depth=int(d.get("depth", 0)),
+            decisions=[int(x) for x in d.get("decisions", ())],
+        )
+
+    @classmethod
+    def make_policy(cls, kind: str, seed: int = 0, depth: int = 3) -> SchedulePolicy:
+        """Factory for the explorable policies (CLI-facing)."""
+        if kind == "fifo":
+            return FifoPolicy()
+        if kind == "random":
+            return RandomPolicy(seed)
+        if kind == "pct":
+            return PCTPolicy(seed, depth)
+        raise ValueError(f"unknown schedule policy {kind!r} "
+                         f"(choose from fifo, random, pct)")

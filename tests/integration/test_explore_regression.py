@@ -1,0 +1,77 @@
+"""Checked-in minimized explore artifacts replay as regression tests.
+
+``tests/data/explore/`` holds minimized violation artifacts produced by
+the schedule explorer's shrinker (``make explore`` /
+``python -m repro.analysis.explore``).  Each one is a complete
+(plan, schedule, config) triple:
+
+* replayed as recorded — with its ``inject_ordering_bug`` self-test
+  corruption on — it must still go red with the violation key it was
+  minimized against, proving the artifact is alive (the explorer,
+  oracles and replay pipeline still fire on it);
+* replayed with the injection forced off it must go green against the
+  current code, which is the regression guarantee: if a real ordering
+  bug ever re-appears on this exact minimized scenario, this test fails.
+
+New artifacts dropped into the directory are picked up automatically.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+
+import pytest
+
+from repro.analysis.explore import replay_explore_artifact
+from repro.simnet import Schedule
+
+_DATA_DIR = os.path.join(os.path.dirname(__file__), "..", "data", "explore")
+ARTIFACTS = sorted(glob.glob(os.path.join(_DATA_DIR, "*.json")))
+
+
+def test_at_least_one_minimized_artifact_is_checked_in():
+    assert ARTIFACTS, f"no explore artifacts under {_DATA_DIR}"
+
+
+@pytest.mark.parametrize("path", ARTIFACTS, ids=[os.path.basename(p) for p in ARTIFACTS])
+def test_artifact_is_minimized_and_well_formed(path):
+    with open(path, encoding="utf-8") as fh:
+        artifact = json.load(fh)
+    assert artifact["kind"] == "explore"
+    assert artifact["violations"], "artifact with no recorded violations"
+    assert all(v.get("key") for v in artifact["violations"])
+    shrink = artifact["shrink"]
+    assert shrink["replayed"]
+    assert shrink["final_decisions"] <= shrink["original_decisions"]
+    assert shrink["final_events"] <= shrink["original_events"]
+    # the schedule section must round-trip (it is what replay runs)
+    schedule = Schedule.from_dict(artifact["schedule"])
+    assert schedule.as_dict() == artifact["schedule"]
+
+
+@pytest.mark.parametrize("path", ARTIFACTS, ids=[os.path.basename(p) for p in ARTIFACTS])
+def test_artifact_replays_red_as_recorded(path):
+    with open(path, encoding="utf-8") as fh:
+        artifact = json.load(fh)
+    recorded = {tuple(v["key"]) for v in artifact["violations"]}
+    result, decisions = replay_explore_artifact(path)
+    replayed = {tuple(v.signature) for v in result.violations}
+    assert replayed & recorded, (
+        f"{os.path.basename(path)} no longer reproduces its violation "
+        f"(recorded {recorded}, replay produced {replayed})"
+    )
+    # byte-exact replay: the re-recorded contested choices extend the
+    # minimized decision log with pure-FIFO (0) tail choices only
+    minimized = artifact["schedule"]["decisions"]
+    assert decisions[:len(minimized)] == minimized
+    assert all(d == 0 for d in decisions[len(minimized):])
+
+
+@pytest.mark.parametrize("path", ARTIFACTS, ids=[os.path.basename(p) for p in ARTIFACTS])
+def test_artifact_replays_green_against_fixed_code(path):
+    # the self-test corruption off: the same minimized (plan, schedule)
+    # must satisfy the full oracle battery on the current protocol code
+    result, _decisions = replay_explore_artifact(path, inject_override=False)
+    assert result.ok, [v.as_dict() for v in result.violations]

@@ -1,0 +1,210 @@
+"""The SchedulePolicy seam: ready sets, decision logs, PCT purity.
+
+Scheduler-level coverage of the schedule-exploration machinery (the
+cluster-level record→replay properties live in
+``tests/analysis/test_explore.py``):
+
+* a ``FifoPolicy`` run is identical to a policy-free run, decision log
+  aside;
+* recorded decision logs replay byte-exactly, including when callbacks
+  schedule new same-time events into the live ready set;
+* ``PCTPolicy`` priorities and change points are pure functions of the
+  seed — no global :mod:`random` state is read or written;
+* cancellation inside a ready set neither runs the event nor corrupts
+  the live counter.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simnet import (
+    FifoPolicy,
+    PCTPolicy,
+    RandomPolicy,
+    ReplayPolicy,
+    Schedule,
+    Scheduler,
+)
+
+
+def _workload(sched: Scheduler):
+    """A branching workload with plenty of same-time ties.
+
+    Three "processors" tick at the same instants; each tick re-arms
+    itself and occasionally spawns an extra same-time event, so the ready
+    sets stay contested and grow mid-step.
+    """
+    hits = []
+
+    def tick(pid: int, n: int) -> None:
+        hits.append((sched.now, pid, n))
+        if n < 8:
+            sched.schedule(0.01, tick, pid, n + 1)
+        if n % 3 == pid % 3:
+            sched.at(sched.now, hits.append, (sched.now, pid, -n))
+
+    for pid in (1, 2, 3):
+        sched.at(0.01, tick, pid, 0)
+    return hits
+
+
+def _run(policy):
+    sched = Scheduler(policy)
+    hits = _workload(sched)
+    sched.run_until(1.0)
+    return hits, list(sched.decision_log)
+
+
+# ----------------------------------------------------------------------
+# FIFO identity and the policy-free path
+# ----------------------------------------------------------------------
+def test_fifo_policy_matches_policy_free_run():
+    baseline, log = _run(None)
+    assert log == []  # no policy, no recording
+    fifo_hits, fifo_log = _run(FifoPolicy())
+    assert fifo_hits == baseline
+    assert fifo_log and all(d == 0 for d in fifo_log)
+
+
+def test_policy_property_and_reset():
+    sched = Scheduler()
+    assert sched.policy is None
+    pol = RandomPolicy(1)
+    sched.set_policy(pol)
+    assert sched.policy is pol
+    sched.at(0.0, lambda: None)
+    sched.at(0.0, lambda: None)
+    sched.run()
+    assert len(sched.decision_log) == 1
+    sched.set_policy(FifoPolicy())
+    assert sched.decision_log == []  # installing a policy resets the log
+
+
+# ----------------------------------------------------------------------
+# record → replay (scheduler level)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("policy", [RandomPolicy(7), PCTPolicy(7, depth=3),
+                                    PCTPolicy(11, depth=1)])
+def test_recorded_log_replays_byte_exactly(policy):
+    hits, log = _run(policy)
+    replay_hits, replay_log = _run(ReplayPolicy(log))
+    assert replay_hits == hits
+    assert replay_log == log  # same contested points, same choices
+
+
+def test_exhausted_or_invalid_decisions_fall_back_to_fifo():
+    baseline, _ = _run(None)
+    # an empty log is all-FIFO; wildly out-of-range indices clamp to FIFO
+    assert _run(ReplayPolicy([]))[0] == baseline
+    assert _run(ReplayPolicy([999] * 50))[0] == baseline
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=6), max_size=40))
+def test_any_decision_list_is_a_valid_deterministic_schedule(decisions):
+    a = _run(ReplayPolicy(decisions))
+    b = _run(ReplayPolicy(decisions))
+    assert a == b
+
+
+def test_different_seeds_explore_different_interleavings():
+    logs = {seed: _run(RandomPolicy(seed))[1] for seed in range(4)}
+    assert len({tuple(log) for log in logs.values()}) > 1
+
+
+# ----------------------------------------------------------------------
+# ready-set semantics
+# ----------------------------------------------------------------------
+def test_same_time_events_scheduled_by_callbacks_join_ready_set():
+    sched = Scheduler(ReplayPolicy([1]))
+    hits = []
+    sched.at(1.0, lambda: (hits.append("a"), sched.at(1.0, hits.append, "spawned")))
+    sched.at(1.0, hits.append, "b")
+    sched.run()
+    # decision [1] fires "b" first; "a" then spawns an event at the same
+    # time which must enter the contested set with "a"'s leftovers
+    assert hits == ["b", "a", "spawned"]
+
+
+def test_cancel_inside_ready_set_is_honoured():
+    sched = Scheduler(FifoPolicy())
+    hits = []
+    sched.at(1.0, lambda: ev_c.cancel())
+    ev_c = sched.at(1.0, hits.append, "c")  # sits in the ready set when cancelled
+    sched.at(1.0, hits.append, "b")
+    sched.at(0.5, hits.append, "early")
+    sched.run()
+    assert hits == ["early", "b"]
+    assert sched.pending == 0  # live counter survived the in-ready cancel
+
+
+def test_run_until_limits_hold_with_policy():
+    sched = Scheduler(RandomPolicy(3))
+    hits = []
+    for i in range(5):
+        sched.at(1.0, hits.append, i)
+    sched.at(2.0, hits.append, "late")
+    ran = sched.run_until(1.5)
+    assert ran == 5 and sched.now == 1.5 and "late" not in hits
+    sched2 = Scheduler(RandomPolicy(3))
+    for i in range(5):
+        sched2.at(1.0, hits.append, i)
+    assert sched2.run_until(1.5, max_events=2) == 2
+
+
+# ----------------------------------------------------------------------
+# PCT purity (no global random-state leakage)
+# ----------------------------------------------------------------------
+def test_pct_change_points_are_a_pure_function_of_seed_and_depth():
+    a = PCTPolicy.change_points(5, 4)
+    b = PCTPolicy.change_points(5, 4)
+    assert a == b and len(a) == 3
+    assert PCTPolicy.change_points(6, 4) != a
+    assert PCTPolicy.change_points(5, 1) == frozenset()
+    assert PCTPolicy(9, depth=2)._change_points == PCTPolicy.change_points(9, 2)
+
+
+def test_pct_priorities_are_a_pure_function_of_seed_and_event_seq():
+    assert PCTPolicy.priority(3, 17) == PCTPolicy.priority(3, 17)
+    assert PCTPolicy.priority(3, 17) != PCTPolicy.priority(4, 17)
+    assert PCTPolicy.priority(3, 17) != PCTPolicy.priority(3, 18)
+
+
+def test_policies_do_not_touch_global_random_state():
+    random.seed(1234)
+    expected = random.Random(1234).random()
+    PCTPolicy(1, depth=5)
+    _run(PCTPolicy(2, depth=3))
+    _run(RandomPolicy(3))
+    assert random.random() == expected  # global stream unconsumed
+
+
+def test_pct_rejects_nonpositive_depth():
+    with pytest.raises(ValueError):
+        PCTPolicy(0, depth=0)
+
+
+def test_pct_choices_are_reproducible_across_instances():
+    assert _run(PCTPolicy(21, depth=3)) == _run(PCTPolicy(21, depth=3))
+
+
+# ----------------------------------------------------------------------
+# Schedule value object
+# ----------------------------------------------------------------------
+def test_schedule_round_trips_through_dict():
+    s = Schedule(policy="pct", seed=42, depth=3, decisions=[0, 2, 1])
+    assert Schedule.from_dict(s.as_dict()) == s
+    assert Schedule.from_dict({}).decisions == []
+
+
+def test_make_policy_factory():
+    assert isinstance(Schedule.make_policy("fifo"), FifoPolicy)
+    assert isinstance(Schedule.make_policy("random", 1), RandomPolicy)
+    assert isinstance(Schedule.make_policy("pct", 1, 4), PCTPolicy)
+    with pytest.raises(ValueError):
+        Schedule.make_policy("quantum")
