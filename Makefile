@@ -2,7 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-diff lint experiments examples soak chaos explore clean
+.PHONY: install test bench bench-diff lint layering experiments examples soak \
+        chaos explore cluster-demo cluster-smoke clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -24,8 +25,22 @@ bench:
 bench-diff: bench
 	$(PYTHON) benchmarks/_report.py diff
 
-lint:
+lint: layering
 	$(PYTHON) -m ruff check src/ tests/ benchmarks/
+
+# layering guard: the protocol layers (core, baselines) must only import
+# the neutral repro.transport seam — never a concrete runtime — and the
+# two runtimes must not import each other (same rules as
+# tests/core/test_layering.py, greppable without pytest)
+layering:
+	@! grep -rnE '^\s*(from (repro\.|\.\.)(simnet|runtime)|import repro\.(simnet|runtime))' \
+	    src/repro/core src/repro/baselines \
+	    || { echo "layering violation: core/baselines must not import a runtime"; exit 1; }
+	@! grep -rnE '^\s*(from (repro\.|\.\.)runtime|import repro\.runtime)' src/repro/simnet \
+	    || { echo "layering violation: simnet must not import repro.runtime"; exit 1; }
+	@! grep -rnE '^\s*(from (repro\.|\.\.)simnet|import repro\.simnet)' src/repro/runtime \
+	    || { echo "layering violation: runtime must not import repro.simnet"; exit 1; }
+	@echo "layering OK"
 
 experiments:
 	$(PYTHON) -m repro.analysis.cli run all
@@ -49,6 +64,17 @@ chaos:
 explore:
 	PYTHONPATH=src $(PYTHON) -m repro.analysis.explore run \
 	    --plan-seeds 3 --schedules 10 --artifact-dir explore-artifacts
+
+# wall-clock demo: 3 real OS processes, one FTMP group, ≥10k ordered
+# multicasts cross-checked by the total-order/FIFO/no-duplicate oracles
+cluster-demo:
+	PYTHONPATH=src $(PYTHON) -m repro.runtime --processes 3 --messages 3400
+
+# smaller cluster run for CI (writes the machine-readable report used as
+# the workflow artifact; wall-clock numbers are informational only)
+cluster-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.runtime --processes 3 --messages 1200 \
+	    --json cluster-smoke-report.json
 
 clean:
 	rm -rf .pytest_cache .hypothesis benchmarks/results/*.txt \

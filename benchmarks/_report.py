@@ -23,6 +23,14 @@ wall-clock figure only soft-warns — including the codec ``speedup``
 ratios, which measurement shows swing well past 25% between machines
 on unchanged code (the fast and reference codecs stress different CPU
 paths, so their ratio does not transfer across hardware).
+
+The ``wallclock`` section (:func:`wallclock_section`, filled by the E19
+multi-process cluster bench) is the third tier: real OS processes, real
+sockets, real clocks.  Its msgs/s and latency percentiles are the most
+machine-dependent numbers in the report, so they are soft-warn by
+construction — nothing under ``*.wallclock.*`` may ever be added to
+``GATED_METRICS``; the correctness side of those runs (total order
+across processes) is asserted by the cluster oracles, not by the diff.
 """
 
 from __future__ import annotations
@@ -66,6 +74,28 @@ def emit_json(experiment_id: str, metrics: Dict[str, Any]) -> None:
     print(f"[metrics merged into {JSON_REPORT}]")
 
 
+def wallclock_section(results: Dict[int, Any]) -> Dict[str, Any]:
+    """Shape ``{process_count: ClusterResult}`` into the report's
+    ``wallclock`` section.
+
+    Keys are ``"<n>p"`` so process counts stay stable dotted paths in the
+    diff (``…wallclock.3p.msgs_s``); every numeric leaf here is a
+    wall-clock measurement and therefore soft-warn-only (never gated).
+    """
+    section: Dict[str, Any] = {}
+    for n, r in sorted(results.items()):
+        section[f"{n}p"] = {
+            "mode": r.mode,
+            "total_delivered": r.total_delivered,
+            "msgs_s": round(r.msgs_s, 1),
+            "latency_p50_ms": round(r.latency_p50_ms, 3),
+            "latency_p99_ms": round(r.latency_p99_ms, 3),
+            "oracle_violations": len(r.violations),
+            "ok": r.ok,
+        }
+    return section
+
+
 # ----------------------------------------------------------------------
 # baseline-diff mode
 # ----------------------------------------------------------------------
@@ -84,7 +114,7 @@ GATED_METRICS = (
 
 #: metrics where *lower* is better — sign of "regression" flips
 LOWER_IS_BETTER_TOKENS = ("latency", "ns_op", "datagrams_per_delivery",
-                          "wire_bytes", "queue")
+                          "wire_bytes", "queue", "violations")
 
 
 def _numeric_leaves(node: Any, path: str = "") -> Iterator[Tuple[str, float]]:

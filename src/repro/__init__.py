@@ -11,14 +11,22 @@ Subpackages:
   active replication, duplicate suppression, state transfer);
 * :mod:`repro.baselines` — sequencer / token-ring / point-to-point
   comparators from the paper's related work;
-* :mod:`repro.analysis` — workloads, experiment harness, statistics.
+* :mod:`repro.analysis` — workloads, experiment harness, statistics;
+* :mod:`repro.transport` — the runtime-neutral Endpoint seam the
+  protocol layers are written against;
+* :mod:`repro.runtime` — real asyncio multi-process cluster runtime
+  (wall-clock execution of the identical stack).
+
+Subpackages load lazily (PEP 562): importing the protocol layers never
+drags in a runtime, so ``repro.core`` stays importable in a worker
+process without paying for (or depending on) the simulator.
 """
+
+import importlib
 
 __version__ = "1.0.0"
 
-from . import analysis, baselines, core, giop, orb, replication, simnet  # noqa: F401
-
-__all__ = [
+_SUBMODULES = (
     "core",
     "simnet",
     "giop",
@@ -26,5 +34,20 @@ __all__ = [
     "replication",
     "baselines",
     "analysis",
-    "__version__",
-]
+    "runtime",
+    "transport",
+)
+
+__all__ = [*_SUBMODULES, "__version__"]
+
+
+def __getattr__(name):
+    if name in _SUBMODULES:
+        module = importlib.import_module(f".{name}", __name__)
+        globals()[name] = module
+        return module
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_SUBMODULES))

@@ -18,7 +18,7 @@ import struct
 from dataclasses import dataclass
 from typing import Callable, Tuple
 
-from ..simnet.transport import Endpoint
+from ..transport import Endpoint
 
 __all__ = ["BaselineDelivery", "GroupProtocol", "pack_frame", "unpack_frame"]
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 import struct
 from typing import Callable, Dict, List, Tuple
 
-from ..simnet.transport import Endpoint
+from ..transport import Endpoint
 from .base import BaselineDelivery, GroupProtocol, pack_frame, unpack_frame
 
 __all__ = ["CausalProtocol"]

@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Callable, Optional, Tuple
 
 from ..core import Delivery, FTMPConfig, FTMPStack, Listener
-from ..simnet.transport import Endpoint
+from ..transport import Endpoint
 from .base import BaselineDelivery, GroupProtocol
 
 __all__ = ["FTMPProtocol"]

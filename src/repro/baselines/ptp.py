@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Tuple
 
-from ..simnet.transport import Endpoint
+from ..transport import Endpoint
 from .base import BaselineDelivery, GroupProtocol, pack_frame, unpack_frame
 
 __all__ = ["PtpMeshProtocol", "mesh_address"]

@@ -39,7 +39,7 @@ from typing import (
     Tuple,
 )
 
-from ..simnet.scheduler import NamedTimerSet
+from ..transport import NamedTimerSet
 from .buffers import RetransmissionBuffer
 from .config import FTMPConfig
 from .constants import RELIABLE_TYPES, MessageType

@@ -7,8 +7,9 @@ detector composed over a :class:`~repro.core.datapath.SendPath` /
 :class:`~repro.core.datapath.ReceivePath` pair), the connection manager,
 the unified :class:`~repro.core.stats.StatsRegistry`, and the datagram
 routing between them.  It is written against the abstract
-:class:`~repro.simnet.transport.Endpoint`, so the identical stack runs
-over the discrete-event simulator and over real UDP sockets.
+:class:`~repro.transport.Endpoint`, so the identical stack runs over the
+discrete-event simulator, real UDP sockets, and the asyncio cluster
+runtime alike.
 
 Typical use (static bootstrap, as the FT infrastructure would do)::
 
@@ -31,7 +32,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional, Tuple
 
-from ..simnet.transport import Endpoint
+from ..transport import Endpoint
 from .config import FTMPConfig
 from .connection import (
     ConnectionBinding,

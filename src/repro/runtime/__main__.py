@@ -1,0 +1,8 @@
+"""``python -m repro.runtime`` — run a multi-process cluster workload."""
+
+import sys
+
+from .cluster import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -54,6 +54,10 @@ class SimEndpoint(Endpoint):
     def __init__(self, network: "Network", pid: int):
         self._net = network
         self._pid = pid
+        self._closed = False
+        #: events armed through this endpoint and possibly still pending;
+        #: pruned lazily, cancelled wholesale on :meth:`close`
+        self._timers: list = []
 
     # -- identity ------------------------------------------------------
     @property
@@ -66,7 +70,16 @@ class SimEndpoint(Endpoint):
         return self._net.scheduler.now
 
     def schedule(self, delay: float, fn: Callable[..., None], *args) -> Event:
-        return self._net.scheduler.schedule(delay, fn, *args)
+        if self._closed:
+            dead = Event(self._net.scheduler.now + delay, -1, fn, args)
+            dead.cancelled = True
+            return dead
+        ev = self._net.scheduler.schedule(delay, fn, *args)
+        if len(self._timers) >= 64:
+            # drop events that already fired or were cancelled (detached)
+            self._timers = [e for e in self._timers if e._sched is not None]
+        self._timers.append(ev)
+        return ev
 
     # -- I/O -------------------------------------------------------------
     def set_receiver(self, cb: ReceiveCallback) -> None:
@@ -79,6 +92,8 @@ class SimEndpoint(Endpoint):
         self._net.leave(self._pid, group_addr)
 
     def multicast(self, group_addr: int, data: bytes) -> None:
+        if self._closed:
+            return
         self._net.multicast(self._pid, group_addr, data)
 
     def random(self) -> random.Random:
@@ -86,7 +101,14 @@ class SimEndpoint(Endpoint):
         return self._net.rng
 
     def close(self) -> None:
+        """Detach: no sends, no receiver callbacks, no timer fires after this."""
+        if self._closed:
+            return
+        self._closed = True
         self._net._node(self._pid).receiver = None
+        for ev in self._timers:
+            ev.cancel()
+        self._timers.clear()
 
 
 class Network:

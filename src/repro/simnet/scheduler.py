@@ -21,6 +21,7 @@ import heapq
 import itertools
 from typing import Any, Callable, List, Optional
 
+from ..transport import NamedTimerSet  # noqa: F401  (re-export; moved to repro.transport)
 from .schedules import SchedulePolicy
 
 __all__ = ["Event", "Scheduler", "SimTimeError", "NamedTimerSet"]
@@ -299,47 +300,3 @@ class Scheduler:
     def cancel_named(self, name: str) -> bool:
         """Cancel the pending named event, if any.  True if one was armed."""
         return self._named is not None and self._named.cancel(name)
-
-
-class NamedTimerSet:
-    """Cancellable named one-shot timers over any ``schedule`` function.
-
-    Arming a name cancels its previous timer, so a name always has at most
-    one pending firing — the semantics a coalescing window wants (the
-    datapath uses this for its batch-flush timer).  Works over
-    :meth:`Scheduler.schedule` and over any
-    :class:`~repro.simnet.transport.Endpoint` ``schedule`` alike: the only
-    requirement is that the returned handle has ``cancel()``.
-    """
-
-    def __init__(self, schedule: Callable[..., Any]):
-        self._schedule = schedule
-        self._timers: dict = {}
-
-    def arm(self, name: str, delay: float, fn: Callable[..., Any], *args: Any):
-        """(Re-)arm ``name`` to run ``fn(*args)`` after ``delay`` seconds."""
-        self.cancel(name)
-
-        def fire() -> None:
-            self._timers.pop(name, None)
-            fn(*args)
-
-        handle = self._schedule(delay, fire)
-        self._timers[name] = handle
-        return handle
-
-    def is_armed(self, name: str) -> bool:
-        return name in self._timers
-
-    def cancel(self, name: str) -> bool:
-        """Cancel ``name`` if armed; True if a timer was actually cancelled."""
-        handle = self._timers.pop(name, None)
-        if handle is None:
-            return False
-        handle.cancel()
-        return True
-
-    def cancel_all(self) -> None:
-        for handle in self._timers.values():
-            handle.cancel()
-        self._timers.clear()

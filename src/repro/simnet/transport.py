@@ -1,68 +1,14 @@
-"""Abstract transport interface between protocol stacks and a network.
+"""Compatibility shim: the transport seam moved to :mod:`repro.transport`.
 
-FTMP (and every baseline protocol) is written against :class:`Endpoint`:
-a processor-local handle that can join multicast groups, send datagrams,
-read a clock and arm timers.  Two implementations exist:
-
-* :class:`repro.simnet.network.SimEndpoint` — deterministic discrete-event
-  simulation (used by tests and every experiment);
-* :class:`repro.simnet.udp.UdpEndpoint` — real UDP sockets with loopback
-  fan-out emulating multicast groups (used by the live demo example).
+Historically the abstract :class:`Endpoint` lived here, which made the
+protocol layers (``repro.core``, ``repro.baselines``) import ``simnet`` —
+an inverted dependency once a second real runtime (``repro.runtime``)
+appeared.  The seam is now runtime-neutral in :mod:`repro.transport`;
+this module re-exports it so existing imports keep working.
 """
 
 from __future__ import annotations
 
-import abc
-import random
-from typing import Callable, Protocol, runtime_checkable
+from ..transport import Endpoint, TimerHandle
 
 __all__ = ["Endpoint", "TimerHandle"]
-
-
-@runtime_checkable
-class TimerHandle(Protocol):
-    """Anything returned by :meth:`Endpoint.schedule`; only needs cancel()."""
-
-    def cancel(self) -> None: ...
-
-
-class Endpoint(abc.ABC):
-    """A processor's interface to the (real or simulated) network."""
-
-    @property
-    @abc.abstractmethod
-    def processor_id(self) -> int:
-        """The processor identifier this endpoint belongs to."""
-
-    @property
-    @abc.abstractmethod
-    def now(self) -> float:
-        """Current time in seconds (simulated or monotonic wall clock)."""
-
-    @abc.abstractmethod
-    def schedule(self, delay: float, fn: Callable[..., None], *args) -> TimerHandle:
-        """Arm a one-shot timer; returns a cancellable handle."""
-
-    @abc.abstractmethod
-    def set_receiver(self, cb: Callable[[bytes], None]) -> None:
-        """Register the datagram receive callback for this processor."""
-
-    @abc.abstractmethod
-    def join(self, group_addr: int) -> None:
-        """Subscribe to a multicast group address."""
-
-    @abc.abstractmethod
-    def leave(self, group_addr: int) -> None:
-        """Unsubscribe from a multicast group address."""
-
-    @abc.abstractmethod
-    def multicast(self, group_addr: int, data: bytes) -> None:
-        """Best-effort multicast ``data`` to every subscriber of the group."""
-
-    @abc.abstractmethod
-    def random(self) -> random.Random:
-        """RNG for protocol-internal randomization (NACK backoff)."""
-
-    @abc.abstractmethod
-    def close(self) -> None:
-        """Detach from the network; no further callbacks fire."""

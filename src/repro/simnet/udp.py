@@ -22,7 +22,7 @@ import threading
 import time
 from typing import Callable, Dict, Optional, Set, Tuple
 
-from .transport import Endpoint
+from ..transport import Endpoint
 
 __all__ = ["UdpFabric", "UdpEndpoint"]
 
@@ -82,6 +82,17 @@ class UdpFabric:
         with self._lock:
             self._groups.get(group_addr, set()).discard(pid)
             self._targets.pop(group_addr, None)
+
+    def unregister(self, pid: int) -> None:
+        """Forget a closed endpoint entirely: its socket is gone and the OS
+        may rebind the ephemeral port, so it must drop out of every
+        group's fan-out target list immediately."""
+        with self._lock:
+            self._endpoints.pop(pid, None)
+            self._addrs.pop(pid, None)
+            for members in self._groups.values():
+                members.discard(pid)
+            self._targets.clear()
 
     def targets(self, group_addr: int) -> Tuple[Tuple[str, int], ...]:
         """Socket addresses of every current member of ``group_addr``."""
@@ -144,6 +155,8 @@ class UdpEndpoint(Endpoint):
 
         t = threading.Timer(delay, fire)
         t.daemon = True
+        if self._closed.is_set():
+            return _Timer(t)  # closed endpoints arm no new timers
         t.start()
         self._timers.add(t)
         # opportunistically prune finished timers to bound the set
@@ -192,9 +205,16 @@ class UdpEndpoint(Endpoint):
     def close(self) -> None:
         if self._closed.is_set():
             return
-        self._closed.set()
+        # take the fabric lock first so no receive/timer callback is
+        # mid-flight when the flag flips: after close() returns, the
+        # receiver is guaranteed to never be invoked again
+        with self._fabric.lock:
+            self._closed.set()
+            self._receiver = None
+        self._fabric.unregister(self._pid)
         for t in list(self._timers):
             t.cancel()
+        self._timers.clear()
         try:
             self._sock.close()
         except OSError:

@@ -65,3 +65,61 @@ def test_timers_after_close_do_not_fire(fabric):
     ep.close()
     time.sleep(0.1)
     assert hits == []
+
+
+def test_multicast_roundtrip_includes_sender_loopback(fabric):
+    """A sender joined to its own group receives its own multicasts."""
+    a = fabric.endpoint(1)
+    b = fabric.endpoint(2)
+    got_a, got_b = [], []
+    a.set_receiver(got_a.append)
+    b.set_receiver(got_b.append)
+    a.join(7)
+    b.join(7)
+    a.multicast(7, b"ping")
+    deadline = time.monotonic() + 2.0
+    while (not got_a or not got_b) and time.monotonic() < deadline:
+        time.sleep(0.005)
+    assert got_a == [b"ping"]
+    assert got_b == [b"ping"]
+
+
+def test_no_receive_callbacks_after_close(fabric):
+    """close() guarantees the receiver is never invoked again."""
+    a = fabric.endpoint(1)
+    b = fabric.endpoint(2)
+    inbox = []
+    b.set_receiver(inbox.append)
+    b.join(100)
+    a.multicast(100, b"before")
+    deadline = time.monotonic() + 2.0
+    while not inbox and time.monotonic() < deadline:
+        time.sleep(0.005)
+    assert inbox == [b"before"]
+    b.close()
+    for _ in range(5):
+        a.multicast(100, b"after")
+    time.sleep(0.1)
+    assert inbox == [b"before"]
+
+
+def test_close_unregisters_from_fabric(fabric):
+    """A closed endpoint drops out of every group's fan-out targets, so
+    its (potentially rebinding) port never appears as a send target."""
+    a = fabric.endpoint(1)
+    b = fabric.endpoint(2)
+    b.join(100)
+    a.join(100)
+    assert len(fabric.targets(100)) == 2
+    b.close()
+    assert fabric.targets(100) == (a.address,)
+
+
+def test_schedule_after_close_never_fires(fabric):
+    ep = fabric.endpoint(1)
+    ep.close()
+    hits = []
+    handle = ep.schedule(0.01, hits.append, "x")
+    time.sleep(0.05)
+    handle.cancel()  # handle stays cancellable
+    assert hits == []
