@@ -51,11 +51,15 @@ examples:
 soak:
 	$(PYTHON) -m pytest tests/integration/test_soak.py -v
 
-# seeded chaos campaign: 20 seeds x all seven scenario classes, with
-# violation artifacts (replayable JSON) written to chaos-artifacts/
+# seeded chaos campaign: 20 seeds x all eight scenario classes (incl.
+# leader_crash) in active mode, then 10 seeds x the llft scenario mix
+# with the leader-follower fast path on; violation artifacts
+# (replayable JSON) written to chaos-artifacts/
 chaos:
 	PYTHONPATH=src $(PYTHON) -m repro.analysis.chaos run --seeds 20 \
 	    --artifact-dir chaos-artifacts
+	PYTHONPATH=src $(PYTHON) -m repro.analysis.chaos run --mode llft \
+	    --seeds 10 --artifact-dir chaos-artifacts
 
 # schedule exploration: the chaos scenarios again, but with every
 # contested same-time scheduler choice permuted by a PCT policy; on a

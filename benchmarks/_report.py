@@ -157,6 +157,17 @@ def _derived_leaves(tree: Dict[str, Any]) -> Iterator[Tuple[str, float]]:
     if isinstance(fc, (int, float)) and isinstance(batched, (int, float)) \
             and batched:
         yield "derived.goodput_ratio_fc_over_batched", fc / batched
+    # E20: the LLFT leader fast path against the active stack's p50 —
+    # sim-time ratio, so machine-independent, but soft-warn only (the
+    # "latency" token flips it to lower-is-better; it is deliberately
+    # NOT in GATED_METRICS while the llft mode is young)
+    e20 = tree.get("e20_llft_vs_active", {})
+    leader = e20.get("low_load_leader_path_p50_latency_ms")
+    active = e20.get("low_load_p50_latency_active_ms")
+    if isinstance(leader, (int, float)) and isinstance(active, (int, float)) \
+            and active:
+        yield ("derived.latency_ratio_llft_leader_over_active_p50",
+               leader / active)
 
 
 def _is_gated(path: str) -> bool:

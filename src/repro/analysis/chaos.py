@@ -40,9 +40,25 @@ from ..replication.oracles import (
 from ..simnet import LinkModel, Topology
 from .harness import Cluster, make_cluster
 
-__all__ = ["ChaosResult", "default_chaos_config", "execute_plan",
-           "build_artifact", "write_artifact", "plan_topology",
-           "run_chaos_scenario", "run_campaign", "replay_artifact", "main"]
+__all__ = ["ChaosResult", "default_chaos_config", "chaos_config_for",
+           "execute_plan", "build_artifact", "write_artifact",
+           "plan_topology", "run_chaos_scenario", "run_campaign",
+           "replay_artifact", "main", "MODES", "LLFT_SCENARIOS",
+           "LLFT_LEADER_PID"]
+
+#: replication modes the campaign can drive the stack in
+MODES = ("active", "llft")
+
+#: the processor ``--mode llft`` designates as leader for the
+#: ``leader_crash`` class (must not be the protected sponsor, or the
+#: plan could never crash it)
+LLFT_LEADER_PID = 2
+
+#: ``combo`` joins a member *during* an active fault round — a corner
+#: the LLFT takeover protocol documents as out of scope (the joiner's
+#: sponsor-stream replay races the §7.2 drain), so the llft sweep runs
+#: every other class
+LLFT_SCENARIOS = tuple(s for s in SCENARIOS if s != "combo")
 
 
 def default_chaos_config() -> FTMPConfig:
@@ -67,6 +83,24 @@ def default_chaos_config() -> FTMPConfig:
                       flow_control_window=24,
                       retransmit_rate_limit=150.0, retransmit_burst=8,
                       nack_dedupe_window=0.020)
+
+
+def chaos_config_for(mode: str, scenario: str) -> FTMPConfig:
+    """The campaign config for one (mode, scenario) run.
+
+    ``active`` is the legacy all-member-stability stack.  ``llft`` turns
+    on the leader-follower fast path; the designated leader is the
+    protected sponsor (``llft_leader_pid=0`` → smallest member) for every
+    class except ``leader_crash``, which pins the leader to the crash
+    victim (:data:`LLFT_LEADER_PID`) so the takeover path is exercised.
+    """
+    if mode not in MODES:
+        raise ValueError(f"unknown mode {mode!r} (choose from {MODES})")
+    cfg = default_chaos_config()
+    if mode == "llft":
+        leader = LLFT_LEADER_PID if scenario == "leader_crash" else 0
+        cfg = dataclasses.replace(cfg, llft_mode=True, llft_leader_pid=leader)
+    return cfg
 
 
 @dataclass
@@ -120,10 +154,17 @@ def _schedule_traffic(cluster: Cluster, plan: ChaosPlan) -> None:
             t += ev.value
 
 
-def _inject_ordering_bug(cluster: Cluster) -> None:
+def _inject_ordering_bug(cluster: Cluster,
+                         final: Tuple[int, ...] = ()) -> None:
     """Test-only corruption: swap two adjacent different-source deliveries
-    at one non-anchor member, in both its transcript and its event log."""
-    for pid in sorted(cluster.listeners):
+    at one non-anchor member, in both its transcript and its event log.
+
+    Final members come first: a crashed member's transcript is excluded
+    from the llft-mode battery, so corrupting it would prove nothing.
+    """
+    candidates = sorted(cluster.listeners,
+                        key=lambda p: (p not in final, p))
+    for pid in candidates:
         if pid == PROTECTED_PID:
             continue
         lst = cluster.listeners[pid]
@@ -245,20 +286,31 @@ def execute_plan(
 
     cluster.run_for(plan.duration)
 
-    if inject_ordering_bug:
-        _inject_ordering_bug(cluster)
-
     # the surviving membership is scenario-dependent (convictions, churn):
     # take the anchor's view and require everyone in it to agree
     final = cluster.listeners[PROTECTED_PID].current_membership(cluster.group) or ()
+
+    if inject_ordering_bug:
+        _inject_ordering_bug(cluster, final)
     result = ChaosResult(seed=plan.seed, scenario=plan.scenario,
                          final_members=final)
     result.deliveries = sum(
         len(lst.payloads(cluster.group)) for lst in cluster.listeners.values()
     )
     result.violations += live_violations
+    history = cluster.listeners
+    if cfg.llft_mode:
+        # a crashed LLFT member's transcript can end in a speculative
+        # suffix the survivors legitimately reorder: a dead leader
+        # fast-path-delivered sends whose OrderInfos reached nobody, and
+        # a dead follower may have adopted announcements every survivor
+        # lost (the takeover batch re-sorts that parked set).  Virtual
+        # synchrony excuses failed processors, so the history battery
+        # binds over the final membership only in llft mode.
+        history = {p: lst for p, lst in cluster.listeners.items()
+                   if p in final}
     result.violations += run_history_oracles(
-        cluster.listeners, cluster.group, final_members=final
+        history, cluster.group, final_members=final
     )
     result.violations += check_quiescence(cluster.stacks, cluster.group, final)
     return result, cluster, injector
@@ -272,10 +324,15 @@ def run_chaos_scenario(
     artifact_dir: Optional[str] = None,
     inject_ordering_bug: bool = False,
     gc_check_interval: float = 0.05,
+    mode: str = "active",
 ) -> ChaosResult:
-    """Run one seeded scenario and check every oracle against it."""
+    """Run one seeded scenario and check every oracle against it.
+
+    An explicit ``config`` wins over ``mode`` (artifact replays pass the
+    recorded config, which already carries ``llft_mode``).
+    """
     plan = ChaosPlan.generate(seed, scenario, pids)
-    cfg = config if config is not None else default_chaos_config()
+    cfg = config if config is not None else chaos_config_for(mode, scenario)
     result, cluster, injector = execute_plan(
         plan, cfg, inject_ordering_bug=inject_ordering_bug,
         gc_check_interval=gc_check_interval,
@@ -293,14 +350,21 @@ def run_chaos_scenario(
 
 def run_campaign(
     seeds: Sequence[int],
-    scenarios: Sequence[str] = SCENARIOS,
+    scenarios: Optional[Sequence[str]] = None,
     pids: Tuple[int, ...] = (1, 2, 3, 4, 5),
     config: Optional[FTMPConfig] = None,
     artifact_dir: Optional[str] = None,
     inject_ordering_bug: bool = False,
     verbose: bool = True,
+    mode: str = "active",
 ) -> List[ChaosResult]:
-    """Sweep seeds × scenario classes; return one result per run."""
+    """Sweep seeds × scenario classes; return one result per run.
+
+    ``scenarios=None`` selects the mode's full sweep: every class for
+    ``active``, :data:`LLFT_SCENARIOS` for ``llft``.
+    """
+    if scenarios is None:
+        scenarios = LLFT_SCENARIOS if mode == "llft" else SCENARIOS
     results: List[ChaosResult] = []
     for scenario in scenarios:
         for seed in seeds:
@@ -308,6 +372,7 @@ def run_campaign(
                 seed, scenario, pids=pids, config=config,
                 artifact_dir=artifact_dir,
                 inject_ordering_bug=inject_ordering_bug,
+                mode=mode,
             )
             results.append(r)
             if verbose:
@@ -348,9 +413,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="number of seeds per scenario (0..N-1)")
     run_p.add_argument("--seed", type=int, action="append", default=None,
                        help="explicit seed (repeatable; overrides --seeds)")
-    run_p.add_argument("--scenarios", nargs="+", default=list(SCENARIOS),
+    run_p.add_argument("--scenarios", nargs="+", default=None,
                        choices=list(SCENARIOS), metavar="SCENARIO",
-                       help=f"scenario classes (default: all of {', '.join(SCENARIOS)})")
+                       help=f"scenario classes (default: all of "
+                            f"{', '.join(SCENARIOS)}; in --mode llft the "
+                            f"default drops 'combo')")
+    run_p.add_argument("--mode", choices=list(MODES), default="active",
+                       help="replication mode: legacy active stability "
+                            "(default) or the LLFT leader-follower fast "
+                            "path")
     run_p.add_argument("--artifact-dir", default="chaos-artifacts",
                        help="where violation artifacts are written")
     run_p.add_argument("--inject-ordering-bug", action="store_true",
@@ -365,10 +436,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "run":
         seeds = args.seed if args.seed else list(range(args.seeds))
-        print(f"chaos campaign: seeds={seeds} scenarios={args.scenarios}")
+        scenarios = args.scenarios or (
+            LLFT_SCENARIOS if args.mode == "llft" else SCENARIOS
+        )
+        print(f"chaos campaign: mode={args.mode} seeds={seeds} "
+              f"scenarios={list(scenarios)}")
         results = run_campaign(
-            seeds, scenarios=args.scenarios, artifact_dir=args.artifact_dir,
-            inject_ordering_bug=args.inject_ordering_bug,
+            seeds, scenarios=scenarios, artifact_dir=args.artifact_dir,
+            inject_ordering_bug=args.inject_ordering_bug, mode=args.mode,
         )
         bad = [r for r in results if not r.ok]
         print(f"{len(results)} runs, {len(results) - len(bad)} clean, "

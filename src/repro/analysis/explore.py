@@ -44,15 +44,17 @@ from ..core import FTMPConfig
 from ..replication.chaos import SCENARIOS, ChaosPlan
 from ..simnet import ReplayPolicy, Schedule, SchedulePolicy, Scheduler
 from .chaos import (
+    MODES,
     ChaosResult,
     build_artifact,
-    default_chaos_config,
+    chaos_config_for,
     execute_plan,
     write_artifact,
 )
 
 __all__ = [
     "DEFAULT_SCENARIOS",
+    "DEFAULT_LLFT_SCENARIOS",
     "ExploreOutcome",
     "ShrinkStats",
     "run_schedule",
@@ -66,6 +68,12 @@ __all__ = [
 #: partitions, crash faults and overload backpressure — the plans whose
 #: timer/recovery races §6 stability and §7 virtual synchrony must survive
 DEFAULT_SCENARIOS = ("churn", "partition", "crash", "overload")
+
+#: the ``--mode llft`` mix adds the leader-crash class: the handoff —
+#: takeover batch vs in-flight OrderInfos vs the §7.2 drain — is exactly
+#: the kind of same-time race PCT schedules are built to permute
+DEFAULT_LLFT_SCENARIOS = ("churn", "partition", "crash", "overload",
+                          "leader_crash")
 
 
 # ----------------------------------------------------------------------
@@ -293,7 +301,7 @@ def _schedule_seed(plan_seed: int, k: int) -> int:
 
 
 def explore(
-    scenarios: Sequence[str] = DEFAULT_SCENARIOS,
+    scenarios: Optional[Sequence[str]] = None,
     plan_seeds: Sequence[int] = (0,),
     n_schedules: int = 10,
     policy_kind: str = "pct",
@@ -303,16 +311,23 @@ def explore(
     inject_ordering_bug: bool = False,
     shrink_budget: int = 80,
     verbose: bool = True,
+    mode: str = "active",
 ) -> List[ExploreOutcome]:
     """Sweep scenarios × plan seeds × N explored schedules.
 
     For each (scenario, plan seed) the schedule seed advances with every
     explored schedule; exploration of that pair stops at the first
     violation, which is shrunk to a minimized replayable artifact.
+    ``scenarios=None`` selects the mode's default mix; an explicit
+    ``config`` wins over ``mode`` (as in the chaos campaign).
     """
-    cfg = config if config is not None else default_chaos_config()
+    if scenarios is None:
+        scenarios = (DEFAULT_LLFT_SCENARIOS if mode == "llft"
+                     else DEFAULT_SCENARIOS)
     outcomes: List[ExploreOutcome] = []
     for scenario in scenarios:
+        cfg = (config if config is not None
+               else chaos_config_for(mode, scenario))
         for plan_seed in plan_seeds:
             plan = ChaosPlan.generate(plan_seed, scenario)
             outcome = ExploreOutcome(scenario=scenario, plan_seed=plan_seed,
@@ -459,9 +474,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run_p = sub.add_parser("run", help="explore N schedules per scenario")
-    run_p.add_argument("--scenarios", nargs="+", default=list(DEFAULT_SCENARIOS),
+    run_p.add_argument("--scenarios", nargs="+", default=None,
                        choices=list(SCENARIOS), metavar="SCENARIO",
-                       help=f"scenario classes (default: {', '.join(DEFAULT_SCENARIOS)})")
+                       help=f"scenario classes (default: "
+                            f"{', '.join(DEFAULT_SCENARIOS)}; --mode llft "
+                            f"adds leader_crash)")
+    run_p.add_argument("--mode", choices=list(MODES), default="active",
+                       help="replication mode: legacy active stability "
+                            "(default) or the LLFT leader-follower fast "
+                            "path")
     run_p.add_argument("--plan-seeds", type=int, default=1,
                        help="chaos-plan seeds per scenario (0..N-1)")
     run_p.add_argument("--plan-seed", type=int, action="append", default=None,
@@ -491,15 +512,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "run":
         plan_seeds = (args.plan_seed if args.plan_seed
                       else list(range(args.plan_seeds)))
-        print(f"schedule exploration: scenarios={args.scenarios} "
+        scenarios = args.scenarios or (
+            DEFAULT_LLFT_SCENARIOS if args.mode == "llft"
+            else DEFAULT_SCENARIOS
+        )
+        print(f"schedule exploration: mode={args.mode} "
+              f"scenarios={list(scenarios)} "
               f"plan_seeds={plan_seeds} schedules={args.schedules} "
               f"policy={args.policy} depth={args.depth}")
         outcomes = explore(
-            scenarios=args.scenarios, plan_seeds=plan_seeds,
+            scenarios=scenarios, plan_seeds=plan_seeds,
             n_schedules=args.schedules, policy_kind=args.policy,
             depth=args.depth, artifact_dir=args.artifact_dir,
             inject_ordering_bug=args.inject_ordering_bug,
-            shrink_budget=args.shrink_budget,
+            shrink_budget=args.shrink_budget, mode=args.mode,
         )
         caught = [o for o in outcomes if not o.ok]
         schedules = sum(o.schedules_run for o in outcomes)

@@ -39,6 +39,7 @@ from .events import (
     ViewChange,
 )
 from .lamport import LamportClock, OrderingClock, SynchronizedClock
+from .llft import ORDER_INFO_CID, LeaderOrdering, LLFTStats
 from .messages import (
     AddProcessorMessage,
     BatchMessage,
@@ -109,6 +110,9 @@ __all__ = [
     "LamportClock",
     "SynchronizedClock",
     "OrderingClock",
+    "ORDER_INFO_CID",
+    "LeaderOrdering",
+    "LLFTStats",
     "RetransmissionBuffer",
     "BufferedMessage",
     "RequestNumbering",

@@ -120,6 +120,27 @@ class FTMPConfig:
     #: (legacy behaviour; queue depth still visible via fc_queue_depth).
     flow_queue_limit: int = 0
 
+    # --- LLFT leader-follower fast path (extension, arXiv 1004.1864) -----
+    #: Replace the symmetric Lamport total order with a leader-follower
+    #: ordering discipline: the leader's own reliable FIFO stream *is* the
+    #: total order.  The leader delivers its own Regulars immediately after
+    #: the local send (no all-member ack-stability wait on the critical
+    #: path) and assigns every other member's ordered messages a position
+    #: by multicasting small OrderInfo announcements inside its stream;
+    #: followers deliver by adopting the leader's order.  Stability (§6)
+    #: still advances asynchronously in the background off the piggybacked
+    #: acks — it keeps driving buffer GC and flow-control credits, it just
+    #: leaves the delivery critical path.  At a view change the §7.2 drain
+    #: machinery reconciles the leader's suffix so virtual synchrony
+    #: holds.  LLFT implies agreed delivery (``delivery_mode`` "safe" is
+    #: ignored).  False = the legacy symmetric ordering, bit-identical.
+    llft_mode: bool = False
+    #: Preferred leader pid for LLFT mode.  0 (default) auto-selects the
+    #: smallest pid of the current membership; a configured pid leads
+    #: whenever it is a member and the auto rule applies otherwise (so a
+    #: leader crash deterministically falls back to min(membership)).
+    llft_leader_pid: int = 0
+
     # --- delivery guarantee ----------------------------------------------
     #: "agreed" (default): deliver as soon as the total order is decided.
     #: "safe": additionally wait until the message is *stable* — the ack

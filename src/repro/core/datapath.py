@@ -718,6 +718,8 @@ class ProcessorGroup:
         reg.register(f"{prefix}.romp", self.romp.stats)
         reg.register(f"{prefix}.pgmp", self.pgmp.stats)
         reg.register(f"{prefix}.fault_detector", self.fault_detector.stats)
+        if self.romp.llft is not None:
+            reg.register(f"{prefix}.llft", self.romp.llft.stats)
         reg.register(
             f"{prefix}.gauges",
             lambda: {
@@ -932,6 +934,17 @@ class ProcessorGroup:
         self.stats.regulars_sent += 1
         self.flow.note_sent(msg.header.timestamp)
         self.send_path.send(msg)
+        self._note_own_ordered(msg)
+
+    def _note_own_ordered(self, msg: FTMPMessage) -> None:
+        """LLFT hook: one of our totally-ordered messages just hit the wire.
+
+        The engine delivers it on the spot (the leader fast path) or parks
+        it until the leader's stream orders it; our RMP loopback copy is
+        discarded on arrival.  No-op in legacy mode.
+        """
+        if self.romp.llft is not None:
+            self.romp.llft.on_own_send(msg)
 
     def on_send_barrier_cleared(self) -> None:
         # Sends credit-queued before the Connect predate anything the
@@ -978,7 +991,9 @@ class ProcessorGroup:
             sequence_numbers=sequence_numbers,
             new_member=new_member,
         )
-        return self.send_path.send(msg)
+        raw = self.send_path.send(msg)
+        self._note_own_ordered(msg)
+        return raw
 
     def send_remove_processor(self, member: int) -> None:
         msg = RemoveProcessorMessage(
@@ -986,6 +1001,7 @@ class ProcessorGroup:
             member_to_remove=member,
         )
         self.send_path.send(msg)
+        self._note_own_ordered(msg)
 
     def send_suspect(self, membership_timestamp: int, suspects: Tuple[int, ...]) -> None:
         msg = SuspectMessage(
@@ -1018,13 +1034,22 @@ class ProcessorGroup:
             membership_timestamp=membership_timestamp,
             membership=membership,
         )
-        return self.send_path.send(msg, address=address)
+        raw = self.send_path.send(msg, address=address)
+        self._note_own_ordered(msg)
+        return raw
 
     # ------------------------------------------------------------------
     # membership state changes (called by PGMP)
     # ------------------------------------------------------------------
     def install_view(self, membership: Tuple[int, ...], view_timestamp: int,
                      added: Tuple[int, ...], removed: Tuple[int, ...], reason: str) -> None:
+        prev_membership = self.membership
+        llft = self.romp.llft
+        if llft is not None:
+            # hold the fast path until on_view_installed below has flushed
+            # the parked backlog — a send from the view-change listener
+            # must not overtake the takeover batch in the delivery order
+            llft.begin_install()
         self.membership = tuple(sorted(membership))
         self.view_timestamp = view_timestamp
         self.pgmp.reset_after_view()
@@ -1044,6 +1069,8 @@ class ProcessorGroup:
                 installed_at=self.now(),
             )
         )
+        if llft is not None:
+            llft.on_view_installed(prev_membership, reason)
         self.romp.evaluate()
 
     def install_fault_view(self, membership: Tuple[int, ...], view_timestamp: int,
@@ -1135,6 +1162,8 @@ class ProcessorGroup:
                 installed_at=self.now(),
             )
         )
+        if self.romp.llft is not None:
+            self.romp.llft.on_join_completed()
 
     # ------------------------------------------------------------------
     # connection migration (ordered Connect, §7)

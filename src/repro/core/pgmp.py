@@ -421,7 +421,8 @@ class PGMP:
         # all survivors agree on — the new view's timestamp — so their
         # delivery histories diverge nowhere (virtual synchrony, §7.2).
         rnd.view_ts = max(rnd.max_ts, self._g.view_timestamp + 1)
-        self._g.romp.begin_transition(rnd.proposal, rnd.view_ts)
+        self._g.romp.begin_transition(rnd.proposal, rnd.view_ts,
+                                      targets=rnd.targets)
         self._drain_step()
 
     def _drain_step(self) -> None:

@@ -45,6 +45,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Deque, Dict, FrozenSet, List, Optional, Tuple
 
 from .constants import TOTALLY_ORDERED_TYPES, MessageType
+from .llft import LeaderOrdering
 from .messages import FTMPHeader, FTMPMessage, HeartbeatMessage
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -106,6 +107,13 @@ class ROMP:
         #: lazy min-heap of (ack, pid) entries over the membership
         self._ack_heap: List[Tuple[int, int]] = []
         self.stats = ROMPStats()
+        #: LLFT leader-follower ordering engine; replaces the symmetric
+        #: delivery rule when ``llft_mode`` is on.  None = legacy (the
+        #: engine is never even constructed, so the knob-off path is
+        #: bit-identical).
+        self.llft: Optional[LeaderOrdering] = (
+            LeaderOrdering(group) if group.config.llft_mode else None  # type: ignore[arg-type]
+        )
 
     # ------------------------------------------------------------------
     # incremental gate/stability min tracking
@@ -170,6 +178,20 @@ class ROMP:
         self.observe_header(h)
         self._advance_order_ts(h.source, h.timestamp)
         self._sync_gate()
+        if self.llft is not None:
+            # LLFT mode: ordered messages go to the leader-follower
+            # engine (announce / park / replay); the clock, cover and ack
+            # bookkeeping above is shared with the legacy path, so
+            # stability keeps advancing asynchronously underneath.
+            if h.message_type in TOTALLY_ORDERED_TYPES:
+                self.llft.on_reliable(msg)
+            else:
+                if h.source not in self._gate_set:
+                    return  # stale control traffic from an evicted processor
+                self.stats.bypass_deliveries += 1
+                self._g.pgmp_receive_source_ordered(msg)
+            self.evaluate()
+            return
         if h.message_type in TOTALLY_ORDERED_TYPES:
             if h.source not in self._gate_set:
                 # A source that is not (yet) a member: stage its ordered
@@ -218,6 +240,23 @@ class ROMP:
     # ------------------------------------------------------------------
     def evaluate(self) -> None:
         """Deliver every queue message whose timestamp is covered by all members."""
+        if self.llft is not None:
+            # LLFT mode: delivery is the engine's replay of the leader's
+            # stream.  The positive acknowledgement is the *cover*
+            # timestamp — the stream heard contiguously from every member
+            # — which is exactly the legacy ack's meaning ("everything at
+            # or below was received from all members") without coupling
+            # it to deliveries, so stability/GC/flow-credits advance in
+            # the background while the engine delivers ahead of them.
+            self.llft.process()
+            cover = self._cover_ts()
+            if cover is not None and cover > self._ack:
+                self._ack = cover
+                if self._g.pid in self._gate_set:
+                    heapq.heappush(self._ack_heap, (cover, self._g.pid))
+            self._maybe_collect()
+            self._check_send_barrier()
+            return
         self._release_safe()  # membership/ack changes may unblock safe holds
         delivered_any = False
         while self._queue:
@@ -374,7 +413,12 @@ class ROMP:
     # ------------------------------------------------------------------
     # fault-view transition drain (§7.2)
     # ------------------------------------------------------------------
-    def begin_transition(self, survivors: FrozenSet[int], cut_ts: int) -> None:
+    def begin_transition(
+        self,
+        survivors: FrozenSet[int],
+        cut_ts: int,
+        targets: Optional[Dict[int, int]] = None,
+    ) -> None:
         """Start draining the old view's messages before a fault view.
 
         Until :meth:`end_transition`, queued messages with timestamp <=
@@ -384,16 +428,26 @@ class ROMP:
         are held back.  All survivors agree on ``cut_ts``, so their
         delivery histories cut at exactly the same point — the virtual
         synchrony guarantee the oracles check.
+
+        ``targets`` is the synchronized per-source sequence vector of the
+        round; LLFT mode needs it (the leader's stream cut is a sequence
+        number, not a timestamp) and the legacy rule ignores it.
         """
         self._transition = (frozenset(survivors), cut_ts)
+        if self.llft is not None:
+            self.llft.begin_transition(frozenset(survivors), cut_ts, targets)
         self.evaluate()
 
     def end_transition(self) -> None:
         self._transition = None
+        if self.llft is not None:
+            self.llft.end_transition()
 
     def transition_drained(self, cut_ts: int) -> bool:
         """True when every old-view message has been delivered — i.e. the
         head of the queue (if any) already belongs to the new view."""
+        if self.llft is not None:
+            return self.llft.transition_drained()
         return not self._queue or self._queue[0][0] > cut_ts
 
     # ------------------------------------------------------------------
@@ -446,27 +500,36 @@ class ROMP:
         Used at fault-view installation: messages beyond the synchronized
         prefix were not received by every survivor and must not be
         delivered anywhere (virtual synchrony)."""
+        dropped = 0
+        if self.llft is not None:
+            dropped += self.llft.drop_after(src, seq_cutoff)
         index = self._by_src.get(src)
         if not index:
-            return 0
-        return self._drop_keys(
+            return dropped
+        return dropped + self._drop_keys(
             src, [ts for ts, seq in index.items() if seq > seq_cutoff]
         )
 
     def purge_queue_of(self, src: int) -> int:
         """Drop queued (undeliverable) messages from a departed source."""
+        dropped = 0
+        if self.llft is not None:
+            dropped += self.llft.drop_all(src)
         index = self._by_src.get(src)
         if not index:
-            return 0
-        return self._drop_keys(src, list(index))
+            return dropped
+        return dropped + self._drop_keys(src, list(index))
 
     def order_ts(self, src: int) -> int:
         """Timestamp up to which ``src``'s stream has been heard contiguously."""
         return self._order_ts.get(src, 0)
 
     def queued(self) -> int:
-        """Current ordering-queue depth."""
-        return len(self._queue)
+        """Current ordering-queue depth (LLFT: the parked backlog)."""
+        depth = len(self._queue)
+        if self.llft is not None:
+            depth += self.llft.backlog()
+        return depth
 
     def queued_from(self, src: int) -> int:
         """Queued messages originated by ``src`` (O(1) via the index)."""

@@ -9,6 +9,13 @@ from .chaos import SCENARIOS, ChaosEvent, ChaosPlan
 from .checkpointing import Checkpoint, CheckpointingLog, CheckpointStore
 from .failover import LogReplayer, ReplayReport
 from .fault_injection import FaultInjector, Injection
+from .llft import (
+    ORDER_INFO_CID,
+    LeaderOrdering,
+    LLFTStats,
+    current_leader,
+    llft_config,
+)
 from .oracles import (
     Violation,
     check_buffer_gc_safety,
@@ -51,6 +58,11 @@ __all__ = [
     "LogReplayer",
     "ReplayReport",
     "PassiveReplicaController",
+    "llft_config",
+    "current_leader",
+    "ORDER_INFO_CID",
+    "LeaderOrdering",
+    "LLFTStats",
     "Checkpoint",
     "CheckpointStore",
     "CheckpointingLog",

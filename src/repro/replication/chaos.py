@@ -33,7 +33,7 @@ __all__ = ["ChaosEvent", "ChaosPlan", "SCENARIOS", "PROTECTED_PID"]
 
 #: scenario classes the campaign sweeps (ISSUE acceptance: >= 4)
 SCENARIOS = ("loss", "reorder", "partition", "crash", "churn", "combo",
-             "overload")
+             "overload", "leader_crash")
 
 #: the sponsor/anchor processor a plan never harms
 PROTECTED_PID = 1
@@ -120,6 +120,8 @@ class ChaosPlan:
             budget = plan._gen_churn(rng, others, budget)
         elif scenario == "overload":
             plan._gen_overload(rng, pids)
+        elif scenario == "leader_crash":
+            budget = plan._gen_leader_crash(rng, others, budget)
         else:  # combo: one helping of each ingredient the budget allows
             plan._gen_loss(rng, bursts=1)
             plan._gen_reorder(rng, bursts=1)
@@ -218,6 +220,42 @@ class ChaosPlan:
             self.events.append(
                 ChaosEvent("burst", start, start + length,
                            value=rng.uniform(0.0008, 0.0015)))
+
+    def _gen_leader_crash(self, rng: random.Random, others: List[int],
+                          budget: int) -> int:
+        """Permanently crash the designated ordering leader mid-traffic.
+
+        The victim is the smallest non-protected pid — the processor the
+        campaign's ``--mode llft`` configuration designates as the LLFT
+        leader (``llft_leader_pid``), so the crash forces a leader
+        takeover with parked messages in flight.  Under the legacy active
+        stack the same plan is just another permanent-crash scenario, so
+        the class also runs (and must stay clean) in ``--mode active``.
+        The victim always sends: a leader crash with no leader traffic to
+        reconcile would not exercise the §7.2 drain of its suffix.
+        """
+        if budget <= 0:
+            raise ValueError(
+                "leader_crash needs a removal budget: start with at least "
+                f"{_MIN_SURVIVORS + 1} members"
+            )
+        victim = min(others)
+        self.senders = tuple(sorted(set(self.senders) | {victim}))
+        # crash well before _FAULT_STOP so the takeover completes and the
+        # survivors' cool-down window is fault-free
+        at = rng.uniform(_FAULT_START, _FAULT_STOP - 0.30)
+        self.events.append(ChaosEvent("crash", at, pids=(victim,)))
+        budget -= 1
+        if rng.random() < 0.5:
+            # a loss burst around the crash forces OrderInfo gaps: some
+            # followers adopt the dead leader's last announcements only
+            # via NACK recovery, others never see them and rely on the
+            # takeover batch
+            start, stop = self._window(rng, lo=0.05, hi=0.15)
+            self.events.append(
+                ChaosEvent("loss", start, stop, value=rng.uniform(0.05, 0.20))
+            )
+        return budget
 
     def _gen_join(self, rng: random.Random) -> None:
         joiner = max(self.initial_members) + 1 + sum(1 for e in self.events if e.kind == "join")

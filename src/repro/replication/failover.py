@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from ..core import ConnectionId
+from ..core import ConnectionId, FlowControlSaturated
 from ..orb.futures import InvocationFuture
 from .message_log import LoggedRequest, MessageLog
 from .replica_manager import ProcessorHost
@@ -30,11 +30,26 @@ __all__ = ["LogReplayer", "ReplayReport"]
 
 @dataclass
 class ReplayReport:
-    """What a replay pass did."""
+    """What a replay pass did.
+
+    ``replayed`` counts every request accepted by the stack — sent to the
+    wire immediately *or* queued behind flow-control backpressure
+    (``queued`` tells those apart).  ``rejected`` is non-zero when the
+    stack's admission control (``flow_queue_limit``) refused a send: the
+    replay stops cleanly at that entry, nothing after it was issued, and
+    no future was left registered for the refused request.
+    """
 
     replayed: int
     skipped_answered: int
     futures: List[InvocationFuture]
+    queued: int = 0
+    rejected: int = 0
+
+    @property
+    def saturated(self) -> bool:
+        """True when the replay was cut short by flow-control saturation."""
+        return self.rejected > 0
 
 
 class LogReplayer:
@@ -64,6 +79,8 @@ class LogReplayer:
             raise RuntimeError(f"connection {cid} is not established on this host")
         replayed = 0
         skipped = 0
+        queued = 0
+        rejected = 0
         futures: List[InvocationFuture] = []
         for entry in self.log.entries():
             if entry.connection_id != cid or not entry.request_payload:
@@ -72,6 +89,7 @@ class LogReplayer:
                 skipped += 1
                 continue
             fut: Optional[InvocationFuture] = None
+            created = False
             if await_replies and self._response_expected(entry):
                 key = (cid, entry.request_num)
                 # an invocation may still be awaiting this very request:
@@ -80,13 +98,28 @@ class LogReplayer:
                 if fut is None:
                     fut = InvocationFuture()
                     self.host.adapter._pending[key] = fut
+                    created = True
+            try:
+                sent = self.host.stack.send_on_connection(
+                    cid, entry.request_payload, entry.request_num
+                )
+            except FlowControlSaturated:
+                # Admission control refused the send: stop here.  Entries
+                # before this one are on the wire (or queued) with futures
+                # intact; this entry was never issued, so a future we just
+                # registered for it would dangle forever — unregister it.
+                # A pre-existing future (a live invocation) stays.
+                if created:
+                    self.host.adapter._pending.pop((cid, entry.request_num), None)
+                rejected += 1
+                break
+            if fut is not None:
                 futures.append(fut)
-            self.host.stack.send_on_connection(
-                cid, entry.request_payload, entry.request_num
-            )
+            if not sent:
+                queued += 1  # accepted, held back by backpressure/barrier
             replayed += 1
         return ReplayReport(replayed=replayed, skipped_answered=skipped,
-                            futures=futures)
+                            futures=futures, queued=queued, rejected=rejected)
 
     @staticmethod
     def _response_expected(entry: LoggedRequest) -> bool:

@@ -183,13 +183,25 @@ class PassiveReplicaController:
             self._promote()
 
     def _promote(self) -> None:
-        """A backup becomes primary: replay the buffered suffix, resume."""
+        """A backup becomes primary: replay the buffered suffix, resume.
+
+        The suffix is replayed in *buffered* order — the order the requests
+        were delivered in, i.e. the agreed total order.  Request numbers are
+        per-connection and not comparable across connections, so sorting by
+        them would reorder the replay whenever two or more client
+        connections interleave.
+        """
         pending, self._buffered = self._buffered, []
-        for b in sorted(pending, key=lambda x: x.request_num):
+        for b in pending:
             self.stats_failover_replays += 1
             self.stats_executed += 1
             self._inner_execute(b.cid, b.group, b.request_num, b.message)
             key = _cid_key(b.cid)
             self._applied[key] = max(self._applied.get(key, 0), b.request_num)
-            # publish so any remaining backups converge on the replayed state
-            self._publish_state(b.cid, b.group)
+        if pending:
+            # one publication after the whole suffix: the state update
+            # carries the full post-replay state and watermark, so any
+            # remaining backups converge in a single multicast instead of
+            # O(suffix) full-state multicasts during failover
+            last = pending[-1]
+            self._publish_state(last.cid, last.group)

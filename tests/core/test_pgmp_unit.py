@@ -36,7 +36,7 @@ class MockROMP:
     def order_ts(self, pid):
         return 10**9
 
-    def begin_transition(self, survivors, cut_ts):
+    def begin_transition(self, survivors, cut_ts, targets=None):
         self.transition = (frozenset(survivors), cut_ts)
 
     def end_transition(self):

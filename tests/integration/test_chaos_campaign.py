@@ -13,7 +13,12 @@ Covers the three acceptance properties of the harness itself:
 import json
 import os
 
+import pytest
+
 from repro.analysis.chaos import (
+    LLFT_LEADER_PID,
+    LLFT_SCENARIOS,
+    chaos_config_for,
     replay_artifact,
     run_campaign,
     run_chaos_scenario,
@@ -21,6 +26,7 @@ from repro.analysis.chaos import (
 from repro.replication.chaos import PROTECTED_PID, SCENARIOS, ChaosPlan
 
 SMOKE_SCENARIOS = ("loss", "reorder", "crash", "churn")
+LLFT_SMOKE_SCENARIOS = ("loss", "leader_crash")
 
 
 def test_plan_generation_is_deterministic():
@@ -88,6 +94,47 @@ def test_forced_violation_writes_replayable_artifact(tmp_path):
     replayed = replay_artifact(result.artifact_path)
     assert not replayed.ok
     assert any(v.oracle == "total-order" for v in replayed.violations)
+
+
+def test_chaos_config_for_selects_mode_and_leader():
+    active = chaos_config_for("active", "crash")
+    assert not active.llft_mode
+    llft = chaos_config_for("llft", "crash")
+    assert llft.llft_mode and llft.llft_leader_pid == 0
+    # leader_crash pins the leader to a crashable (non-anchor) pid
+    lc = chaos_config_for("llft", "leader_crash")
+    assert lc.llft_mode and lc.llft_leader_pid == LLFT_LEADER_PID
+    assert LLFT_LEADER_PID != PROTECTED_PID
+    with pytest.raises(ValueError):
+        chaos_config_for("paxos", "crash")
+    # combo (join during an active fault round) stays out of the llft mix
+    assert "combo" not in LLFT_SCENARIOS
+    assert "leader_crash" in LLFT_SCENARIOS
+
+
+def test_llft_smoke_matrix_runs_clean():
+    results = run_campaign(seeds=(0,), scenarios=LLFT_SMOKE_SCENARIOS,
+                           mode="llft", verbose=False)
+    assert len(results) == len(LLFT_SMOKE_SCENARIOS)
+    for r in results:
+        assert r.ok, f"llft {r.scenario} seed={r.seed}: {r.violations}"
+        assert r.deliveries > 0
+        assert PROTECTED_PID in r.final_members
+
+
+def test_llft_forced_violation_artifact_replays(tmp_path):
+    # the artifact must carry the llft config so a replay needs no mode
+    result = run_chaos_scenario(0, "leader_crash", mode="llft",
+                                artifact_dir=str(tmp_path),
+                                inject_ordering_bug=True)
+    assert not result.ok
+    assert result.artifact_path and os.path.exists(result.artifact_path)
+    with open(result.artifact_path, encoding="utf-8") as fh:
+        artifact = json.load(fh)
+    assert artifact["config"]["llft_mode"] is True
+    assert artifact["config"]["llft_leader_pid"] == LLFT_LEADER_PID
+    replayed = replay_artifact(result.artifact_path)
+    assert not replayed.ok
 
 
 def test_clean_run_writes_no_artifact(tmp_path):

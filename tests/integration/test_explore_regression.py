@@ -24,7 +24,11 @@ import os
 
 import pytest
 
-from repro.analysis.explore import replay_explore_artifact
+from repro.analysis.explore import (
+    DEFAULT_LLFT_SCENARIOS,
+    explore,
+    replay_explore_artifact,
+)
 from repro.simnet import Schedule
 
 _DATA_DIR = os.path.join(os.path.dirname(__file__), "..", "data", "explore")
@@ -75,3 +79,17 @@ def test_artifact_replays_green_against_fixed_code(path):
     # must satisfy the full oracle battery on the current protocol code
     result, _decisions = replay_explore_artifact(path, inject_override=False)
     assert result.ok, [v.as_dict() for v in result.violations]
+
+
+def test_llft_mode_explore_smoke():
+    # the explorer drives the leader-follower stack too: leader-handoff
+    # interleavings on the leader_crash class stay clean under a couple
+    # of adversarial PCT schedules
+    assert "leader_crash" in DEFAULT_LLFT_SCENARIOS
+    outcomes = explore(scenarios=("leader_crash",), plan_seeds=(0,),
+                       n_schedules=2, mode="llft", verbose=False)
+    assert outcomes
+    for out in outcomes:
+        assert out.ok, [v.as_dict() for v in out.violations]
+        assert out.schedules_run == 2
+        assert out.deliveries > 0

@@ -22,9 +22,13 @@ class Ledger:
         self.entries = list(s)
 
 
-def build(server_pids=(1, 2), client_pids=(8, 9), seed=0):
+def build(server_pids=(1, 2), client_pids=(8, 9), seed=0, config=None):
     net = Network(lan(), seed=seed)
-    mgr = ReplicaManager(net, config=FTMPConfig(suspect_timeout=0.060))
+    mgr = ReplicaManager(
+        net,
+        config=config if config is not None
+        else FTMPConfig(suspect_timeout=0.060),
+    )
     ref = mgr.create_server_group(domain=7, object_group=100, object_key=b"led",
                                   factory=Ledger, pids=server_pids)
     logs = {}
@@ -137,6 +141,66 @@ def test_replay_unanswered_only_uses_reply_cache():
     # no re-execution happened at the servers
     assert mgr.servant(1, 7, 100).entries == before
     assert mgr.hosts[1].adapter.stats_replies_served_from_cache >= 1
+
+
+def _saturation_build():
+    # window 1, queue limit 2: a burst replay admits one send, queues two,
+    # and the stack's admission control refuses the fourth
+    cfg = FTMPConfig(suspect_timeout=0.060, flow_control_window=1,
+                     flow_queue_limit=2)
+    return build(server_pids=(1,), client_pids=(8,), config=cfg)
+
+
+def test_replay_reports_backpressure_and_stops_at_saturation():
+    """Regression: a replay into an exhausted credit window must stop
+    cleanly at the refused entry — counting sent vs queued vs rejected —
+    instead of leaking FlowControlSaturated to the caller, and must not
+    leave a dangling future registered for the request it never issued."""
+    net, mgr, ref, clients, logs = _saturation_build()
+    proxy = mgr.proxy(8, ref)
+    orb = clients[8].orb
+    for tag in "abcde":
+        orb.call(proxy, "append", tag)
+    cid = clients[8].adapter.connection_id_for(ref)
+
+    replayer = LogReplayer(clients[8], logs[8])
+    report = replayer.replay(cid, include_answered=True, await_replies=True)
+
+    assert report.replayed == 3  # one on the wire + two behind backpressure
+    assert report.queued == 2
+    assert report.rejected == 1
+    assert report.saturated
+    assert len(report.futures) == 3
+    # the refused request's just-created future was unregistered: a reply
+    # will never come for a request that was never issued
+    assert (cid, 4) not in clients[8].adapter._pending
+    # the issued prefix still completes once backpressure drains
+    net.run_for(1.0)
+    assert all(f.done for f in report.futures)
+    assert [f.result() for f in report.futures] == [1, 2, 3]
+
+
+def test_replay_saturation_preserves_live_invocation_future():
+    """A live invocation already awaiting the refused request number must
+    keep its registered future across the refused replay attempt."""
+    from repro.orb.futures import InvocationFuture
+
+    net, mgr, ref, clients, logs = _saturation_build()
+    proxy = mgr.proxy(8, ref)
+    orb = clients[8].orb
+    for tag in "abcde":
+        orb.call(proxy, "append", tag)
+    cid = clients[8].adapter.connection_id_for(ref)
+
+    live = InvocationFuture()
+    clients[8].adapter._pending[(cid, 4)] = live
+    report = LogReplayer(clients[8], logs[8]).replay(
+        cid, include_answered=True, await_replies=True
+    )
+    assert report.rejected == 1 and report.saturated
+    # the pre-existing future survives, and was not claimed by the replay
+    assert clients[8].adapter._pending[(cid, 4)] is live
+    assert live not in report.futures
 
 
 def test_replay_requires_established_connection():

@@ -26,7 +26,25 @@ class Counter:
         self.n = s
 
 
-def build(server_pids=(1, 2, 3), seed=0, suspect_timeout=0.060):
+class Journal:
+    """Order-sensitive servant: the entries list IS the execution order."""
+
+    def __init__(self):
+        self.entries = []
+
+    def append(self, tag):
+        self.entries.append(tag)
+        return len(self.entries)
+
+    def get_state(self):
+        return list(self.entries)
+
+    def set_state(self, s):
+        self.entries = list(s)
+
+
+def build(server_pids=(1, 2, 3), seed=0, suspect_timeout=0.060,
+          factory=Counter):
     net = Network(lan(), seed=seed)
     cfg = FTMPConfig(suspect_timeout=suspect_timeout)
     servants, controllers, adapters = {}, {}, {}
@@ -34,7 +52,7 @@ def build(server_pids=(1, 2, 3), seed=0, suspect_timeout=0.060):
         orb = ORB(pid, net.scheduler)
         stack = FTMPStack(net.endpoint(pid), cfg)
         adapter = FTMPAdapter(orb, stack)
-        servant = Counter()
+        servant = factory()
         orb.poa.activate(REF.object_key, servant)
         adapter.export(REF.domain, REF.object_group, tuple(server_pids))
         controllers[pid] = PassiveReplicaController(
@@ -147,6 +165,68 @@ def test_promotion_replays_buffered_requests_unit():
     assert ctl.is_primary
     assert ctl.stats_failover_replays == 2
     assert servants[2].n == 21  # 1 + 10 + 10 replayed in order
+    assert ctl._buffered == []
+
+
+def test_promotion_replays_two_connections_in_delivery_order():
+    """Regression: the promoted backup must replay its buffered suffix in
+    *delivery* (total) order.  Request numbers are per-connection, so a
+    request_num sort would replay b1, b2, a5 when the agreed order was
+    b1, a5, b2 — diverging the new primary's state from every backup that
+    already saw the updates.  One state publication must cover the whole
+    replayed suffix."""
+    from repro.core import ConnectionId, ViewChange
+    from repro.giop import (
+        GIOPHeader,
+        GIOPMessageType,
+        RequestMessage,
+        encode_values,
+    )
+    from repro.replication.passive import _BufferedRequest
+
+    net, corb, servants, controllers, adapters = build(factory=Journal)
+    proxy = corb.proxy(REF)
+    corb.call(proxy, "append", "w")  # warm up the connection group
+    net.run_for(0.3)
+
+    ctl = controllers[2]
+    cid_a = ConnectionId(3, 200, 7, 100)
+    cid_b = ConnectionId(4, 201, 7, 100)
+    binding = adapters[2].stack.connection_binding(cid_a)
+    group = binding.group_id if binding is not None else 1
+
+    def request(cid, num, tag):
+        msg = RequestMessage(
+            header=GIOPHeader(GIOPMessageType.REQUEST),
+            request_id=num,
+            response_expected=False,
+            object_key=REF.object_key,
+            operation="append",
+            body=encode_values([tag]),
+        )
+        return _BufferedRequest(cid, group, num, msg)
+
+    # buffered (= delivered total) order interleaves the connections and
+    # is NOT the request_num order: b#1, a#5, b#2
+    ctl._buffered.extend([
+        request(cid_b, 1, "b1"),
+        request(cid_a, 5, "a5"),
+        request(cid_b, 2, "b2"),
+    ])
+    published_before = ctl.stats_updates_published
+
+    view = ViewChange(group=group, membership=(2, 3, 8), view_timestamp=99,
+                      added=(), removed=(1,), reason="fault",
+                      installed_at=0.0)
+    ctl._on_view(view)
+
+    assert ctl.is_primary
+    assert servants[2].entries == ["w", "b1", "a5", "b2"]  # delivery order
+    assert ctl.stats_failover_replays == 3
+    # the whole suffix converges remaining backups in ONE publication
+    assert ctl.stats_updates_published == published_before + 1
+    assert ctl._applied["3:200:7:100"] == 5
+    assert ctl._applied["4:201:7:100"] == 2
     assert ctl._buffered == []
 
 
