@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test bench bench-diff lint layering experiments examples soak \
-        chaos explore cluster-demo cluster-smoke clean
+        chaos chaos-overlay explore cluster-demo cluster-smoke clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -51,14 +51,21 @@ examples:
 soak:
 	$(PYTHON) -m pytest tests/integration/test_soak.py -v
 
-# seeded chaos campaign: 20 seeds x all eight scenario classes (incl.
-# leader_crash) in active mode, then 10 seeds x the llft scenario mix
-# with the leader-follower fast path on; violation artifacts
-# (replayable JSON) written to chaos-artifacts/
+# seeded chaos campaign: 20 seeds x all scenario classes (incl.
+# leader_crash and relay_crash) in active mode, then 10 seeds each of
+# the llft and overlay scenario mixes with their modes on; violation
+# artifacts (replayable JSON) written to chaos-artifacts/
 chaos:
 	PYTHONPATH=src $(PYTHON) -m repro.analysis.chaos run --seeds 20 \
 	    --artifact-dir chaos-artifacts
 	PYTHONPATH=src $(PYTHON) -m repro.analysis.chaos run --mode llft \
+	    --seeds 10 --artifact-dir chaos-artifacts
+	PYTHONPATH=src $(PYTHON) -m repro.analysis.chaos run --mode overlay \
+	    --seeds 10 --artifact-dir chaos-artifacts
+
+# just the overlay leg (tree dissemination + relay_crash class)
+chaos-overlay:
+	PYTHONPATH=src $(PYTHON) -m repro.analysis.chaos run --mode overlay \
 	    --seeds 10 --artifact-dir chaos-artifacts
 
 # schedule exploration: the chaos scenarios again, but with every
@@ -68,6 +75,8 @@ chaos:
 explore:
 	PYTHONPATH=src $(PYTHON) -m repro.analysis.explore run \
 	    --plan-seeds 3 --schedules 10 --artifact-dir explore-artifacts
+	PYTHONPATH=src $(PYTHON) -m repro.analysis.explore run --mode overlay \
+	    --plan-seeds 2 --schedules 6 --artifact-dir explore-artifacts
 
 # wall-clock demo: 3 real OS processes, one FTMP group, ≥10k ordered
 # multicasts cross-checked by the total-order/FIFO/no-duplicate oracles

@@ -168,6 +168,18 @@ def _derived_leaves(tree: Dict[str, Any]) -> Iterator[Tuple[str, float]]:
             and active:
         yield ("derived.latency_ratio_llft_leader_over_active_p50",
                leader / active)
+    # E21: overlay vs flat goodput at 100 members — sim-time ratio, so
+    # machine-independent, but soft-warn only while overlay_mode is
+    # young (deliberately NOT in GATED_METRICS)
+    e21 = tree.get("e21_overlay_scaling", {})
+    by_mode = {row.get("mode"): row for row in e21.get("series", [])
+               if isinstance(row, dict)}
+    over = by_mode.get("overlay@100", {}).get("goodput_msg_s")
+    flat = by_mode.get("flat@100", {}).get("goodput_msg_s")
+    if isinstance(over, (int, float)) and isinstance(flat, (int, float)) \
+            and flat:
+        yield ("derived.goodput_ratio_overlay_over_flat_at_100",
+               over / flat)
 
 
 def _is_gated(path: str) -> bool:

@@ -28,7 +28,7 @@ import sys
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..core import FTMPConfig
+from ..core import FlowControlSaturated, FTMPConfig
 from ..replication.chaos import PROTECTED_PID, SCENARIOS, ChaosPlan
 from ..replication.fault_injection import FaultInjector
 from ..replication.oracles import (
@@ -42,12 +42,13 @@ from .harness import Cluster, make_cluster
 
 __all__ = ["ChaosResult", "default_chaos_config", "chaos_config_for",
            "execute_plan", "build_artifact", "write_artifact",
-           "plan_topology", "run_chaos_scenario", "run_campaign",
+           "adjust_plan_for", "plan_topology", "run_chaos_scenario",
+           "run_campaign",
            "replay_artifact", "main", "MODES", "LLFT_SCENARIOS",
-           "LLFT_LEADER_PID"]
+           "LLFT_LEADER_PID", "OVERLAY_FANOUT"]
 
 #: replication modes the campaign can drive the stack in
-MODES = ("active", "llft")
+MODES = ("active", "llft", "overlay")
 
 #: the processor ``--mode llft`` designates as leader for the
 #: ``leader_crash`` class (must not be the protected sponsor, or the
@@ -59,6 +60,12 @@ LLFT_LEADER_PID = 2
 #: sponsor-stream replay races the §7.2 drain), so the llft sweep runs
 #: every other class
 LLFT_SCENARIOS = tuple(s for s in SCENARIOS if s != "combo")
+
+#: ``--mode overlay`` tree fan-out.  k=2 over the default 5-member
+#: roster yields ``1 -> (2, 3)``, ``2 -> (4, 5)``: pid 2 — the
+#: ``relay_crash`` victim — is an *interior* relay with a real subtree,
+#: and the protected sponsor is the root (never harmed).
+OVERLAY_FANOUT = 2
 
 
 def default_chaos_config() -> FTMPConfig:
@@ -93,6 +100,9 @@ def chaos_config_for(mode: str, scenario: str) -> FTMPConfig:
     protected sponsor (``llft_leader_pid=0`` → smallest member) for every
     class except ``leader_crash``, which pins the leader to the crash
     victim (:data:`LLFT_LEADER_PID`) so the takeover path is exercised.
+    ``overlay`` turns on tree dissemination with aggregated stability
+    (:data:`OVERLAY_FANOUT` makes the ``relay_crash`` victim an interior
+    relay); every class then also exercises summary-driven recovery.
     """
     if mode not in MODES:
         raise ValueError(f"unknown mode {mode!r} (choose from {MODES})")
@@ -100,6 +110,27 @@ def chaos_config_for(mode: str, scenario: str) -> FTMPConfig:
     if mode == "llft":
         leader = LLFT_LEADER_PID if scenario == "leader_crash" else 0
         cfg = dataclasses.replace(cfg, llft_mode=True, llft_leader_pid=leader)
+    elif mode == "overlay":
+        # 40 ms summaries: still inside the campaign's liveness horizon
+        # (half the 150 ms suspect timeout), while an interior relay's
+        # summary egress stays a small fraction of the overload
+        # scenario's capped NIC drain — at the 5 ms default the summary
+        # stream alone saturates the NIC and starves Regular/NACK traffic
+        # NACK backoff matters here: dropped tree copies are repaired by
+        # flat NACK recovery, and fixed-interval re-requests for holes a
+        # congested relay cannot answer yet would sustain the congestion
+        cfg = dataclasses.replace(cfg, overlay_mode=True,
+                                  overlay_fanout=OVERLAY_FANOUT,
+                                  overlay_summary_interval=0.040,
+                                  nack_backoff_factor=2.0)
+        if scenario == "overload":
+            # an interior relay serializes ~2x the aggregate offered load,
+            # so an unbounded send queue keeps releasing fresh first
+            # transmissions far past traffic stop and the tail never
+            # converges by run end.  Shed load synchronously instead —
+            # the scenario's own premise is that the credit loop, not a
+            # queue, absorbs the excess.
+            cfg = dataclasses.replace(cfg, flow_queue_limit=32)
     return cfg
 
 
@@ -132,6 +163,8 @@ def _schedule_traffic(cluster: Cluster, plan: ChaosPlan) -> None:
             st.multicast(cluster.group, f"{pid}:{n}".encode())
         except (KeyError, ValueError):
             pass  # sender left or was evicted mid-run
+        except FlowControlSaturated:
+            pass  # bounded send queue shed the load (overload premise)
 
     t = plan.traffic_start
     jitter = 0
@@ -233,16 +266,36 @@ def write_artifact(directory: str, filename: str, artifact: dict) -> str:
     return path
 
 
+def adjust_plan_for(plan: ChaosPlan, cfg: FTMPConfig) -> ChaosPlan:
+    """Mode-aware plan tweaks (shared by the campaign and the explorer).
+
+    Overlay overload runs get a longer cool-down: tree copies
+    tail-dropped at the saturated interior relay are repaired through
+    rate-limited, backed-off NACK recovery rather than the first
+    serialization, and that repair detour needs more time than flat
+    dissemination to converge.
+    """
+    if cfg.overlay_mode and plan.scenario == "overload":
+        plan.duration += 0.8
+    return plan
+
+
 def plan_topology(plan: ChaosPlan) -> Optional[Topology]:
     """The network topology a plan calls for (None = default LAN)."""
     if plan.egress_bandwidth > 0.0:
         # overload plans model a constrained NIC: offered load beyond the
         # egress bandwidth must queue behind the credit window, not grow
-        # an unbounded in-network queue
+        # an unbounded in-network queue.  The queue bound never triggers
+        # under flow-controlled flat sends (peak backlog stays under
+        # ~70 ms), but overlay relays carry other members' credit windows
+        # through one NIC — a real NIC tail-drops that excess, and the
+        # drops feed ordinary NACK recovery instead of accumulating as
+        # seconds of stale queueing no retransmission can outrun
         return Topology(
             default=LinkModel(latency=0.0001, jitter=0.00005),
             egress_bandwidth=plan.egress_bandwidth,
             packet_overhead=plan.packet_overhead,
+            egress_queue_limit=0.25,
         )
     return None
 
@@ -333,6 +386,7 @@ def run_chaos_scenario(
     """
     plan = ChaosPlan.generate(seed, scenario, pids)
     cfg = config if config is not None else chaos_config_for(mode, scenario)
+    adjust_plan_for(plan, cfg)
     result, cluster, injector = execute_plan(
         plan, cfg, inject_ordering_bug=inject_ordering_bug,
         gc_check_interval=gc_check_interval,
@@ -420,8 +474,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                             f"default drops 'combo')")
     run_p.add_argument("--mode", choices=list(MODES), default="active",
                        help="replication mode: legacy active stability "
-                            "(default) or the LLFT leader-follower fast "
-                            "path")
+                            "(default), the LLFT leader-follower fast "
+                            "path, or overlay tree dissemination with "
+                            "aggregated stability")
     run_p.add_argument("--artifact-dir", default="chaos-artifacts",
                        help="where violation artifacts are written")
     run_p.add_argument("--inject-ordering-bug", action="store_true",

@@ -46,6 +46,7 @@ from ..simnet import ReplayPolicy, Schedule, SchedulePolicy, Scheduler
 from .chaos import (
     MODES,
     ChaosResult,
+    adjust_plan_for,
     build_artifact,
     chaos_config_for,
     execute_plan,
@@ -55,6 +56,7 @@ from .chaos import (
 __all__ = [
     "DEFAULT_SCENARIOS",
     "DEFAULT_LLFT_SCENARIOS",
+    "DEFAULT_OVERLAY_SCENARIOS",
     "ExploreOutcome",
     "ShrinkStats",
     "run_schedule",
@@ -74,6 +76,13 @@ DEFAULT_SCENARIOS = ("churn", "partition", "crash", "overload")
 #: the kind of same-time race PCT schedules are built to permute
 DEFAULT_LLFT_SCENARIOS = ("churn", "partition", "crash", "overload",
                           "leader_crash")
+
+#: the ``--mode overlay`` mix adds the relay-crash class: losing an
+#: interior tree node races provisional reroutes, summary-scope resets
+#: and the §7.2 drain against in-flight tree-routed Regulars — the
+#: same-time orders a schedule policy exists to permute
+DEFAULT_OVERLAY_SCENARIOS = ("churn", "partition", "crash", "overload",
+                             "relay_crash")
 
 
 # ----------------------------------------------------------------------
@@ -323,13 +332,15 @@ def explore(
     """
     if scenarios is None:
         scenarios = (DEFAULT_LLFT_SCENARIOS if mode == "llft"
+                     else DEFAULT_OVERLAY_SCENARIOS if mode == "overlay"
                      else DEFAULT_SCENARIOS)
     outcomes: List[ExploreOutcome] = []
     for scenario in scenarios:
         cfg = (config if config is not None
                else chaos_config_for(mode, scenario))
         for plan_seed in plan_seeds:
-            plan = ChaosPlan.generate(plan_seed, scenario)
+            plan = adjust_plan_for(ChaosPlan.generate(plan_seed, scenario),
+                                   cfg)
             outcome = ExploreOutcome(scenario=scenario, plan_seed=plan_seed,
                                      policy=policy_kind)
             for k in range(n_schedules):
@@ -478,11 +489,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                        choices=list(SCENARIOS), metavar="SCENARIO",
                        help=f"scenario classes (default: "
                             f"{', '.join(DEFAULT_SCENARIOS)}; --mode llft "
-                            f"adds leader_crash)")
+                            f"adds leader_crash, --mode overlay adds "
+                            f"relay_crash)")
     run_p.add_argument("--mode", choices=list(MODES), default="active",
                        help="replication mode: legacy active stability "
-                            "(default) or the LLFT leader-follower fast "
-                            "path")
+                            "(default), the LLFT leader-follower fast "
+                            "path, or overlay tree dissemination")
     run_p.add_argument("--plan-seeds", type=int, default=1,
                        help="chaos-plan seeds per scenario (0..N-1)")
     run_p.add_argument("--plan-seed", type=int, action="append", default=None,
@@ -514,6 +526,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                       else list(range(args.plan_seeds)))
         scenarios = args.scenarios or (
             DEFAULT_LLFT_SCENARIOS if args.mode == "llft"
+            else DEFAULT_OVERLAY_SCENARIOS if args.mode == "overlay"
             else DEFAULT_SCENARIOS
         )
         print(f"schedule exploration: mode={args.mode} "

@@ -41,6 +41,7 @@ from .events import (
 from .lamport import LamportClock, OrderingClock, SynchronizedClock
 from .llft import ORDER_INFO_CID, LeaderOrdering, LLFTStats
 from .messages import (
+    AckSummaryMessage,
     AddProcessorMessage,
     BatchMessage,
     ConnectionId,
@@ -56,6 +57,7 @@ from .messages import (
     SuspectMessage,
     order_key,
 )
+from .overlay import OverlayDissemination, OverlayStats, unicast_address
 from .stack import FTMPStack, ProcessorGroup
 from .stats import GroupStats, StackStats, StatsRegistry
 from .tracing import TraceEvent, Tracer
@@ -89,6 +91,7 @@ __all__ = [
     "BatchMessage",
     "RetransmitRequestMessage",
     "HeartbeatMessage",
+    "AckSummaryMessage",
     "ConnectRequestMessage",
     "ConnectMessage",
     "AddProcessorMessage",
@@ -113,6 +116,9 @@ __all__ = [
     "ORDER_INFO_CID",
     "LeaderOrdering",
     "LLFTStats",
+    "OverlayDissemination",
+    "OverlayStats",
+    "unicast_address",
     "RetransmissionBuffer",
     "BufferedMessage",
     "RequestNumbering",

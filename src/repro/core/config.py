@@ -39,6 +39,16 @@ class FTMPConfig:
     nack_delay: float = 0.002
     #: Re-send an unanswered RetransmitRequest at this period.
     nack_retry_interval: float = 0.010
+    #: Multiply the retry period by this factor on every consecutive
+    #: retry that makes no progress (SRM-style repair-request backoff,
+    #: capped at ``nack_retry_max``); progress resets to the base
+    #: period.  1.0 keeps the paper's fixed retry period.  Persistent
+    #: holes otherwise re-request at the full retry rate forever, and on
+    #: a congested network that repair traffic can itself sustain the
+    #: congestion that keeps the holes open.
+    nack_backoff_factor: float = 1.0
+    #: Upper bound of the backed-off NACK retry period.
+    nack_retry_max: float = 0.160
     #: Base for the randomized retransmission backoff: a non-source holder
     #: of a requested message waits U(0,1) * base before retransmitting and
     #: suppresses if it sees another copy first (NACK-implosion avoidance).
@@ -141,6 +151,28 @@ class FTMPConfig:
     #: leader crash deterministically falls back to min(membership)).
     llft_leader_pid: int = 0
 
+    # --- overlay dissemination (extension, cf. arXiv 2309.14074) ---------
+    #: Route Regular messages and §6 stability over a deterministic k-ary
+    #: tree derived from the sorted current membership instead of the flat
+    #: IP-multicast fan-out.  Interior relays forward each Regular once
+    #: per subtree, and each relay folds its subtree's minimum
+    #: cover/ack timestamps into one compact AckSummary message up the
+    #: tree, so the root observes stability in O(depth) messages instead
+    #: of O(n); the resulting frontier is re-broadcast down the tree and
+    #: keeps driving buffer GC and flow-control credits unchanged.  The
+    #: tree is recomputed at every view install, so PGMP membership stays
+    #: the single source of truth.  NACK recovery, membership/control
+    #: traffic and the §7.2 drain stay flat multicast.  False = the
+    #: legacy flat dissemination, bit-identical.
+    overlay_mode: bool = False
+    #: Fan-out k of the dissemination tree (children per interior node).
+    overlay_fanout: int = 4
+    #: Period of the per-member AckSummary exchange along tree edges
+    #: (up-summaries to the parent, frontier re-broadcast to children).
+    #: Also the liveness keepalive cadence between tree neighbours; the
+    #: end-to-end stability latency is about 2 * depth * interval.
+    overlay_summary_interval: float = 0.005
+
     # --- delivery guarantee ----------------------------------------------
     #: "agreed" (default): deliver as soon as the total order is decided.
     #: "safe": additionally wait until the message is *stable* — the ack
@@ -161,6 +193,14 @@ class FTMPConfig:
     # --- wire ------------------------------------------------------------
     #: Encode little-endian (the header's byte-order flag, paper §3.2).
     little_endian: bool = True
+
+    def __post_init__(self) -> None:
+        if self.llft_mode and self.overlay_mode:
+            raise ValueError(
+                "llft_mode and overlay_mode are mutually exclusive: the "
+                "leader fast path assumes flat dissemination of the "
+                "leader stream"
+            )
 
     def with_(self, **kwargs) -> "FTMPConfig":
         """Return a copy with some fields replaced."""

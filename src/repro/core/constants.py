@@ -26,6 +26,13 @@ class MessageType(enum.IntEnum):
     envelope packing several small encoded messages into one datagram.
     The receive path unpacks it before RMP ever sees the contents, so the
     protocol layers stay batch-oblivious.
+
+    ``ACK_SUMMARY`` is the overlay-dissemination extension's aggregated
+    stability control message: a relay folds its subtree's minimum
+    cover/ack timestamps into one compact unreliable message per tree
+    edge, replacing the flat O(n) all-member ack observation (§6) with
+    an O(depth) aggregation.  Like Heartbeat it is unreliable and its
+    header piggybacks the sender's live seq/timestamp/ack values.
     """
 
     REGULAR = 1
@@ -38,6 +45,7 @@ class MessageType(enum.IntEnum):
     SUSPECT = 8
     MEMBERSHIP = 9
     BATCH = 10
+    ACK_SUMMARY = 11
 
 
 #: Message types that RMP delivers reliably and in source order (Figure 3).

@@ -559,6 +559,15 @@ class SendPath:
     def _heartbeat_tick(self) -> None:
         if self._stopped:
             return
+        if self._ctx.config.overlay_mode and not self._ctx.joining:
+            # Overlay mode: the periodic per-edge AckSummaries are the
+            # keepalive (their headers carry the same live seq/ts/ack a
+            # Heartbeat would), so all-member heartbeat fan-out stops.
+            # A *joining* member keeps heartbeating: it is not in the
+            # tree yet, and only its own loopbacked heartbeats advance
+            # its stream in the ordering gate so the AddProcessor can
+            # reach its position (§7.1).
+            return  # deliberately without re-arming: the loop ends here
         if self._pending and not self._ctx.credit_blocked():
             # Piggyback suppression: the window flushes within
             # batch_window anyway, carrying fresher timestamps and a
@@ -692,7 +701,7 @@ class ProcessorGroup:
         self.fault_detector = FaultDetector(self)
         self.send_path = SendPath(
             self,
-            transmit=stack.transmit,
+            transmit=self._transmit_routed,
             ack_supplier=lambda: self.romp.ack_timestamp,
             address_supplier=lambda: self.address,
             stats=self.stats,
@@ -720,6 +729,8 @@ class ProcessorGroup:
         reg.register(f"{prefix}.fault_detector", self.fault_detector.stats)
         if self.romp.llft is not None:
             reg.register(f"{prefix}.llft", self.romp.llft.stats)
+        if self.romp.overlay is not None:
+            reg.register(f"{prefix}.overlay", self.romp.overlay.stats)
         reg.register(
             f"{prefix}.gauges",
             lambda: {
@@ -792,14 +803,39 @@ class ProcessorGroup:
         self.fault_detector.watch(pid, grace)
 
     def forget_member(self, pid: int) -> None:
+        # only graceful (ordered) departures route through here — the
+        # fault-view path below purges convicted members inline
         self.fault_detector.forget(pid)
         self.rmp.drop_source(pid)
         self.romp.purge_queue_of(pid)
-        self.romp.purge_source(pid)
+        self.romp.purge_source(pid, clean=True)
         self._heard.discard(pid)
 
     def suspected_members(self) -> Set[int]:
         return self.fault_detector.suspected
+
+    # ------------------------------------------------------------------
+    # wire egress (overlay tree routing sits in front of the stack)
+    # ------------------------------------------------------------------
+    def _transmit_routed(self, address: int, raw: bytes) -> None:
+        """SendPath egress: group-addressed first transmissions may be
+        tree-routed by the overlay engine; everything else — unicasts,
+        retransmissions, control traffic — goes out flat."""
+        overlay = self.romp.overlay
+        if (overlay is not None and address == self.address
+                and overlay.route_egress(raw)):
+            return
+        self._stack.transmit(address, raw)
+
+    def transmit_raw(self, address: int, raw: bytes) -> None:
+        """Raw stack egress for the overlay engine (relay forwarding)."""
+        self._stack.transmit(address, raw)
+
+    def join_wire_address(self, address: int) -> None:
+        self._stack.endpoint.join(address)
+
+    def leave_wire_address(self, address: int) -> None:
+        self._stack.endpoint.leave(address)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -812,12 +848,16 @@ class ProcessorGroup:
             if p != self.pid:
                 self.fault_detector.watch(p, grace=self.config.join_grace)
         self.send_path.start_heartbeats()
+        if self.romp.overlay is not None:
+            self.romp.overlay.activate()
 
     def stop(self) -> None:
         if self._stopped:
             return
         self._stopped = True
         self.send_path.stop()
+        if self.romp.overlay is not None:
+            self.romp.overlay.stop()
         self.fault_detector.stop()
         self.rmp.stop()
         self.pgmp.stop()
@@ -828,6 +868,10 @@ class ProcessorGroup:
     # datagram input (from the stack router)
     # ------------------------------------------------------------------
     def on_datagram(self, msg: FTMPMessage, raw: bytes) -> None:
+        if self.romp.overlay is not None:
+            # relay hook sees the *outer* datagram only (a Batch relays
+            # whole; its parts recurse inside ReceivePath untouched)
+            self.romp.overlay.on_datagram(msg, raw)
         self.receive_path.on_datagram(msg, raw)
 
     def retain(self, msg: FTMPMessage) -> None:
@@ -849,9 +893,13 @@ class ProcessorGroup:
 
     def pgmp_raise_suspicion(self, pid: int) -> None:
         self.pgmp.raise_suspicion(pid)
+        if self.romp.overlay is not None:
+            self.romp.overlay.on_suspicion_changed()
 
     def pgmp_withdraw_suspicion(self, pid: int) -> None:
         self.pgmp.withdraw_suspicion(pid)
+        if self.romp.overlay is not None:
+            self.romp.overlay.on_suspicion_changed()
 
     def pgmp_receive_unreliable(self, msg: FTMPMessage) -> None:
         if isinstance(msg, ConnectRequestMessage):
@@ -1053,6 +1101,8 @@ class ProcessorGroup:
         self.membership = tuple(sorted(membership))
         self.view_timestamp = view_timestamp
         self.pgmp.reset_after_view()
+        if self.romp.overlay is not None:
+            self.romp.overlay.on_view_installed()
         for p in added:
             self.romp.flush_staging(p)
         if self.traced:
@@ -1135,6 +1185,12 @@ class ProcessorGroup:
             self.forget_member(gone)
         if starting:
             self.send_path.start_heartbeats()
+        if self.romp.overlay is not None:
+            # established members tree-route toward us the moment they
+            # install the add view — bind our unicast address *now* or
+            # their Regulars (and the AddProcessor's ordering traffic)
+            # never reach us and the join deadlocks
+            self.romp.overlay.prepare_join()
         self.romp.evaluate()
 
     def complete_join(self, membership: Tuple[int, ...], view_timestamp: int,
@@ -1180,6 +1236,8 @@ class ProcessorGroup:
             self._stack.endpoint.leave(self.address)
             self.address = new_addr
             self._stack.endpoint.join(new_addr)
+            if self.romp.overlay is not None:
+                self.romp.overlay.on_address_changed()
         self.view_timestamp = max(self.view_timestamp, msg.header.timestamp)
         # §7 quiescence: no ordered transmissions until every member is
         # heard past the Connect's timestamp (their heartbeats get us there).

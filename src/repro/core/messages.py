@@ -24,6 +24,7 @@ __all__ = [
     "BatchMessage",
     "RetransmitRequestMessage",
     "HeartbeatMessage",
+    "AckSummaryMessage",
     "ConnectRequestMessage",
     "ConnectMessage",
     "AddProcessorMessage",
@@ -203,11 +204,54 @@ class BatchMessage:
     parts: Tuple[bytes, ...]
 
 
+@dataclass
+class AckSummaryMessage:
+    """Aggregated §6 stability along one overlay tree edge (extension).
+
+    ``kind`` distinguishes the two directions of the aggregation:
+    ``KIND_UP`` (child → parent) carries the sender's subtree minima —
+    ``cover_ts`` is the subtree-minimum *cover* (everything at/below it
+    contiguously received by every subtree member), ``ack_ts`` the
+    subtree-minimum delivered/acknowledged timestamp.  ``KIND_DOWN``
+    (parent → child) carries the complement: the aggregate over the rest
+    of the tree as seen from the sender.  Unreliable, like Heartbeat; the
+    header piggybacks the sender's live seq/timestamp/ack values so RMP
+    gap exposure and ROMP clock advancement work exactly as for
+    heartbeats.
+
+    ``entries`` is a per-source progress vector of ``(pid, seq, ts)``
+    triples with the claim: *every message from source ``pid`` with
+    timestamp <= ``ts`` has sequence number <= ``seq``, and the sender's
+    aggregation scope has contiguously received source ``pid`` through
+    ``seq``*.  Both halves are global facts about ``pid``'s stream
+    (per-source clocks are monotonic and some member really does hold
+    the prefix), so cross-node aggregation takes the maximum ``seq``
+    and the maximum ``ts`` per source — the entry with the larger
+    ``ts`` already bounds every timestamp at/below it by *its* ``seq``,
+    which the merged maximum dominates.  A receiver adopts an entry by
+    first NACK-recovering up to ``seq`` if it has a gap, then advancing
+    its local order timestamp for ``pid`` to ``ts``.  An entry's
+    presence is also transitive liveness evidence for ``pid`` (see
+    :mod:`repro.core.overlay`).
+    """
+
+    KIND_UP = 1
+    KIND_DOWN = 2
+
+    header: FTMPHeader
+    kind: int
+    cover_ts: int
+    ack_ts: int
+    #: per-source (pid, seq, ts) progress triples; see class docstring.
+    entries: Tuple[Tuple[int, int, int], ...] = ()
+
+
 FTMPMessage = Union[
     RegularMessage,
     BatchMessage,
     RetransmitRequestMessage,
     HeartbeatMessage,
+    AckSummaryMessage,
     ConnectRequestMessage,
     ConnectMessage,
     AddProcessorMessage,

@@ -25,7 +25,12 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, Optional, Set
 
 from .constants import RELIABLE_TYPES, MessageType
-from .messages import FTMPMessage, HeartbeatMessage, RetransmitRequestMessage
+from .messages import (
+    AckSummaryMessage,
+    FTMPMessage,
+    HeartbeatMessage,
+    RetransmitRequestMessage,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from .datapath import GroupContext
@@ -57,7 +62,11 @@ class SourceState:
     pending: Dict[int, FTMPMessage] = field(default_factory=dict)
     highest_heard: int = 0  #: highest seq advertised (messages or heartbeats)
     nack_timer: Optional[object] = None
-    deferred_heartbeat: Optional[HeartbeatMessage] = None
+    nack_retries: int = 0  #: consecutive NACK retries without progress
+    nack_progress: int = 0  #: ``next_seq`` when the last NACK was sent
+    #: a Heartbeat (or overlay AckSummary — same seq/timestamp contract)
+    #: that arrived ahead of a gap, replayed once the gap fills
+    deferred_heartbeat: Optional[FTMPMessage] = None
 
     @property
     def contiguous_top(self) -> int:
@@ -102,6 +111,8 @@ class RMP:
             self._on_heartbeat(msg)  # type: ignore[arg-type]
         elif mtype == MessageType.RETRANSMIT_REQUEST:
             self._on_retransmit_request(msg)  # type: ignore[arg-type]
+        elif mtype == MessageType.ACK_SUMMARY:
+            self._on_ack_summary(msg)  # type: ignore[arg-type]
         elif mtype == MessageType.CONNECT_REQUEST:
             # unreliable, straight to PGMP (Figure 3)
             self._g.pgmp_receive_unreliable(msg)
@@ -177,6 +188,40 @@ class RMP:
         else:
             self._g.romp_heartbeat(msg)
 
+    def _on_ack_summary(self, msg: AckSummaryMessage) -> None:
+        """An overlay stability summary: heartbeat semantics + aggregation.
+
+        The header carries the sender's live seq/timestamp/ack exactly
+        like a Heartbeat, so the same gap-exposure and deferral rules
+        apply; the aggregation payload is handed to the overlay engine
+        unconditionally — its per-source entries are global facts, valid
+        whether or not the sender's own stream is currently contiguous
+        here.
+        """
+        src = msg.header.source
+        st = self._state(src)
+        seq = msg.header.sequence_number
+        if seq > st.highest_heard:
+            st.highest_heard = seq
+        if seq > st.contiguous_top:
+            st.deferred_heartbeat = msg
+            self._note_gap(src, st)
+        else:
+            self._g.romp_heartbeat(msg)  # type: ignore[arg-type]
+        overlay = self._g.romp.overlay
+        if overlay is not None:
+            overlay.on_summary(msg)
+
+    def disclose(self, src: int, seq: int) -> None:
+        """Expose that reliable messages from ``src`` through ``seq``
+        exist (overlay progress entries): raise ``highest_heard`` and arm
+        NACK recovery for the gap, exactly as a heartbeat would."""
+        st = self._state(src)
+        if seq > st.highest_heard:
+            st.highest_heard = seq
+        if seq > st.contiguous_top:
+            self._note_gap(src, st)
+
     # ------------------------------------------------------------------
     # gap detection -> negative acknowledgements
     # ------------------------------------------------------------------
@@ -211,18 +256,27 @@ class RMP:
         st.nack_timer = None
         rng_missing = self._missing_range(st)
         if rng_missing is None:
+            st.nack_retries = 0
             return
         start, stop = rng_missing
+        if st.next_seq > st.nack_progress:
+            st.nack_retries = 0  # partial repair arrived: back off resets
+        st.nack_progress = st.next_seq
         self.stats.nacks_sent += 1
         self._g.send_retransmit_request(src, start, stop)
-        st.nack_timer = self._g.schedule(
-            self._g.config.nack_retry_interval, self._send_nack, src
-        )
+        cfg = self._g.config
+        interval = cfg.nack_retry_interval
+        if cfg.nack_backoff_factor > 1.0 and st.nack_retries:
+            interval = min(interval * cfg.nack_backoff_factor ** st.nack_retries,
+                           cfg.nack_retry_max)
+        st.nack_retries += 1
+        st.nack_timer = self._g.schedule(interval, self._send_nack, src)
 
     def _cancel_nack(self, st: SourceState) -> None:
         if st.nack_timer is not None:
             st.nack_timer.cancel()
             st.nack_timer = None
+        st.nack_retries = 0
 
     # ------------------------------------------------------------------
     # answering other processors' NACKs

@@ -47,6 +47,7 @@ from typing import TYPE_CHECKING, Deque, Dict, FrozenSet, List, Optional, Tuple
 from .constants import TOTALLY_ORDERED_TYPES, MessageType
 from .llft import LeaderOrdering
 from .messages import FTMPHeader, FTMPMessage, HeartbeatMessage
+from .overlay import OverlayDissemination
 
 if TYPE_CHECKING:  # pragma: no cover
     from .datapath import GroupContext
@@ -113,6 +114,12 @@ class ROMP:
         #: bit-identical).
         self.llft: Optional[LeaderOrdering] = (
             LeaderOrdering(group) if group.config.llft_mode else None  # type: ignore[arg-type]
+        )
+        #: overlay dissemination engine; adds tree routing and the
+        #: aggregated stability floor when ``overlay_mode`` is on.  None
+        #: = legacy flat dissemination (never constructed, bit-identical).
+        self.overlay: Optional[OverlayDissemination] = (
+            OverlayDissemination(group) if group.config.overlay_mode else None  # type: ignore[arg-type]
         )
 
     # ------------------------------------------------------------------
@@ -331,9 +338,24 @@ class ROMP:
         return self._ack
 
     def stability_timestamp(self) -> int:
-        """min over members of their acks — everything at/below is stable.
+        """Everything at/below this timestamp is stable (§6).
 
-        Amortized O(1) via the lazy ack min-heap (acks only increase)."""
+        The legacy signal is the min over members of their directly heard
+        acks; in overlay mode the tree-aggregated floor — a sound lower
+        bound over the same membership — is folded in, so stability keeps
+        advancing even though most members never hear each other's acks
+        directly.
+        """
+        legacy = self._legacy_stability()
+        ov = self.overlay
+        if ov is None:
+            return legacy
+        floor = ov.stability_floor()
+        return floor if floor > legacy else legacy
+
+    def _legacy_stability(self) -> int:
+        """min over members of their acks, amortized O(1) via the lazy
+        ack min-heap (acks only increase)."""
         self._sync_gate()
         if not self._gate_set:
             return 0
@@ -346,6 +368,28 @@ class ROMP:
                 return ack
             heapq.heappop(heap)
         return 0  # unreachable in practice: every member keeps a live entry
+
+    def cover_timestamp(self) -> int:
+        """Public cover accessor: the stream heard contiguously from every
+        member (the overlay aggregation's per-member input)."""
+        cover = self._cover_ts()
+        return 0 if cover is None else cover
+
+    def adopt_order_progress(self, src: int, ts: int) -> None:
+        """Overlay §6 aggregation: advance ``src``'s contiguous-stream
+        timestamp from a progress entry.
+
+        Sound only after the caller verified local contiguity through the
+        entry's sequence number: the entry claims every message from
+        ``src`` with timestamp <= ``ts`` has seq <= that number, so
+        nothing below ``ts`` can still arrive from ``src``.
+        """
+        self._advance_order_ts(src, ts)
+
+    def overlay_stability_pulse(self) -> None:
+        """The aggregated floor may have advanced without new deliveries:
+        re-run GC / safe-release / credit notification."""
+        self._maybe_collect()
 
     def _maybe_collect(self) -> None:
         self._release_safe()
@@ -453,10 +497,24 @@ class ROMP:
     # ------------------------------------------------------------------
     # membership-change support
     # ------------------------------------------------------------------
-    def purge_source(self, src: int) -> None:
+    def purge_source(self, src: int, clean: bool = False) -> None:
         """Forget a departed member (keep its already-queued messages only
         if it was removed by RemoveProcessor/Membership *after* syncing —
-        the caller decides by calling purge_queue too)."""
+        the caller decides by calling purge_queue too).
+
+        ``clean`` marks a graceful (§7.1 ordered) departure.  Only then is
+        the member's final clock handed to the overlay for re-emission: a
+        laggard that has not ordered the RemoveProcessor yet still gates
+        its cover on that clock, and delivering the removal here required
+        our cover — hence this order timestamp — to reach the removal's
+        timestamp, so the snapshot is exactly the evidence the laggard is
+        missing.  A *convicted* (crashed) member's clock must NOT be
+        re-emitted: the entries would keep refreshing the dead member's
+        liveness at laggards, suppressing the very suspicion that lets
+        them join the §7.2 fault round — their only path to the new view.
+        """
+        if clean and self.overlay is not None:
+            self.overlay.note_departure(src, self._order_ts.get(src, 0))
         self._order_ts.pop(src, None)
         self._peer_ack.pop(src, None)
         self._staging.pop(src, None)

@@ -64,6 +64,7 @@ from typing import Dict, List, Optional, Tuple, Union
 
 from .constants import HEADER_SIZE, MAGIC, VERSION_MAJOR, VERSION_MINOR, MessageType
 from .messages import (
+    AckSummaryMessage,
     AddProcessorMessage,
     BatchMessage,
     ConnectionId,
@@ -128,6 +129,11 @@ _HDR_REMOVE = {
     True: struct.Struct("<4sBBBBIIIIQQI"),
     False: struct.Struct(">4sBBBBIIIIQQI"),
 }
+#: header + fixed AckSummary body prefix (kind, cover ts, ack ts, entry count)
+_HDR_ACK_SUMMARY = {
+    True: struct.Struct("<4sBBBBIIIIQQBQQH"),
+    False: struct.Struct(">4sBBBBIIIIQQBQQH"),
+}
 #: Regular body alone (decode side)
 _REGULAR_BODY = {
     True: struct.Struct("<IIIIQI"),
@@ -140,6 +146,16 @@ _RETRANSMIT_BODY = {
 _REMOVE_BODY = {
     True: struct.Struct("<I"),
     False: struct.Struct(">I"),
+}
+#: AckSummary fixed body prefix alone (decode side)
+_ACK_SUMMARY_BODY = {
+    True: struct.Struct("<BQQH"),
+    False: struct.Struct(">BQQH"),
+}
+#: one AckSummary per-source progress entry (pid, seq, ts)
+_ACK_SUMMARY_ENTRY = {
+    True: struct.Struct("<IIQ"),
+    False: struct.Struct(">IIQ"),
 }
 #: compact BATCH part record: flags, type, seq, timestamp, ack, body len
 _BATCH_REC = {
@@ -361,6 +377,20 @@ def encode(msg: FTMPMessage) -> bytes:
             size, h.source, h.group, h.sequence_number, h.timestamp,
             h.ack_timestamp, msg.member_to_remove,
         )
+    if cls is AckSummaryMessage:
+        entries = msg.entries
+        entry_struct = _ACK_SUMMARY_ENTRY[little]
+        size = HEADER_SIZE + 19 + entry_struct.size * len(entries)
+        h.message_size = size
+        prefix = _HDR_ACK_SUMMARY[little].pack(
+            h.magic, h.version[0], h.version[1], flags, int(h.message_type),
+            size, h.source, h.group, h.sequence_number, h.timestamp,
+            h.ack_timestamp, msg.kind, msg.cover_ts, msg.ack_ts, len(entries),
+        )
+        if not entries:
+            return prefix
+        pack = entry_struct.pack
+        return prefix + b"".join(pack(pid, seq, ts) for pid, seq, ts in entries)
     if cls is BatchMessage:
         chunks = _encode_batch_body(msg, little)
         size = HEADER_SIZE + sum(len(c) for c in chunks)
@@ -425,6 +455,15 @@ def _encode_body(msg: FTMPMessage, w: _Writer) -> None:
         w.u32(msg.stop_seq)
     elif isinstance(msg, HeartbeatMessage):
         pass
+    elif isinstance(msg, AckSummaryMessage):
+        w.u8(msg.kind)
+        w.u64(msg.cover_ts)
+        w.u64(msg.ack_ts)
+        w.u16(len(msg.entries))
+        for pid, seq, ts in msg.entries:
+            w.u32(pid)
+            w.u32(seq)
+            w.u64(ts)
     elif isinstance(msg, ConnectRequestMessage):
         w.connection_id(msg.connection_id)
         w.pid_list(msg.processor_ids)
@@ -571,6 +610,19 @@ def decode(data: _Buffer) -> FTMPMessage:
         except struct.error as exc:
             raise CodecError("truncated FTMP message body") from exc
         return RemoveProcessorMessage(h, member)
+    if t == MessageType.ACK_SUMMARY:
+        body = _ACK_SUMMARY_BODY[little]
+        entry_struct = _ACK_SUMMARY_ENTRY[little]
+        try:
+            kind, cover_ts, ack_ts, count = body.unpack_from(data, HEADER_SIZE)
+            pos = HEADER_SIZE + body.size
+            unpack = entry_struct.unpack_from
+            entries = tuple(
+                unpack(data, pos + i * entry_struct.size) for i in range(count)
+            )
+        except struct.error as exc:
+            raise CodecError("truncated FTMP message body") from exc
+        return AckSummaryMessage(h, kind, cover_ts, ack_ts, entries)
     if t == MessageType.BATCH:
         return _decode_batch(h, data, little)
     r = _Reader(data, HEADER_SIZE, little)

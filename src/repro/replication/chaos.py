@@ -33,7 +33,7 @@ __all__ = ["ChaosEvent", "ChaosPlan", "SCENARIOS", "PROTECTED_PID"]
 
 #: scenario classes the campaign sweeps (ISSUE acceptance: >= 4)
 SCENARIOS = ("loss", "reorder", "partition", "crash", "churn", "combo",
-             "overload", "leader_crash")
+             "overload", "leader_crash", "relay_crash")
 
 #: the sponsor/anchor processor a plan never harms
 PROTECTED_PID = 1
@@ -122,6 +122,8 @@ class ChaosPlan:
             plan._gen_overload(rng, pids)
         elif scenario == "leader_crash":
             budget = plan._gen_leader_crash(rng, others, budget)
+        elif scenario == "relay_crash":
+            budget = plan._gen_relay_crash(rng, others, budget)
         else:  # combo: one helping of each ingredient the budget allows
             plan._gen_loss(rng, bursts=1)
             plan._gen_reorder(rng, bursts=1)
@@ -251,6 +253,44 @@ class ChaosPlan:
             # followers adopt the dead leader's last announcements only
             # via NACK recovery, others never see them and rely on the
             # takeover batch
+            start, stop = self._window(rng, lo=0.05, hi=0.15)
+            self.events.append(
+                ChaosEvent("loss", start, stop, value=rng.uniform(0.05, 0.20))
+            )
+        return budget
+
+    def _gen_relay_crash(self, rng: random.Random, others: List[int],
+                         budget: int) -> int:
+        """Permanently crash an interior overlay-tree relay mid-traffic.
+
+        The victim is the smallest non-protected pid: with the overlay
+        sweep's ``overlay_fanout=2`` and the default 5-member roster, the
+        sorted k-ary tree is ``1 -> (2, 3)``, ``2 -> (4, 5)`` — pid 2 is
+        an interior relay whose whole subtree loses its dissemination
+        *and* its aggregated-stability path at once.  The survivors must
+        provisionally reroute around the suspect, convict only the
+        victim (no false suspicion of its healthy subtree), and the §7.2
+        drain must preserve virtual synchrony.  Under the flat modes the
+        same plan is just another permanent-crash scenario and must stay
+        clean there too.  The victim always sends, so the subtree also
+        has the dead relay's own suffix to reconcile.
+        """
+        if budget <= 0:
+            raise ValueError(
+                "relay_crash needs a removal budget: start with at least "
+                f"{_MIN_SURVIVORS + 1} members"
+            )
+        victim = min(others)
+        self.senders = tuple(sorted(set(self.senders) | {victim}))
+        # crash well before _FAULT_STOP so conviction (slowed by the
+        # transitive-liveness grace) and the drain finish in cool-down
+        at = rng.uniform(_FAULT_START, _FAULT_STOP - 0.30)
+        self.events.append(ChaosEvent("crash", at, pids=(victim,)))
+        budget -= 1
+        if rng.random() < 0.5:
+            # loss around the crash: some subtree members learn of the
+            # missing outside traffic only via progress-entry disclosure
+            # followed by flat NACK recovery
             start, stop = self._window(rng, lo=0.05, hi=0.15)
             self.events.append(
                 ChaosEvent("loss", start, stop, value=rng.uniform(0.05, 0.20))

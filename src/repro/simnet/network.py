@@ -136,6 +136,13 @@ class Network:
         self._partition: Optional[Dict[int, int]] = None  # pid -> component id
         #: per-sender egress busy-until time (NIC serialization model)
         self._egress_free: Dict[int, float] = {}
+        #: per-sender count of datagram copies serialized onto the wire —
+        #: 1 per multicast with hardware fan-out, one per receiver under
+        #: ``Topology.unicast_fanout`` (the E21 datagram-cost ground truth)
+        self.wire_copies: Dict[int, int] = {}
+        #: per-sender count of datagrams tail-dropped at the NIC because
+        #: the egress backlog exceeded ``Topology.egress_queue_limit``
+        self.egress_drops: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # node management
@@ -167,14 +174,19 @@ class Network:
     # ------------------------------------------------------------------
     def join(self, pid: int, group_addr: int) -> None:
         members = self._groups.setdefault(group_addr, set())
-        members.add(pid)
-        self._fanout[group_addr] = tuple(sorted(members))
+        if pid not in members:
+            # rebuild the fan-out tuple only when the membership actually
+            # changed — a re-join must not invalidate (and re-sort) the
+            # fan-out of a group whose receiver set is identical
+            members.add(pid)
+            self._fanout[group_addr] = tuple(sorted(members))
         self._node(pid).joined.add(group_addr)
 
     def leave(self, pid: int, group_addr: int) -> None:
-        members = self._groups.get(group_addr, set())
-        members.discard(pid)
-        self._fanout[group_addr] = tuple(sorted(members))
+        members = self._groups.get(group_addr)
+        if members is not None and pid in members:
+            members.discard(pid)
+            self._fanout[group_addr] = tuple(sorted(members))
         self._node(pid).joined.discard(group_addr)
 
     def members(self, group_addr: int) -> Set[int]:
@@ -222,6 +234,9 @@ class Network:
         if sender.crashed:
             return
         topology = self.topology
+        if topology.unicast_fanout:
+            self._multicast_unicast(src, group_addr, data)
+            return
         # NIC serialization: the packet leaves the sender only when its
         # egress is free; offered load beyond the bandwidth queues here
         egress_delay = 0.0
@@ -229,9 +244,16 @@ class Network:
         if bw:
             now = self.scheduler.now
             start = max(now, self._egress_free.get(src, 0.0))
+            limit = topology.egress_queue_limit
+            if limit is not None and start - now > limit:
+                # bounded NIC queue: tail-drop instead of queueing forever
+                self.egress_drops[src] = self.egress_drops.get(src, 0) + 1
+                self.trace.record_send(now, src, group_addr, len(data), 0, 0)
+                return
             finish = start + (len(data) + topology.packet_overhead) / bw
             self._egress_free[src] = finish
             egress_delay = finish - now
+        self.wire_copies[src] = self.wire_copies.get(src, 0) + 1
         delivered = 0
         dropped = 0
         nodes = self._nodes
@@ -266,6 +288,66 @@ class Network:
         self.trace.record_send(
             self.scheduler.now, src, group_addr, len(data), delivered, dropped
         )
+
+    def _multicast_unicast(self, src: int, group_addr: int, data: bytes) -> None:
+        """The no-hardware-multicast regime (``Topology.unicast_fanout``).
+
+        Every receiver costs the sender its own serialized NIC copy, so a
+        flat n-member fan-out pays O(n) egress per datagram — the regime
+        where the overlay's O(k) tree routing is the honest comparison.
+        Copies depart back-to-back (copy *i* waits *i* serialization
+        times); the loopback self-copy is free, as on a real host.
+        """
+        topology = self.topology
+        bw = topology.egress_bandwidth
+        per_copy = (len(data) + topology.packet_overhead) / bw if bw else 0.0
+        now = self.scheduler.now
+        free = max(now, self._egress_free.get(src, 0.0))
+        limit = topology.egress_queue_limit if bw else None
+        delivered = 0
+        dropped = 0
+        copies = 0
+        nodes = self._nodes
+        rng = self.rng
+        schedule = self.scheduler.schedule
+        deliver = self._deliver
+        partition = self._partition
+        for pid in self._fanout.get(group_addr, ()):  # ascending pid order
+            node = nodes[pid]
+            if pid == src:
+                if node.crashed or node.receiver is None:
+                    continue
+                delivered += 1
+                schedule(topology.self_delay, deliver, pid, data)
+                continue
+            # a copy is serialized for every remote receiver — crashed or
+            # partitioned hosts still cost the sender's NIC
+            if limit is not None and free - now > limit:
+                # bounded NIC queue: this copy is tail-dropped
+                self.egress_drops[src] = self.egress_drops.get(src, 0) + 1
+                dropped += 1
+                continue
+            copies += 1
+            free += per_copy
+            if node.crashed or node.receiver is None:
+                continue
+            if partition is not None and partition.get(src, -1) != partition.get(pid, -1):
+                dropped += 1
+                continue
+            egress_delay = free - now
+            link = topology.link(src, pid)
+            if link.drops(rng):
+                dropped += 1
+                continue
+            delay = link.sample_delay(rng)
+            if link.duplicates(rng):
+                schedule(egress_delay + link.sample_delay(rng), deliver, pid, data)
+            delivered += 1
+            schedule(egress_delay + delay, deliver, pid, data)
+        if copies:
+            self._egress_free[src] = free
+            self.wire_copies[src] = self.wire_copies.get(src, 0) + copies
+        self.trace.record_send(now, src, group_addr, len(data), delivered, dropped)
 
     def egress_backlog(self, pid: int) -> float:
         """Seconds until ``pid``'s NIC egress drains (0 when idle).

@@ -70,6 +70,21 @@ class Topology:
     the UDP/IP/Ethernet framing a real NIC pays per packet (~66 bytes on
     Ethernet).  It is what makes message batching measurable: many small
     datagrams pay the overhead many times, one batch pays it once.
+
+    ``unicast_fanout`` (default False) switches off the hardware-multicast
+    assumption: a group send is serialized once *per remote receiver*
+    through the bandwidth-limited egress (loopback stays free), the
+    no-IP-multicast regime of a routed/WAN deployment.  Flat dissemination
+    then pays O(n) egress per datagram — the regime the overlay's O(k)
+    tree routing is measured against in E21.
+
+    ``egress_queue_limit`` (seconds, ``None`` = unbounded) bounds the NIC
+    egress queue: a datagram offered while the sender's backlog already
+    exceeds the limit is tail-dropped, as a real NIC ring / qdisc drops
+    instead of queueing forever.  Only meaningful with
+    ``egress_bandwidth``; an unbounded queue turns sustained congestion
+    into seconds-stale delivery, which no retransmission protocol can
+    outrun — with a bound, the drops feed ordinary NACK recovery.
     """
 
     default: LinkModel = field(default_factory=LinkModel)
@@ -77,6 +92,8 @@ class Topology:
     self_delay: float = 0.000001
     egress_bandwidth: float = None
     packet_overhead: int = 0
+    unicast_fanout: bool = False
+    egress_queue_limit: float = None
 
     def link(self, src: int, dst: int) -> LinkModel:
         """The link model used for packets from ``src`` to ``dst``."""

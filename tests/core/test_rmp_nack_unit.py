@@ -273,3 +273,45 @@ def test_nack_count_cap_bounds_even_when_all_keys_escalate():
         _nack_round(ctx, rmp, 1, seq)
         _nack_round(ctx, rmp, 1, seq)  # every key reaches count 2
     assert len(rmp._nack_counts) <= 2
+
+
+# -- SRM-style retry backoff (nack_backoff_factor) ---------------------
+
+def test_nack_backoff_widens_retry_interval():
+    ctx = MockContext(config=FTMPConfig(nack_backoff_factor=2.0))
+    rmp = RMP(ctx)
+    rmp.on_message(regular(1, 1))
+    rmp.on_message(regular(1, 4))  # hole 2..3
+    # initial NACK after nack_delay (2 ms), then retries at 10, 20,
+    # 40 ms spacing: fires at 2, 12, 32, 72 ms
+    ctx.scheduler.run_until(0.075)
+    assert len(ctx.nacks) == 4  # fixed-interval would be 8 by now
+    # the interval is capped at nack_retry_max (160 ms): after the
+    # 80 ms step the spacing stops doubling
+    ctx.scheduler.run_until(0.500)
+    assert len(ctx.nacks) == 7  # 152, 312, 472 ms — capped at 160 apart
+
+
+def test_nack_backoff_resets_on_partial_repair():
+    ctx = MockContext(config=FTMPConfig(nack_backoff_factor=2.0))
+    rmp = RMP(ctx)
+    rmp.on_message(regular(1, 1))
+    rmp.on_message(regular(1, 4))  # hole 2..3
+    ctx.scheduler.run_until(0.040)  # fires at 2, 12, 32 ms; next at 72
+    assert len(ctx.nacks) == 3
+    rmp.on_message(regular(1, 2))  # partial repair: hole is now just 3
+    # at the 72 ms fire the progress is noticed, the backoff resets and
+    # the next retry comes at the base 10 ms again (82 ms), not 80 later
+    ctx.scheduler.run_until(0.085)
+    assert len(ctx.nacks) == 5
+    assert ctx.nacks[-1] == (1, 3, 3)
+
+
+def test_default_backoff_factor_keeps_fixed_interval():
+    ctx = MockContext()  # nack_backoff_factor = 1.0 (legacy)
+    rmp = RMP(ctx)
+    rmp.on_message(regular(1, 1))
+    rmp.on_message(regular(1, 4))
+    ctx.scheduler.run_until(0.075)
+    # 2 ms initial + every 10 ms: 2, 12, 22, ..., 72
+    assert len(ctx.nacks) == 8

@@ -15,6 +15,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import (
+    AckSummaryMessage,
     AddProcessorMessage,
     BatchMessage,
     ConnectionId,
@@ -76,6 +77,12 @@ MESSAGES = st.one_of(
     st.builds(SuspectMessage, _header(MessageType.SUSPECT), U64, PIDS),
     st.builds(MembershipMessage,
               _header(MessageType.MEMBERSHIP), U64, PIDS, SEQ_VECTOR, PIDS),
+    st.builds(AckSummaryMessage,
+              _header(MessageType.ACK_SUMMARY),
+              st.sampled_from([AckSummaryMessage.KIND_UP,
+                               AckSummaryMessage.KIND_DOWN]),
+              U64, U64,
+              st.lists(st.tuples(U32, U32, U64), max_size=6).map(tuple)),
 )
 
 # Batch parts are complete encodings of other messages; randomized parts

@@ -162,3 +162,54 @@ def test_link_override_and_set_loss():
     topo.set_loss(0.25)
     assert topo.default.loss == 0.25
     assert topo.link(1, 2).loss == 0.25
+
+
+def test_noop_join_leave_do_not_rebuild_fanout():
+    # a re-join (or a leave by a non-member) leaves the receiver set
+    # unchanged, so the cached fan-out tuple must survive identically —
+    # rebuilding it on every no-op churns an allocation per heartbeat
+    net = Network(lan(), seed=0)
+    eps = {pid: net.endpoint(pid) for pid in (1, 2, 3)}
+    for pid in (1, 2, 3):
+        eps[pid].join(100)
+    fanout = net._fanout[100]
+    eps[2].join(100)       # no-op: already a member
+    net.leave(9, 100)      # no-op: never joined
+    assert net._fanout[100] is fanout  # same tuple object, not rebuilt
+    eps[3].leave(100)      # real change: rebuild expected
+    assert net._fanout[100] == (1, 2)
+
+
+def test_bounded_egress_queue_tail_drops():
+    # with egress_queue_limit set, offered load beyond the backlog bound
+    # is dropped at the sender instead of queueing without bound
+    topo = Topology(default=LinkModel(latency=0.0001),
+                    egress_bandwidth=10_000.0,   # 1 kB costs 100 ms
+                    egress_queue_limit=0.150)
+    net = Network(topo, seed=0)
+    eps, boxes = {}, {}
+    for pid in (1, 2):
+        eps[pid], boxes[pid] = collect(net, pid)
+        eps[pid].join(100)
+    for _ in range(5):  # 500 ms of serialization against a 150 ms bound
+        eps[1].multicast(100, b"x" * 1000)
+    net.run_for(1.0)
+    assert net.egress_drops.get(1, 0) > 0
+    delivered = len(boxes[2])
+    assert 0 < delivered < 5
+    assert delivered + net.egress_drops[1] == 5
+
+
+def test_unbounded_egress_queue_is_legacy_default():
+    topo = Topology(default=LinkModel(latency=0.0001),
+                    egress_bandwidth=10_000.0)  # no queue limit
+    net = Network(topo, seed=0)
+    eps, boxes = {}, {}
+    for pid in (1, 2):
+        eps[pid], boxes[pid] = collect(net, pid)
+        eps[pid].join(100)
+    for _ in range(5):
+        eps[1].multicast(100, b"x" * 1000)
+    net.run_for(1.0)
+    assert net.egress_drops == {}
+    assert len(boxes[2]) == 5  # everything queues and eventually lands
