@@ -3,7 +3,8 @@
 PYTHON ?= python
 
 .PHONY: install test bench bench-diff lint layering experiments examples soak \
-        chaos chaos-overlay explore cluster-demo cluster-smoke clean
+        chaos chaos-overlay explore cluster-demo cluster-shard-demo \
+        cluster-smoke clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -83,11 +84,21 @@ explore:
 cluster-demo:
 	PYTHONPATH=src $(PYTHON) -m repro.runtime --processes 3 --messages 3400
 
+# same demo over the sharded datapath (ISSUE 9): each worker's UDP
+# socket lives in an I/O-shard subprocess, co-hosted workers exchange
+# frames over shared-memory rings, ordering stays single-threaded
+cluster-shard-demo:
+	PYTHONPATH=src $(PYTHON) -m repro.runtime --processes 3 --messages 3400 \
+	    --io-shards 1
+
 # smaller cluster run for CI (writes the machine-readable report used as
-# the workflow artifact; wall-clock numbers are informational only)
+# the workflow artifact; wall-clock numbers are informational only);
+# runs both the single-loop and sharded datapaths
 cluster-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.runtime --processes 3 --messages 1200 \
 	    --json cluster-smoke-report.json
+	PYTHONPATH=src $(PYTHON) -m repro.runtime --processes 3 --messages 1200 \
+	    --io-shards 1 --json cluster-smoke-sharded-report.json
 
 clean:
 	rm -rf .pytest_cache .hypothesis benchmarks/results/*.txt \

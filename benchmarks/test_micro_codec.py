@@ -212,3 +212,6 @@ def test_codec_fast_vs_reference():
     emit_json("codec", metrics)
     # the hot fixed-layout cases must be genuinely faster on this host
     assert metrics["regular_256b"]["speedup"] > 1.0
+    # the compact-batch encoder preallocates one bytearray and packs records
+    # in place; it must at least match the reference writer (ISSUE 9)
+    assert metrics["batch_8x64b"]["speedup"] >= 1.0

@@ -9,12 +9,20 @@ reclaimable once every member's advertised ack timestamp is >= ``ts``
 (then nobody can ever NACK it).
 
 The buffer also tracks occupancy statistics for experiment E4.
+
+Hot-path engineering: :meth:`RetransmissionBuffer.collect` runs on every
+ack advance (per received datagram under load), so it must not rescan the
+store.  A lazy min-heap of ``(timestamp, key)`` entries makes it O(1) when
+nothing is reclaimable — the common case — and O(log n) per actually
+reclaimed message: entries whose key has already been removed by another
+path (``drop_source``, ``clear``) are simply popped on sight.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 __all__ = ["BufferedMessage", "RetransmissionBuffer"]
 
@@ -34,6 +42,9 @@ class RetransmissionBuffer:
 
     def __init__(self, gc_enabled: bool = True):
         self._store: Dict[Tuple[int, int], BufferedMessage] = {}
+        # lazy reclaim index: (timestamp, source, seq) pushed on add;
+        # entries for keys already removed elsewhere are skipped on pop
+        self._ts_heap: List[Tuple[int, int, int]] = []
         self.gc_enabled = gc_enabled
         self.high_water_messages = 0
         self.high_water_bytes = 0
@@ -48,6 +59,7 @@ class RetransmissionBuffer:
         if key in self._store:
             return
         self._store[key] = BufferedMessage(source, seq, timestamp, data)
+        heapq.heappush(self._ts_heap, (timestamp, source, seq))
         self._bytes += len(data)
         self.total_added += 1
         if len(self._store) > self.high_water_messages:
@@ -87,12 +99,18 @@ class RetransmissionBuffer:
         """
         if not self.gc_enabled:
             return 0
-        dead = [k for k, m in self._store.items() if m.timestamp <= stable_timestamp]
-        for k in dead:
-            self._bytes -= len(self._store[k].data)
-            del self._store[k]
-        self.total_reclaimed += len(dead)
-        return len(dead)
+        heap = self._ts_heap
+        store = self._store
+        reclaimed = 0
+        while heap and heap[0][0] <= stable_timestamp:
+            _, source, seq = heapq.heappop(heap)
+            m = store.pop((source, seq), None)
+            if m is None:
+                continue  # already gone via drop_source/clear
+            self._bytes -= len(m.data)
+            reclaimed += 1
+        self.total_reclaimed += reclaimed
+        return reclaimed
 
     def drop_source(self, source: int) -> int:
         """Discard all messages from one source (after it leaves the group)."""
@@ -104,4 +122,5 @@ class RetransmissionBuffer:
 
     def clear(self) -> None:
         self._store.clear()
+        self._ts_heap.clear()
         self._bytes = 0

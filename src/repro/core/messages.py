@@ -36,7 +36,7 @@ __all__ = [
 ]
 
 
-@dataclass
+@dataclass(slots=True)
 class FTMPHeader:
     """The FTMP message header (paper §3.2).
 
@@ -61,7 +61,7 @@ class FTMPHeader:
         return replace(self, retransmission=True)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ConnectionId:
     """Identifier of a logical connection between two object groups (§4).
 
@@ -90,7 +90,7 @@ class ConnectionId:
 _NO_CONNECTION = ConnectionId(0, 0, 0, 0)
 
 
-@dataclass
+@dataclass(slots=True)
 class RegularMessage:
     """Carries one encapsulated GIOP message (§5).
 
@@ -105,7 +105,7 @@ class RegularMessage:
     payload: bytes
 
 
-@dataclass
+@dataclass(slots=True)
 class RetransmitRequestMessage:
     """Negative acknowledgement for a block of missing messages (§5)."""
 
@@ -115,14 +115,14 @@ class RetransmitRequestMessage:
     stop_seq: int
 
 
-@dataclass
+@dataclass(slots=True)
 class HeartbeatMessage:
     """Null message carrying current seq / timestamp / ack values (§5)."""
 
     header: FTMPHeader
 
 
-@dataclass
+@dataclass(slots=True)
 class ConnectRequestMessage:
     """Client's request for a new logical connection (§7)."""
 
@@ -131,7 +131,7 @@ class ConnectRequestMessage:
     processor_ids: Tuple[int, ...]  #: processors supporting the client group
 
 
-@dataclass
+@dataclass(slots=True)
 class ConnectMessage:
     """Server's response establishing (or migrating) a connection (§7)."""
 
@@ -143,7 +143,7 @@ class ConnectMessage:
     membership: Tuple[int, ...]
 
 
-@dataclass
+@dataclass(slots=True)
 class AddProcessorMessage:
     """Adds a non-faulty processor to a processor group (§7.1)."""
 
@@ -156,7 +156,7 @@ class AddProcessorMessage:
     new_member: int
 
 
-@dataclass
+@dataclass(slots=True)
 class RemoveProcessorMessage:
     """Removes a non-faulty processor from a processor group (§7.1)."""
 
@@ -164,7 +164,7 @@ class RemoveProcessorMessage:
     member_to_remove: int
 
 
-@dataclass
+@dataclass(slots=True)
 class SuspectMessage:
     """Declares processors suspected of being faulty (§7.2)."""
 
@@ -173,7 +173,7 @@ class SuspectMessage:
     suspects: Tuple[int, ...]
 
 
-@dataclass
+@dataclass(slots=True)
 class MembershipMessage:
     """Proposes a new membership excluding convicted processors (§7.2).
 
@@ -189,7 +189,7 @@ class MembershipMessage:
     new_membership: Tuple[int, ...]
 
 
-@dataclass
+@dataclass(slots=True)
 class BatchMessage:
     """Several encoded FTMP messages packed into one datagram.
 
@@ -204,7 +204,7 @@ class BatchMessage:
     parts: Tuple[bytes, ...]
 
 
-@dataclass
+@dataclass(slots=True)
 class AckSummaryMessage:
     """Aggregated §6 stability along one overlay tree edge (extension).
 

@@ -392,33 +392,38 @@ class ROMP:
         self._maybe_collect()
 
     def _maybe_collect(self) -> None:
-        self._release_safe()
-        self._notify_stability()
+        # stability_timestamp() walks the lazy ack heap (and the overlay
+        # floor); compute it once and thread the value through the three
+        # consumers — this runs on every ack advance under load
+        stable = self.stability_timestamp()
+        self._release_safe(stable)
+        self._notify_stability(stable)
         if not self._g.config.buffer_gc_enabled:
             return
-        stable = self.stability_timestamp()
         if stable > 0:
             reclaimed = self._g.buffer.collect(stable)
             if reclaimed:
                 self.stats.gc_runs += 1
                 self.stats.messages_reclaimed += reclaimed
 
-    def _notify_stability(self) -> None:
+    def _notify_stability(self, stable: Optional[int] = None) -> None:
         """Report stability advances upward (flow-control credit releases).
 
         Stability can also jump without new traffic — e.g. a fault view
         removing the slowest member — so :meth:`evaluate` calls this too,
         not just the ack-advance path.
         """
-        stable = self.stability_timestamp()
+        if stable is None:
+            stable = self.stability_timestamp()
         if stable > self._stable_notified:
             self._stable_notified = stable
             self._g.on_stability_advance(stable)
 
-    def _release_safe(self) -> None:
+    def _release_safe(self, stable: Optional[int] = None) -> None:
         if not self._unsafe:
             return
-        stable = self.stability_timestamp()
+        if stable is None:
+            stable = self.stability_timestamp()
         while self._unsafe and self._unsafe[0].header.timestamp <= stable:
             msg = self._unsafe.popleft()
             self._g.deliver_regular(msg)  # type: ignore[arg-type]

@@ -47,7 +47,7 @@ from .lamport import make_clock
 from .messages import ConnectionId, ConnectRequestMessage, FTMPHeader
 from .stats import StackStats, StatsRegistry
 from .tracing import Tracer
-from .wire import CodecError, decode, encode, peek_header
+from .wire import CodecError, decode, decode_view, encode, peek_header
 
 __all__ = ["FTMPStack", "ProcessorGroup", "StackStats"]
 
@@ -296,7 +296,10 @@ class FTMPStack:
             return
         self.stats.datagrams_received += 1
         try:
-            msg = decode(raw)
+            # ring-ingest path hands a memoryview over an immutable popped
+            # record: decode zero-copy; plain bytes (socket path) copy as
+            # before, so the default runtime is byte-identical
+            msg = decode_view(raw) if type(raw) is memoryview else decode(raw)
         except CodecError:
             self.stats.decode_errors += 1
             return

@@ -39,7 +39,9 @@ from ..replication.oracles import (
     check_no_duplicates,
     check_total_order,
 )
+from . import ioshard
 from .aio import multicast_available
+from .shm import SpscRing
 
 __all__ = ["ClusterSpec", "ClusterResult", "run_cluster", "default_cluster_config",
            "main"]
@@ -85,6 +87,15 @@ class ClusterSpec:
     #: extra seconds allowed for spawn + socket binding + handshakes
     spawn_timeout: float = 30.0
     record_digests: bool = True
+    #: sharded wall-clock datapath (ISSUE 9): I/O-shard subprocesses per
+    #: worker; 0 keeps the single-loop runtime byte-identical
+    io_shards: int = 0
+    #: host-local shm fast path between co-located workers (sharded mode)
+    peer_rings: bool = True
+    ring_capacity: int = 1 << 20
+    #: chaos hook: SIGKILL one of worker 1's I/O shards after this many
+    #: seconds into the run (sharded mode; None = no chaos)
+    chaos_kill_shard_after_s: Optional[float] = None
 
 
 @dataclass
@@ -103,6 +114,9 @@ class ClusterResult:
     violations: List[Dict[str, object]]
     snapshots: Dict[int, Dict[str, float]]
     worker_errors: List[str]
+    io_shards: int = 0
+    #: summed net.* transport counters across workers (sharded + baseline)
+    net: Dict[str, float] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -125,6 +139,8 @@ class ClusterResult:
             "latency_p99_ms": round(self.latency_p99_ms, 3),
             "violations": self.violations,
             "worker_errors": self.worker_errors,
+            "io_shards": self.io_shards,
+            "net": {k: v for k, v in sorted(self.net.items())},
             "ok": self.ok,
         }
 
@@ -201,6 +217,34 @@ def run_cluster(spec: ClusterSpec) -> ClusterResult:
     # from cross-talking: reuse the (TCP) control port number
     multicast_port = control_port
 
+    io_shards = spec.io_shards
+    if io_shards > 1 and mode == "multicast":
+        # several shards on one multicast socket pair would each receive
+        # every group datagram (duplicate ingest); one shard per worker
+        # still takes all socket syscalls off the ordering core
+        io_shards = 1
+
+    # the supervisor owns every shm segment's lifetime: create all rings
+    # up front, workers and shards only attach (a killed shard can then
+    # never take a segment down with it)
+    ring_run_id = f"ftmp{control_port}-{os.getpid()}"
+    owned_rings: List[SpscRing] = []
+    if io_shards > 0:
+        for name in ioshard.cluster_ring_names(
+                ring_run_id, pids, io_shards, spec.peer_rings):
+            owned_rings.append(SpscRing.create(name, spec.ring_capacity))
+
+    # eventfd doorbells make the peer-ring fast path event-driven: one
+    # counter per ordered worker pair, created here and inherited by
+    # both ends (sender writes after a ring push, receiver add_reader's
+    # it) — without them receivers fall back to 1 ms ring polling
+    peer_doorbells: Dict[Tuple[int, int], int] = {}
+    if io_shards > 0 and spec.peer_rings and hasattr(os, "eventfd"):
+        for a in pids:
+            for b in pids:
+                if a != b:
+                    peer_doorbells[(a, b)] = os.eventfd(0, os.EFD_NONBLOCK)
+
     procs: List[subprocess.Popen] = []
     stderr_files = []
     conns: Dict[int, Tuple[socket.socket, object]] = {}
@@ -224,7 +268,26 @@ def run_cluster(spec: ClusterSpec) -> ClusterResult:
                 "warmup_timeout": spec.warmup_timeout,
                 "run_timeout": spec.run_timeout,
                 "record_digests": spec.record_digests,
+                "io_shards": io_shards,
+                "ring_run_id": ring_run_id,
+                "peer_rings": spec.peer_rings,
+                "ring_capacity": spec.ring_capacity,
+                # chaos: only the first worker loses a shard
+                "chaos_kill_shard_after_s": (
+                    spec.chaos_kill_shard_after_s if pid == pids[0] else None),
             }
+            worker_fds = ()
+            if peer_doorbells:
+                db_tx = {str(b): fd for (a, b), fd in peer_doorbells.items()
+                         if a == pid}
+                db_rx = {str(a): fd for (a, b), fd in peer_doorbells.items()
+                         if b == pid}
+                wspec["peer_doorbell_tx"] = db_tx
+                wspec["peer_doorbell_rx"] = db_rx
+                # pass_fds keeps the fd numbers identical in the child,
+                # so the spec can name them directly
+                worker_fds = tuple(sorted(
+                    set(db_tx.values()) | set(db_rx.values())))
             errf = tempfile.TemporaryFile()
             stderr_files.append(errf)
             p = subprocess.Popen(
@@ -232,6 +295,7 @@ def run_cluster(spec: ClusterSpec) -> ClusterResult:
                 stdin=subprocess.PIPE,
                 stdout=subprocess.DEVNULL,
                 stderr=errf,
+                pass_fds=worker_fds,
                 env=env,
             )
             p.stdin.write(json.dumps(wspec).encode())
@@ -297,6 +361,14 @@ def run_cluster(spec: ClusterSpec) -> ClusterResult:
                     f"worker exited {p.returncode}" + (f": {tail}" if tail else "")
                 )
             errf.close()
+        for fd in peer_doorbells.values():
+            try:
+                os.close(fd)  # workers hold their inherited copies
+            except OSError:
+                pass
+        for ring in owned_rings:
+            ring.close()
+            ring.unlink()
 
     # -- oracle cross-check over the per-process delivery logs ----------
     listeners = {
@@ -316,6 +388,18 @@ def run_cluster(spec: ClusterSpec) -> ClusterResult:
     for msg in results.values():
         latencies.extend(msg.get("latencies_ms", []))
     total = sum(delivered.values())
+    # transport counters: sum each worker's net.* snapshot entries
+    # (high-water marks like rcvbuf occupancy take the max instead)
+    net: Dict[str, float] = {}
+    for msg in results.values():
+        for key, value in msg.get("snapshot", {}).items():
+            if not key.startswith("net."):
+                continue
+            short = key[4:]
+            if short.endswith("_max_bytes"):
+                net[short] = max(net.get(short, 0), value)
+            else:
+                net[short] = net.get(short, 0) + value
     return ClusterResult(
         mode=mode,
         processes=spec.processes,
@@ -329,6 +413,8 @@ def run_cluster(spec: ClusterSpec) -> ClusterResult:
         violations=[v.as_dict() for v in violations],
         snapshots={pid: msg.get("snapshot", {}) for pid, msg in results.items()},
         worker_errors=worker_errors,
+        io_shards=io_shards,
+        net=net,
     )
 
 
@@ -343,6 +429,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                         default="auto")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--run-timeout", type=float, default=120.0)
+    parser.add_argument("--io-shards", type=int, default=0,
+                        help="I/O-shard subprocesses per worker "
+                             "(0 = single-loop runtime, the default)")
+    parser.add_argument("--no-peer-rings", dest="peer_rings",
+                        action="store_false",
+                        help="disable the host-local shm fast path: all "
+                             "sharded traffic traverses the UDP shards")
+    parser.add_argument("--chaos-kill-shard-after", type=float, default=None,
+                        metavar="SECONDS",
+                        help="SIGKILL one of worker 1's I/O shards this "
+                             "many seconds into the run (failover demo)")
     parser.add_argument("--json", dest="json_path", default=None,
                         help="write the machine-readable report here")
     args = parser.parse_args(argv)
@@ -354,10 +451,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         mode=args.mode,
         seed=args.seed,
         run_timeout=args.run_timeout,
+        io_shards=args.io_shards,
+        peer_rings=args.peer_rings,
+        chaos_kill_shard_after_s=args.chaos_kill_shard_after,
     )
     result = run_cluster(spec)
 
-    print(f"cluster: {result.processes} processes, mode={result.mode}")
+    shard_note = (f", io_shards={result.io_shards}" if result.io_shards
+                  else "")
+    print(f"cluster: {result.processes} processes, mode={result.mode}"
+          f"{shard_note}")
     print(f"  ordered deliveries: {result.total_delivered} "
           f"(expected {result.expected_per_process} x {result.processes})")
     for pid in sorted(result.delivered):
@@ -366,6 +469,13 @@ def main(argv: Optional[List[str]] = None) -> int:
           f"throughput: {result.msgs_s:,.0f} ordered msgs/s")
     print(f"  send-to-own-delivery latency: "
           f"p50 {result.latency_p50_ms:.2f} ms, p99 {result.latency_p99_ms:.2f} ms")
+    if result.net:
+        drops = {k: int(v) for k, v in result.net.items()
+                 if k in ("rx_ring_full", "rx_decode_errors",
+                          "tx_send_errors", "shard_failovers") and v}
+        rcvbuf = int(result.net.get("rx_rcvbuf_max_bytes", 0))
+        print(f"  net: rcvbuf high-water {rcvbuf} B"
+              + (f", {drops}" if drops else ", no drops"))
     if result.violations:
         print(f"  ORACLE VIOLATIONS ({len(result.violations)}):")
         for v in result.violations[:10]:

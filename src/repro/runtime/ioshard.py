@@ -1,0 +1,325 @@
+"""I/O-shard worker: owns UDP sockets so the ordering core doesn't.
+
+``python -m repro.runtime.ioshard`` runs one shard process (spec JSON on
+stdin).  A shard is the syscall half of the sharded wall-clock datapath
+(ISSUE 9): it drains its UDP socket with batched ``recv_into`` calls
+into a preallocated buffer, validates each datagram's framing *off* the
+ordering core (group prefix + FTMP header sanity via ``peek_header``),
+and pushes raw packets through a shared-memory SPSC ring to the core.
+On the transmit side it consumes a core->shard ring of op-prefixed
+records and issues the ``sendto`` fan-out.
+
+What deliberately stays on the ordering core: full ``wire.decode``
+(zero-copy via ``decode_view`` over the popped record), all RMP/ROMP/
+PGMP state, and retransmissions — a §5 retransmission is re-sent from
+the core's retention buffer over its own fallback socket so any-holder
+recovery and retention identity are untouched by sharding.
+
+TX ring record framing (1 op byte + body):
+
+* ``0x00`` DATA  — packet (4-byte group prefix + FTMP frame): send to
+  every configured target (loopback mode) or to the group's multicast
+  address derived from the prefix (multicast mode);
+* ``0x01`` JOIN  — u32 group address: ``IP_ADD_MEMBERSHIP`` (multicast
+  mode; no-op in loopback);
+* ``0x02`` LEAVE — u32 group address: ``IP_DROP_MEMBERSHIP``.
+
+RX ring records are raw packets, nothing else — shard statistics travel
+as JSON lines on stdout (the worker parent reads them), and liveness is
+the rx doorbell pipe itself: the shard holds its only write end, so the
+core observes EOF the moment the shard dies and fails over to an
+in-core socket.
+
+The shard is plain blocking-``selectors`` Python, not asyncio: its loop
+is two ring operations and two socket batches — an event loop would
+only add per-datagram overhead.
+"""
+
+from __future__ import annotations
+
+import fcntl
+import json
+import os
+import selectors
+import socket
+import struct
+import sys
+import termios
+import time
+from typing import Dict, List, Optional, Tuple
+
+from ..core.wire import CodecError, peek_header
+from .shm import SpscRing
+
+__all__ = [
+    "OP_DATA", "OP_JOIN", "OP_LEAVE",
+    "rx_ring_name", "tx_ring_name", "peer_ring_name", "cluster_ring_names",
+    "run_shard",
+]
+
+OP_DATA = 0
+OP_JOIN = 1
+OP_LEAVE = 2
+
+_GROUP_PREFIX = struct.Struct("!I")
+_U32 = struct.Struct("!I")
+#: FTMP header size — a packet shorter than prefix+header can't be valid
+_MIN_PACKET = _GROUP_PREFIX.size + 40
+_RECV_BUF_SIZE = 65535
+_BATCH = 64
+
+
+# ----------------------------------------------------------------------
+# ring naming — shared by supervisor (create/unlink) and attachers
+# ----------------------------------------------------------------------
+def rx_ring_name(run_id: str, pid: int, shard: int) -> str:
+    return f"{run_id}-rx-{pid}-{shard}"
+
+
+def tx_ring_name(run_id: str, pid: int, shard: int) -> str:
+    return f"{run_id}-tx-{pid}-{shard}"
+
+
+def peer_ring_name(run_id: str, src: int, dst: int) -> str:
+    return f"{run_id}-pr-{src}-{dst}"
+
+
+def cluster_ring_names(run_id: str, pids, io_shards: int,
+                       peer_rings: bool) -> List[str]:
+    """Every segment name a sharded cluster needs (supervisor creates all
+    up front; workers and shards only attach)."""
+    names: List[str] = []
+    pids = list(pids)
+    for pid in pids:
+        for s in range(io_shards):
+            names.append(rx_ring_name(run_id, pid, s))
+            names.append(tx_ring_name(run_id, pid, s))
+    if peer_rings:
+        for src in pids:
+            for dst in pids:
+                if src != dst:
+                    names.append(peer_ring_name(run_id, src, dst))
+    return names
+
+
+def _rcvbuf_occupancy(sock: socket.socket) -> int:
+    """Bytes currently queued in the socket receive buffer (FIONREAD)."""
+    try:
+        buf = fcntl.ioctl(sock.fileno(), termios.FIONREAD, b"\0\0\0\0")
+        return int.from_bytes(buf, sys.byteorder)
+    except OSError:  # pragma: no cover - platform without FIONREAD
+        return 0
+
+
+def _multicast_group_ip(group_addr: int, prefix: str) -> str:
+    return f"{prefix}.{(group_addr >> 8) & 0xFF}.{group_addr & 0xFF}"
+
+
+class _ShardStats:
+    __slots__ = ("rx_datagrams", "rx_decode_errors", "rx_ring_full",
+                 "tx_datagrams", "tx_send_errors", "rcvbuf_max_bytes")
+
+    def __init__(self) -> None:
+        self.rx_datagrams = 0
+        self.rx_decode_errors = 0
+        self.rx_ring_full = 0
+        self.tx_datagrams = 0
+        self.tx_send_errors = 0
+        self.rcvbuf_max_bytes = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {k: getattr(self, k) for k in self.__slots__}
+
+
+def run_shard(spec: dict) -> None:
+    """Shard main loop; returns when stdin closes (parent teardown)."""
+    mode = spec.get("mode", "loopback")
+    host = spec.get("host", "127.0.0.1")
+    port = int(spec["port"])
+    prefix = spec.get("multicast_prefix", "239.193")
+    targets: List[Tuple[str, int]] = [
+        (h, int(p)) for h, p in spec.get("targets", [])]
+    rx_ring = SpscRing.attach(spec["rx_ring"])
+    tx_ring = SpscRing.attach(spec["tx_ring"])
+    rx_doorbell_w = int(spec["rx_doorbell_fd"])
+    tx_doorbell_r = int(spec["tx_doorbell_fd"])
+    os.set_blocking(tx_doorbell_r, False)
+    stats_interval = float(spec.get("stats_interval_s", 0.25))
+
+    sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    sock.setblocking(False)
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    if spec.get("reuse_port"):
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+    try:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 1 << 21)
+    except OSError:  # pragma: no cover
+        pass
+    if mode == "multicast":
+        sock.setsockopt(socket.IPPROTO_IP, socket.IP_MULTICAST_LOOP, 1)
+        sock.setsockopt(socket.IPPROTO_IP, socket.IP_MULTICAST_TTL, 1)
+        sock.bind(("", port))
+    else:
+        sock.bind((host, port))
+    memberships: set = set()
+
+    def join(group_addr: int) -> None:
+        if mode != "multicast" or group_addr in memberships:
+            return
+        memberships.add(group_addr)
+        mreq = socket.inet_aton(_multicast_group_ip(group_addr, prefix)) \
+            + socket.inet_aton("0.0.0.0")
+        try:
+            sock.setsockopt(socket.IPPROTO_IP, socket.IP_ADD_MEMBERSHIP, mreq)
+        except OSError:  # pragma: no cover - duplicate membership
+            pass
+
+    def leave(group_addr: int) -> None:
+        if mode != "multicast" or group_addr not in memberships:
+            return
+        memberships.discard(group_addr)
+        mreq = socket.inet_aton(_multicast_group_ip(group_addr, prefix)) \
+            + socket.inet_aton("0.0.0.0")
+        try:
+            sock.setsockopt(socket.IPPROTO_IP, socket.IP_DROP_MEMBERSHIP, mreq)
+        except OSError:  # pragma: no cover
+            pass
+
+    for g in spec.get("groups", []):
+        join(int(g))
+
+    stats = _ShardStats()
+    recv_buf = bytearray(_RECV_BUF_SIZE)
+    recv_view = memoryview(recv_buf)
+
+    def emit_stats() -> bool:
+        try:
+            print(json.dumps(stats.as_dict()), flush=True)
+            return True
+        except OSError:  # parent gone; doorbell EOF drives failover
+            return False
+
+    def send_packet(packet) -> None:
+        if mode == "multicast":
+            (group_addr,) = _GROUP_PREFIX.unpack_from(packet)
+            dests = ((_multicast_group_ip(group_addr, prefix), port),)
+        else:
+            dests = targets
+        for addr in dests:
+            try:
+                sock.sendto(packet, addr)
+                stats.tx_datagrams += 1
+            except OSError:
+                stats.tx_send_errors += 1
+
+    def drain_udp() -> int:
+        occ = _rcvbuf_occupancy(sock)
+        if occ > stats.rcvbuf_max_bytes:
+            stats.rcvbuf_max_bytes = occ
+        got = 0
+        for _ in range(_BATCH):
+            try:
+                n = sock.recv_into(recv_buf)
+            except (BlockingIOError, InterruptedError):
+                break
+            except OSError:  # pragma: no cover - socket torn down
+                break
+            got += 1
+            stats.rx_datagrams += 1
+            # validation off the ordering core: framing must be sane
+            if n < _MIN_PACKET:
+                stats.rx_decode_errors += 1
+                continue
+            try:
+                peek_header(recv_view[_GROUP_PREFIX.size:n])
+            except CodecError:
+                stats.rx_decode_errors += 1
+                continue
+            was_empty = rx_ring.is_empty()
+            if not rx_ring.try_push(recv_view[:n]):
+                stats.rx_ring_full += 1
+                continue
+            if was_empty:
+                try:
+                    os.write(rx_doorbell_w, b"\0")
+                except OSError:  # pragma: no cover - core gone
+                    pass
+        return got
+
+    def drain_tx() -> int:
+        recs = tx_ring.pop_batch(_BATCH)
+        for rec in recs:
+            if not rec:
+                continue
+            op = rec[0]
+            if op == OP_DATA:
+                send_packet(memoryview(rec)[1:])
+            elif op == OP_JOIN and len(rec) >= 1 + _U32.size:
+                join(_U32.unpack_from(rec, 1)[0])
+            elif op == OP_LEAVE and len(rec) >= 1 + _U32.size:
+                leave(_U32.unpack_from(rec, 1)[0])
+        return len(recs)
+
+    sel = selectors.DefaultSelector()
+    sel.register(sock, selectors.EVENT_READ, "udp")
+    sel.register(tx_doorbell_r, selectors.EVENT_READ, "txdb")
+    # parent teardown signal: stdin EOF
+    stdin_fd = sys.stdin.fileno()
+    os.set_blocking(stdin_fd, False)
+    sel.register(stdin_fd, selectors.EVENT_READ, "stdin")
+
+    # first stats line doubles as the readiness signal: the socket is
+    # bound and both rings are attached when the parent sees it
+    emit_stats()
+    last_stats = time.monotonic()
+    last_emitted: Optional[Dict[str, int]] = stats.as_dict()
+    running = True
+    while running:
+        events = sel.select(timeout=0.05)
+        for key, _mask in events:
+            if key.data == "txdb":
+                try:
+                    os.read(tx_doorbell_r, 4096)
+                except (BlockingIOError, InterruptedError):
+                    pass
+                except OSError:
+                    running = False
+            elif key.data == "stdin":
+                try:
+                    if not os.read(stdin_fd, 4096):
+                        running = False  # parent closed the pipe: exit
+                except (BlockingIOError, InterruptedError):
+                    pass
+                except OSError:
+                    running = False
+        # always drain both directions: doorbells are wake hints, the
+        # 50 ms select timeout is the missed-wakeup safety net
+        while drain_udp() == _BATCH:
+            pass
+        while drain_tx() == _BATCH:
+            pass
+        now = time.monotonic()
+        if now - last_stats >= stats_interval:
+            last_stats = now
+            snap = stats.as_dict()
+            if snap != last_emitted:
+                last_emitted = snap
+                emit_stats()
+    # final stats so the core's counters are complete at teardown
+    emit_stats()
+    sel.close()
+    sock.close()
+    rx_ring.close()
+    tx_ring.close()
+
+
+def main() -> int:
+    # one JSON line, keeping stdin open: its later EOF is the teardown
+    # signal from the parent worker
+    spec = json.loads(sys.stdin.readline())
+    run_shard(spec)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,280 @@
+"""Single-producer single-consumer byte ring over POSIX shared memory.
+
+The sharded wall-clock datapath (ISSUE 9) moves datagrams between OS
+processes on the same host without the kernel socket stack: an I/O shard
+(or a co-located peer's ordering core) pushes length-prefixed records
+into a fixed-size ring that the consuming ordering core drains in
+batches.  Pure Python, no locks:
+
+* exactly one producer process and one consumer process per ring;
+* ``head`` (consumer-owned) and ``tail`` (producer-owned) are free
+  running u64 byte counters on their own cache lines, read/written via
+  ``struct`` on the shared ``memoryview`` — an aligned 8-byte store is
+  a single memcpy in CPython, atomic on every platform this repo
+  targets (x86-64/arm64);
+* the producer writes record bytes first and publishes ``tail`` last;
+  the consumer reads ``tail`` first and record bytes second, so a
+  record is only ever observed fully written (release/acquire by
+  program order; CPython's memory-model granularity is far coarser
+  than the hardware's).
+
+Ring layout (``capacity`` data bytes after a 128-byte control block)::
+
+    offset 0    u64 head   -- consumer cursor (free-running)
+    offset 64   u64 tail   -- producer cursor (free-running)
+    offset 128  data[capacity]
+
+Records are ``u32 length | payload``.  A record never wraps: when the
+contiguous space at the end of the data region cannot hold it, the
+producer writes the ``0xFFFFFFFF`` wrap marker (when >= 4 bytes remain)
+and skips to offset 0; the consumer mirrors the skip.  ``try_push``
+returns ``False`` when the ring is full — transport-level backpressure;
+the protocol's NACK/retransmission machinery recovers exactly as it
+does from a dropped datagram.
+
+Idle wakeup is a pipe doorbell *owned by the caller* (see
+``runtime/ioshard.py``): the producer writes one byte when it observes
+the empty->nonempty transition, the consumer drains the pipe and then
+the ring.  The empty-observation uses a possibly stale ``head``, so a
+wakeup can be missed in a narrow race — consumers keep a coarse poll
+timer as the safety net, which also covers a producer that dies between
+the ring write and the doorbell write.
+
+Lifecycle: the cluster supervisor ``create()``s every segment up front
+and ``unlink()``s them at teardown; workers and shards only
+``attach()``.  Attaching deliberately unregisters the segment from
+``multiprocessing.resource_tracker`` — otherwise the tracker of a
+*killed* shard process (the chaos scenario) would unlink segments still
+in use by the survivors.
+"""
+
+from __future__ import annotations
+
+import struct
+import time
+from multiprocessing import resource_tracker, shared_memory
+from typing import List, Optional
+
+__all__ = ["SpscRing", "ring_segment_size", "DATA_OFFSET"]
+
+_U64 = struct.Struct("<Q")
+_U32 = struct.Struct("<I")
+_HEAD_OFFSET = 0
+_TAIL_OFFSET = 64
+DATA_OFFSET = 128
+_WRAP = 0xFFFFFFFF
+_LEN_SIZE = 4
+
+
+def ring_segment_size(capacity: int) -> int:
+    """Shared-memory segment size for a ring with ``capacity`` data bytes."""
+    return DATA_OFFSET + capacity
+
+
+class SpscRing:
+    """One direction of a cross-process datagram channel.
+
+    Construct via :meth:`create` (owner) or :meth:`attach` (user); each
+    process must use the instance from a single role only (producer XOR
+    consumer) — nothing enforces it, SPSC is the contract.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, owner: bool):
+        self._shm = shm
+        self._owner = owner
+        self._buf = shm.buf
+        self.capacity = shm.size - DATA_OFFSET
+        if self.capacity <= _LEN_SIZE:
+            raise ValueError(f"segment too small for a ring: {shm.size}")
+        # producer-side statistics (meaningless on the consumer side)
+        self.pushes = 0
+        self.full_rejects = 0
+        # consumer-side statistics
+        self.pops = 0
+        # cursor caches: each side owns its cursor (no shm read needed)
+        # and re-reads the *other* side's only at the full/empty
+        # boundary, where the cached value is provably conservative
+        self._ptail = self._tail()  # producer cursor (authoritative)
+        self._phead = self._head()  # producer's last-seen head
+        self._chead = self._head()  # consumer cursor (authoritative)
+        self._ctail = self._tail()  # consumer's last-seen tail
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, name: str, capacity: int) -> "SpscRing":
+        """Create (and zero) a new ring segment; caller must unlink it."""
+        shm = shared_memory.SharedMemory(
+            name=name, create=True, size=ring_segment_size(capacity))
+        shm.buf[:DATA_OFFSET] = bytes(DATA_OFFSET)
+        return cls(shm, owner=True)
+
+    @classmethod
+    def attach(cls, name: str) -> "SpscRing":
+        """Attach to an existing segment without adopting its lifetime."""
+        shm = shared_memory.SharedMemory(name=name)
+        # the attacher's resource tracker must NOT unlink the segment
+        # when this process exits (or is killed: chaos shard-death)
+        try:
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker internals shifted
+            pass
+        return cls(shm, owner=False)
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    def close(self) -> None:
+        self._buf = None
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Remove the segment (owner only; survives double calls)."""
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
+
+    # ------------------------------------------------------------------
+    # cursors
+    # ------------------------------------------------------------------
+    def _head(self) -> int:
+        return _U64.unpack_from(self._buf, _HEAD_OFFSET)[0]
+
+    def _tail(self) -> int:
+        return _U64.unpack_from(self._buf, _TAIL_OFFSET)[0]
+
+    def _resync(self) -> None:
+        """Reload the cursor caches from shm — only needed after cursors
+        were rewritten out-of-band (tests zeroing a reused segment)."""
+        self._ptail = self._tail()
+        self._phead = self._head()
+        self._chead = self._head()
+        self._ctail = self._tail()
+
+    def __len__(self) -> int:
+        """Unread bytes (including framing/wrap padding); racy snapshot."""
+        return self._tail() - self._head()
+
+    def is_empty(self) -> bool:
+        return self._tail() == self._head()
+
+    # ------------------------------------------------------------------
+    # producer side
+    # ------------------------------------------------------------------
+    def try_push(self, data) -> bool:
+        """Append one record; False when the ring lacks space (drop).
+
+        ``data`` may be bytes, bytearray or memoryview.  Raises
+        ``ValueError`` for records that could never fit.
+        """
+        n = len(data)
+        need = _LEN_SIZE + n
+        cap = self.capacity
+        # worst case the record needs its own space plus an end-of-region
+        # skip; -1 keeps tail-head < capacity unambiguous (full vs empty)
+        if need + _LEN_SIZE > cap - 1:
+            raise ValueError(f"record of {n} bytes exceeds ring capacity {cap}")
+        buf = self._buf
+        tail = self._ptail
+        pos = tail % cap
+        contig = cap - pos
+        total = need if contig >= need else contig + need
+        if cap - (tail - self._phead) - 1 < total:
+            # cached head is stale-conservative: refresh before rejecting
+            self._phead = _U64.unpack_from(buf, _HEAD_OFFSET)[0]
+            if cap - (tail - self._phead) - 1 < total:
+                self.full_rejects += 1
+                return False
+        if contig < need:
+            if contig >= _LEN_SIZE:
+                _U32.pack_into(buf, DATA_OFFSET + pos, _WRAP)
+            tail += contig
+            pos = 0
+        base = DATA_OFFSET + pos
+        _U32.pack_into(buf, base, n)
+        buf[base + _LEN_SIZE:base + _LEN_SIZE + n] = data
+        # publish: single aligned 8-byte store, after the record bytes
+        tail += need
+        _U64.pack_into(buf, _TAIL_OFFSET, tail)
+        self._ptail = tail
+        self.pushes += 1
+        return True
+
+    def push(self, data, timeout: float = 1.0) -> bool:
+        """``try_push`` with exponential-backoff retry while full."""
+        deadline = time.monotonic() + timeout
+        delay = 1e-5
+        while True:
+            if self.try_push(data):
+                return True
+            if time.monotonic() >= deadline:
+                return False
+            time.sleep(delay)
+            delay = min(delay * 2, 1e-3)
+
+    # ------------------------------------------------------------------
+    # consumer side
+    # ------------------------------------------------------------------
+    def try_pop(self) -> Optional[bytes]:
+        """Remove and return the oldest record, or None when empty."""
+        buf = self._buf
+        head = self._chead
+        if head == self._ctail:
+            # cached tail is stale-conservative: refresh before giving up
+            self._ctail = _U64.unpack_from(buf, _TAIL_OFFSET)[0]
+            if head == self._ctail:
+                return None
+        cap = self.capacity
+        pos = head % cap
+        contig = cap - pos
+        wrapped = False
+        if contig < _LEN_SIZE:
+            head += contig
+            pos = 0
+            wrapped = True
+        else:
+            length = _U32.unpack_from(buf, DATA_OFFSET + pos)[0]
+            if length == _WRAP:
+                head += contig
+                pos = 0
+                wrapped = True
+        if wrapped:
+            if head == self._ctail:  # pragma: no cover - never just a marker
+                _U64.pack_into(buf, _HEAD_OFFSET, head)
+                self._chead = head
+                return None
+            length = _U32.unpack_from(buf, DATA_OFFSET)[0]
+        base = DATA_OFFSET + pos
+        data = bytes(buf[base + _LEN_SIZE:base + _LEN_SIZE + length])
+        head += _LEN_SIZE + length
+        _U64.pack_into(buf, _HEAD_OFFSET, head)
+        self._chead = head
+        self.pops += 1
+        return data
+
+    def pop_batch(self, max_records: int = 64) -> List[bytes]:
+        """Drain up to ``max_records`` records in one call."""
+        out: List[bytes] = []
+        pop = self.try_pop
+        for _ in range(max_records):
+            rec = pop()
+            if rec is None:
+                break
+            out.append(rec)
+        return out
+
+    def pop(self, timeout: float = 1.0) -> Optional[bytes]:
+        """``try_pop`` with exponential-backoff wait while empty."""
+        deadline = time.monotonic() + timeout
+        delay = 1e-5
+        while True:
+            rec = self.try_pop()
+            if rec is not None:
+                return rec
+            if time.monotonic() >= deadline:
+                return None
+            time.sleep(delay)
+            delay = min(delay * 2, 1e-3)

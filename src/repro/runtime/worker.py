@@ -29,7 +29,7 @@ from typing import Dict, List
 
 from ..core import FTMPConfig, FTMPStack, Listener
 from ..core.datapath import FlowControlSaturated
-from .aio import AioFabric
+from .aio import AioFabric, ShardedAioFabric
 
 __all__ = ["run_worker", "make_payload", "payload_digest"]
 
@@ -105,17 +105,43 @@ async def run_worker(spec: dict) -> int:
     run_timeout = float(spec.get("run_timeout", 60.0))
     record_digests = bool(spec.get("record_digests", True))
 
-    fabric = AioFabric(
-        peers=peers,
-        mode=spec.get("mode", "loopback"),
-        host=spec.get("host", "127.0.0.1"),
-        seed=int(spec.get("seed", 0)),
-        multicast_port=int(spec.get("multicast_port", 29513)),
-    )
+    io_shards = int(spec.get("io_shards", 0))
+    if io_shards > 0:
+        # sharded wall-clock datapath (ISSUE 9): UDP lives in shard
+        # subprocesses, datagrams reach this core over shm rings
+        fabric: AioFabric = ShardedAioFabric(
+            peers=peers,
+            mode=spec.get("mode", "loopback"),
+            host=spec.get("host", "127.0.0.1"),
+            seed=int(spec.get("seed", 0)),
+            multicast_port=int(spec.get("multicast_port", 29513)),
+            io_shards=io_shards,
+            ring_run_id=str(spec["ring_run_id"]),
+            peer_rings=bool(spec.get("peer_rings", True)),
+            ring_capacity=int(spec.get("ring_capacity", 1 << 20)),
+            chaos_kill_shard_after_s=spec.get("chaos_kill_shard_after_s"),
+            peer_doorbell_rx={int(k): int(v) for k, v in
+                              spec.get("peer_doorbell_rx", {}).items()},
+            peer_doorbell_tx={int(k): int(v) for k, v in
+                              spec.get("peer_doorbell_tx", {}).items()},
+        )
+    else:
+        fabric = AioFabric(
+            peers=peers,
+            mode=spec.get("mode", "loopback"),
+            host=spec.get("host", "127.0.0.1"),
+            seed=int(spec.get("seed", 0)),
+            multicast_port=int(spec.get("multicast_port", 29513)),
+        )
     endpoint = await fabric.start(pid)
+    if io_shards > 0:
+        await fabric.wait_ready(timeout=float(spec.get("warmup_timeout", 10.0)))
     config = FTMPConfig(**spec.get("config", {}))
     log = _DeliveryLog(pid, group_id, record_digests)
     stack = FTMPStack(endpoint, config, log)
+    # transport drop visibility rides the stats registry: snapshot()
+    # reports net.rx_ring_full, net.rx_decode_errors, net.shard_failovers…
+    stack.registry.register("net", fabric.net_stats)
     stack.create_group(group_id, group_addr, tuple(sorted(peers)))
     group = stack.group(group_id)
 

@@ -1,5 +1,7 @@
 """Codec tests: every FTMP message type round-trips, both byte orders."""
 
+import dataclasses
+
 import pytest
 
 from repro.core import (
@@ -72,7 +74,7 @@ def test_all_types_round_trip(little):
         assert out.header.ack_timestamp == msg.header.ack_timestamp
         assert out.header.little_endian == little
         # body fields
-        for f in vars(msg):
+        for f in (fld.name for fld in dataclasses.fields(msg)):
             if f == "header":
                 continue
             assert getattr(out, f) == getattr(msg, f), f

@@ -11,12 +11,15 @@ here before it can diverge from the simulator's semantics.
 """
 
 import asyncio
+import os
 import random
 import socket
 
 import pytest
 
-from repro.runtime.aio import AioFabric
+from repro.runtime import ioshard
+from repro.runtime.aio import AioFabric, ShardedAioFabric
+from repro.runtime.shm import SpscRing
 from repro.simnet import Network
 
 
@@ -76,7 +79,45 @@ class AioHarness:
         asyncio.set_event_loop(None)
 
 
-@pytest.fixture(params=[SimHarness, AioHarness], ids=["sim", "aio"])
+class ShardedAioHarness(AioHarness):
+    """AioHarness over the sharded datapath: one ShardedAioFabric per
+    endpoint, each with an I/O-shard subprocess, peer traffic over the
+    shm rings (the cluster's default sharded configuration).  The
+    harness plays the supervisor: it pre-creates every ring segment and
+    the fabrics attach."""
+
+    name = "sharded"
+
+    def __init__(self, pids):
+        super().__init__(pids)
+        self._run_id = f"contract{os.getpid()}"
+        self._rings = [
+            SpscRing.create(name, 1 << 16)
+            for name in ioshard.cluster_ring_names(
+                self._run_id, sorted(self._ports), io_shards=1,
+                peer_rings=True)
+        ]
+
+    def endpoint(self, pid):
+        fabric = ShardedAioFabric(
+            peers=self._ports, mode="loopback", seed=7,
+            io_shards=1, ring_run_id=self._run_id, peer_rings=True,
+            ring_capacity=1 << 16,
+        )
+        self._fabrics.append(fabric)
+        ep = self.loop.run_until_complete(fabric.start(pid))
+        self.loop.run_until_complete(fabric.wait_ready())
+        return ep
+
+    def close(self):
+        super().close()
+        for ring in self._rings:
+            ring.close()
+            ring.unlink()
+
+
+@pytest.fixture(params=[SimHarness, AioHarness, ShardedAioHarness],
+                ids=["sim", "aio", "sharded"])
 def harness(request):
     h = request.param(pids=(1, 2, 3))
     yield h

@@ -1,0 +1,142 @@
+"""Property tests for the shared-memory SPSC ring (runtime/shm.py).
+
+The ring is the transport of the sharded datapath, so its contract is
+held to the same standard as the codec: byte-exact FIFO round-trip
+across wraparound, and full-ring backpressure that never loses or
+reorders what was accepted.  A subprocess smoke proves the cross-process
+attach path (the real deployment shape) behaves like the in-process one.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.shm import DATA_OFFSET, SpscRing, ring_segment_size
+
+CAPACITY = 256  # small on purpose: a few records force a wrap
+
+
+@pytest.fixture(scope="module")
+def ring():
+    r = SpscRing.create(f"repro-test-ring-{os.getpid()}", CAPACITY)
+    yield r
+    r.close()
+    r.unlink()
+
+
+def _reset(r: SpscRing) -> None:
+    """Zero the cursors between hypothesis examples (single segment)."""
+    r._buf[:DATA_OFFSET] = bytes(DATA_OFFSET)
+    r._resync()  # the instance caches its cursors
+
+
+records = st.lists(
+    st.binary(min_size=0, max_size=CAPACITY // 3), min_size=0, max_size=64)
+
+
+@settings(max_examples=200, deadline=None)
+@given(recs=records)
+def test_fifo_round_trip_across_wraparound(ring, recs):
+    """Push-then-pop one at a time: every record returns byte-exact, in
+    order, no matter where the cursors sit in the ring."""
+    _reset(ring)
+    for rec in recs:
+        assert ring.try_push(rec)
+        got = ring.try_pop()
+        assert got == rec
+    assert ring.try_pop() is None
+    assert ring.is_empty()
+
+
+@settings(max_examples=200, deadline=None)
+@given(recs=records, batch=st.integers(min_value=1, max_value=8))
+def test_backpressure_never_loses_or_reorders(ring, recs, batch):
+    """Interleaved pushes and batch-pops against a deque model: rejected
+    pushes (ring full) leave the accepted sequence intact."""
+    _reset(ring)
+    model = []
+    popped = []
+    accepted = []
+    for i, rec in enumerate(recs):
+        if ring.try_push(rec):
+            model.append(rec)
+            accepted.append(rec)
+        else:
+            # full: the ring genuinely lacked space for the record
+            assert len(ring) + len(rec) + 8 + 1 >= ring.capacity
+        if i % batch == batch - 1:
+            out = ring.pop_batch(batch)
+            assert out == model[:len(out)]
+            popped.extend(out)
+            del model[:len(out)]
+    while True:
+        rec = ring.try_pop()
+        if rec is None:
+            break
+        popped.append(rec)
+    assert popped == accepted
+    assert ring.is_empty()
+
+
+@settings(max_examples=50, deadline=None)
+@given(recs=st.lists(st.binary(min_size=0, max_size=CAPACITY // 3),
+                     min_size=1, max_size=16))
+def test_drain_after_fill(ring, recs):
+    """Fill until rejection, then drain fully: FIFO exact."""
+    _reset(ring)
+    accepted = [r for r in recs if ring.try_push(r)]
+    out = []
+    while not ring.is_empty():
+        out.append(ring.try_pop())
+    assert out == accepted
+
+
+def test_oversized_record_rejected(ring):
+    _reset(ring)
+    with pytest.raises(ValueError):
+        ring.try_push(b"x" * CAPACITY)
+
+
+def test_segment_size_helper():
+    assert ring_segment_size(CAPACITY) == DATA_OFFSET + CAPACITY
+
+
+def test_cross_process_round_trip():
+    """Producer in a child process, consumer here: the deployment shape.
+
+    Also exercises ``attach`` unregistering from the resource tracker —
+    the child exits before the parent unlinks, and the segment must
+    still be readable (a tracker-driven unlink would break this).
+    """
+    name = f"repro-test-xproc-{os.getpid()}"
+    src_root = os.path.dirname(os.path.dirname(
+        os.path.abspath(__import__("repro").__file__)))
+    ring = SpscRing.create(name, 4096)
+    try:
+        child = subprocess.run(
+            [sys.executable, "-c", f"""
+import sys
+sys.path.insert(0, {src_root!r})
+from repro.runtime.shm import SpscRing
+ring = SpscRing.attach({name!r})
+for i in range(100):
+    assert ring.push(bytes([i % 256]) * (i % 50), timeout=5.0)
+ring.close()
+"""],
+            capture_output=True, text=True, timeout=60)
+        assert child.returncode == 0, child.stderr
+        got = []
+        while len(got) < 100:
+            rec = ring.pop(timeout=5.0)
+            assert rec is not None, "producer records went missing"
+            got.append(rec)
+        for i, rec in enumerate(got):
+            assert rec == bytes([i % 256]) * (i % 50)
+        assert ring.is_empty()
+    finally:
+        ring.close()
+        ring.unlink()
