@@ -3,8 +3,8 @@
 PYTHON ?= python
 
 .PHONY: install test bench bench-diff lint layering experiments examples soak \
-        chaos chaos-overlay explore cluster-demo cluster-shard-demo \
-        cluster-smoke clean
+        chaos chaos-overlay chaos-multigroup explore cluster-demo \
+        cluster-shard-demo cluster-smoke clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -54,8 +54,9 @@ soak:
 
 # seeded chaos campaign: 20 seeds x all scenario classes (incl.
 # leader_crash and relay_crash) in active mode, then 10 seeds each of
-# the llft and overlay scenario mixes with their modes on; violation
-# artifacts (replayable JSON) written to chaos-artifacts/
+# the llft and overlay scenario mixes with their modes on, and 20 seeds
+# of the multigroup mix (incl. the overlapping-membership class);
+# violation artifacts (replayable JSON) written to chaos-artifacts/
 chaos:
 	PYTHONPATH=src $(PYTHON) -m repro.analysis.chaos run --seeds 20 \
 	    --artifact-dir chaos-artifacts
@@ -63,11 +64,20 @@ chaos:
 	    --seeds 10 --artifact-dir chaos-artifacts
 	PYTHONPATH=src $(PYTHON) -m repro.analysis.chaos run --mode overlay \
 	    --seeds 10 --artifact-dir chaos-artifacts
+	PYTHONPATH=src $(PYTHON) -m repro.analysis.chaos run --mode multigroup \
+	    --seeds 20 --artifact-dir chaos-artifacts
 
 # just the overlay leg (tree dissemination + relay_crash class)
 chaos-overlay:
 	PYTHONPATH=src $(PYTHON) -m repro.analysis.chaos run --mode overlay \
 	    --seeds 10 --artifact-dir chaos-artifacts
+
+# just the multi-group leg (genuine multicast over overlapping groups:
+# loss/reorder/partition/crash/churn plus the overlap class, every run
+# checked by the cross-group acyclicity oracle)
+chaos-multigroup:
+	PYTHONPATH=src $(PYTHON) -m repro.analysis.chaos run --mode multigroup \
+	    --seeds 20 --artifact-dir chaos-artifacts
 
 # schedule exploration: the chaos scenarios again, but with every
 # contested same-time scheduler choice permuted by a PCT policy; on a
@@ -77,6 +87,8 @@ explore:
 	PYTHONPATH=src $(PYTHON) -m repro.analysis.explore run \
 	    --plan-seeds 3 --schedules 10 --artifact-dir explore-artifacts
 	PYTHONPATH=src $(PYTHON) -m repro.analysis.explore run --mode overlay \
+	    --plan-seeds 2 --schedules 6 --artifact-dir explore-artifacts
+	PYTHONPATH=src $(PYTHON) -m repro.analysis.explore run --mode multigroup \
 	    --plan-seeds 2 --schedules 6 --artifact-dir explore-artifacts
 
 # wall-clock demo: 3 real OS processes, one FTMP group, ≥10k ordered

@@ -1,6 +1,12 @@
 """Experiment support: cluster harness, workloads, statistics, reporting."""
 
-from .harness import Cluster, SendRecord, TimedWorkload, make_cluster
+from .harness import (
+    Cluster,
+    SendRecord,
+    TimedWorkload,
+    make_cluster,
+    make_multigroup_cluster,
+)
 from .reporting import Table, format_series
 from .stats import LatencySummary, percentile, summarize
 from .workload import PoissonWorkload, RequestReplyDriver
@@ -8,6 +14,7 @@ from .workload import PoissonWorkload, RequestReplyDriver
 __all__ = [
     "Cluster",
     "make_cluster",
+    "make_multigroup_cluster",
     "TimedWorkload",
     "SendRecord",
     "PoissonWorkload",

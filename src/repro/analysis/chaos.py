@@ -29,26 +29,35 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core import FlowControlSaturated, FTMPConfig
-from ..replication.chaos import PROTECTED_PID, SCENARIOS, ChaosPlan
+from ..core.multigroup import is_total_multigroup_delivery
+from ..replication.chaos import (
+    PROTECTED_PID,
+    SCENARIOS,
+    ChaosPlan,
+    default_overlap_groups,
+    survivor_aware_overlap_groups,
+)
 from ..replication.fault_injection import FaultInjector
 from ..replication.oracles import (
     Violation,
     check_buffer_gc_safety,
+    check_multigroup_acyclicity,
     check_quiescence,
     run_history_oracles,
 )
 from ..simnet import LinkModel, Topology
-from .harness import Cluster, make_cluster
+from .harness import Cluster, make_cluster, make_multigroup_cluster
 
 __all__ = ["ChaosResult", "default_chaos_config", "chaos_config_for",
            "execute_plan", "build_artifact", "write_artifact",
            "adjust_plan_for", "plan_topology", "run_chaos_scenario",
-           "run_campaign",
+           "run_campaign", "default_scenarios_for",
            "replay_artifact", "main", "MODES", "LLFT_SCENARIOS",
+           "OVERLAY_SCENARIOS", "MULTIGROUP_SCENARIOS",
            "LLFT_LEADER_PID", "OVERLAY_FANOUT"]
 
 #: replication modes the campaign can drive the stack in
-MODES = ("active", "llft", "overlay")
+MODES = ("active", "llft", "overlay", "multigroup")
 
 #: the processor ``--mode llft`` designates as leader for the
 #: ``leader_crash`` class (must not be the protected sponsor, or the
@@ -58,8 +67,30 @@ LLFT_LEADER_PID = 2
 #: ``combo`` joins a member *during* an active fault round — a corner
 #: the LLFT takeover protocol documents as out of scope (the joiner's
 #: sponsor-stream replay races the §7.2 drain), so the llft sweep runs
-#: every other class
-LLFT_SCENARIOS = tuple(s for s in SCENARIOS if s != "combo")
+#: every other class.  ``overlap`` (several groups per stack) stays in
+#: the active and multigroup sweeps only: per-group leader streams and
+#: per-group overlay trees are not what those modes' classes target.
+LLFT_SCENARIOS = tuple(s for s in SCENARIOS if s not in ("combo", "overlap"))
+
+#: the overlay sweep: every class but the multi-group one (see above)
+OVERLAY_SCENARIOS = tuple(s for s in SCENARIOS if s != "overlap")
+
+#: the ``--mode multigroup`` sweep: the overlapping-membership class
+#: plus the environment classes, each run with multi-group multicasts
+#: mixed into the traffic.  ``overload`` is out — multi-group sends
+#: bypass the flow controller (they are control-like), which breaks that
+#: scenario's premise that the credit loop absorbs all offered load.
+MULTIGROUP_SCENARIOS = ("loss", "reorder", "partition", "crash", "churn",
+                        "overlap")
+
+
+def default_scenarios_for(mode: str) -> Tuple[str, ...]:
+    """The scenario sweep a mode runs when none is given explicitly."""
+    return {
+        "llft": LLFT_SCENARIOS,
+        "overlay": OVERLAY_SCENARIOS,
+        "multigroup": MULTIGROUP_SCENARIOS,
+    }.get(mode, SCENARIOS)
 
 #: ``--mode overlay`` tree fan-out.  k=2 over the default 5-member
 #: roster yields ``1 -> (2, 3)``, ``2 -> (4, 5)``: pid 2 — the
@@ -131,6 +162,8 @@ def chaos_config_for(mode: str, scenario: str) -> FTMPConfig:
             # the scenario's own premise is that the credit loop, not a
             # queue, absorbs the excess.
             cfg = dataclasses.replace(cfg, flow_queue_limit=32)
+    elif mode == "multigroup":
+        cfg = dataclasses.replace(cfg, multigroup_mode=True)
     return cfg
 
 
@@ -150,8 +183,30 @@ class ChaosResult:
         return not self.violations
 
 
-def _schedule_traffic(cluster: Cluster, plan: ChaosPlan) -> None:
+def _mg_target_sets(plan: ChaosPlan) -> Dict[int, List[Tuple[int, ...]]]:
+    """Per sender: the group-sets it may address with a multi-group send
+    (every combination of >= 2 of the groups it belongs to)."""
+    from itertools import combinations
+
+    targets: Dict[int, List[Tuple[int, ...]]] = {}
+    for pid in plan.senders:
+        mine = sorted(g for g, members in plan.groups.items() if pid in members)
+        combos = [c for r in range(2, len(mine) + 1)
+                  for c in combinations(mine, r)]
+        if combos:
+            targets[pid] = combos
+    return targets
+
+
+def _schedule_traffic(cluster: Cluster, plan: ChaosPlan,
+                      cfg: Optional[FTMPConfig] = None) -> None:
     counters: Dict[int, int] = {}
+    # multi-group traffic: every 4th send from a multi-homed sender is a
+    # multi-group multicast, cycling through its addressable group-sets;
+    # one in three of those is commutative (non-zero conflict class)
+    mg_targets = (_mg_target_sets(plan)
+                  if plan.groups and cfg is not None and cfg.multigroup_mode
+                  else {})
 
     def send(pid: int) -> None:
         st = cluster.stacks.get(pid)
@@ -159,12 +214,19 @@ def _schedule_traffic(cluster: Cluster, plan: ChaosPlan) -> None:
             return
         n = counters.get(pid, 0)
         counters[pid] = n + 1
+        targets = mg_targets.get(pid)
         try:
-            st.multicast(cluster.group, f"{pid}:{n}".encode())
-        except (KeyError, ValueError):
-            pass  # sender left or was evicted mid-run
+            if targets and n % 4 == 3:
+                k = n // 4
+                st.multicast_groups(targets[k % len(targets)],
+                                    f"mg:{pid}:{n}".encode(),
+                                    conflict_class=0 if k % 3 else 7)
+            else:
+                st.multicast(cluster.group, f"{pid}:{n}".encode())
         except FlowControlSaturated:
             pass  # bounded send queue shed the load (overload premise)
+        except (KeyError, ValueError, RuntimeError):
+            pass  # sender left, was evicted, or is still joining mid-run
 
     t = plan.traffic_start
     jitter = 0
@@ -210,6 +272,131 @@ def _inject_ordering_bug(cluster: Cluster,
                 lst.events[ia], lst.events[ib] = lst.events[ib], lst.events[ia]
                 return
     raise RuntimeError("no adjacent different-source deliveries to swap")
+
+
+def _inject_crossgroup_bug(cluster: Cluster, plan: ChaosPlan) -> None:
+    """Test-only corruption for multi-group runs: invert the relative
+    order of two multi-group multicasts in ONE group, consistently at
+    every one of its members.
+
+    Because the inversion is applied group-wide (positions *and*
+    timestamps swapped), per-group agreement, key monotonicity and
+    duplicate suppression all stay intact — the breach is visible only
+    to the cross-group acyclicity oracle, which is exactly the invariant
+    this injection exists to prove armed.
+    """
+    # per group: the reference member's delivery order of total
+    # multi-group multicasts, as (request number, delivered timestamp)
+    proj: Dict[int, List[Tuple[int, int]]] = {}
+    for gid in sorted(plan.groups):
+        live = [p for p in plan.groups[gid]
+                if p in cluster.listeners and not cluster.net.is_crashed(p)]
+        if not live:
+            continue
+        lst = cluster.listeners[min(live)]
+        proj[gid] = [(d.request_num, d.timestamp) for d in lst.deliveries
+                     if d.group == gid and d.connection_id is not None
+                     and is_total_multigroup_delivery(d.connection_id)]
+    # choose an adjacent pair: different origins, distinct commit
+    # timestamps (equal-timestamp pairs are ordered by the origin
+    # tie-break, which a timestamp swap would visibly invert), both
+    # delivered in some other group too (the inversion must close a
+    # cycle), key-clean (the swap moves each multicast's *source* to the
+    # other slot, so neither slot may share its timestamp with a third
+    # delivery — a same-timestamp neighbour would see its source
+    # tie-break invert), and ideally no same-origin traffic between the
+    # two slots so the per-source FIFO oracle stays quiet as well
+    fallback = None
+    for gid in sorted(proj):
+        seq = proj[gid]
+        elsewhere = [{r for r, _t in s} for g, s in proj.items() if g != gid]
+        for (a, ts_a), (b, ts_b) in zip(seq, seq[1:]):
+            if a >> 32 == b >> 32 or ts_a == ts_b:
+                continue
+            if not any(a in s and b in s for s in elsewhere):
+                continue
+            if not _swap_is_key_clean(cluster, plan, gid, a, b,
+                                      ts_a, ts_b):
+                continue
+            if _swap_is_fifo_clean(cluster, plan, gid, a, b):
+                _swap_mg_pair(cluster, plan, gid, a, b)
+                return
+            if fallback is None:
+                fallback = (gid, a, b)
+    if fallback is None:
+        raise RuntimeError("no cross-group multicast pair to invert")
+    _swap_mg_pair(cluster, plan, *fallback)
+
+
+def _mg_slots(lst, gid: int, a: int, b: int):
+    """Indices (into deliveries) of multicasts ``a`` and ``b`` in ``gid``."""
+    ia = ib = None
+    for i, d in enumerate(lst.deliveries):
+        if d.group != gid or d.connection_id is None:
+            continue
+        if not is_total_multigroup_delivery(d.connection_id):
+            continue
+        if d.request_num == a:
+            ia = i
+        elif d.request_num == b:
+            ib = i
+    return ia, ib
+
+
+def _swap_is_key_clean(cluster: Cluster, plan: ChaosPlan, gid: int,
+                       a: int, b: int, ts_a: int, ts_b: int) -> bool:
+    """True when the pair's timestamps are unique within ``gid`` at every
+    member, so moving each multicast's source to the other slot cannot
+    invert a same-timestamp (ts, src) tie-break against a neighbour."""
+    for pid in plan.groups[gid]:
+        lst = cluster.listeners.get(pid)
+        if lst is None:
+            continue
+        for ts in (ts_a, ts_b):
+            hits = sum(1 for d in lst.deliveries
+                       if d.group == gid and d.timestamp == ts)
+            if hits > 1:
+                return False
+    return True
+
+
+def _swap_is_fifo_clean(cluster: Cluster, plan: ChaosPlan, gid: int,
+                        a: int, b: int) -> bool:
+    for pid in plan.groups[gid]:
+        lst = cluster.listeners.get(pid)
+        if lst is None:
+            continue
+        ia, ib = _mg_slots(lst, gid, a, b)
+        if ia is None or ib is None:
+            continue
+        lo, hi = min(ia, ib), max(ia, ib)
+        origins = {a >> 32, b >> 32}
+        for d in lst.deliveries[lo:hi + 1]:
+            if d.group == gid and d.source in origins \
+                    and d.request_num not in (a, b):
+                return False
+    return True
+
+
+def _swap_mg_pair(cluster: Cluster, plan: ChaosPlan, gid: int,
+                  a: int, b: int) -> None:
+    for pid in plan.groups[gid]:
+        lst = cluster.listeners.get(pid)
+        if lst is None:
+            continue
+        ia, ib = _mg_slots(lst, gid, a, b)
+        if ia is None or ib is None:
+            continue
+        da, db = lst.deliveries[ia], lst.deliveries[ib]
+        # swap positions and timestamps: each slot keeps its timestamp
+        # (sources move with the content, which is why selection insists
+        # on key-clean pairs), so only the *cross-group* relative order
+        # of a and b changes
+        na = dataclasses.replace(da, timestamp=db.timestamp)
+        nb = dataclasses.replace(db, timestamp=da.timestamp)
+        lst.deliveries[ia], lst.deliveries[ib] = nb, na
+        ea, eb = lst.events.index(da), lst.events.index(db)
+        lst.events[ea], lst.events[eb] = nb, na
 
 
 def _transcript(cluster: Cluster, pid: int) -> List[dict]:
@@ -277,6 +464,17 @@ def adjust_plan_for(plan: ChaosPlan, cfg: FTMPConfig) -> ChaosPlan:
     """
     if cfg.overlay_mode and plan.scenario == "overload":
         plan.duration += 0.8
+    if cfg.multigroup_mode and not plan.groups:
+        # any scenario class run in --mode multigroup hosts an
+        # overlapping layout (the "overlap" class carries its own).
+        # Generic scenarios budget crashes/leaves against the *full*
+        # roster only, so the subset groups are drawn around the plan's
+        # permanent losses — each must keep two live members or it
+        # wedges (the membership protocol cannot form a singleton view)
+        lost = {p for ev in plan.events if ev.kind in ("crash", "leave")
+                for p in ev.pids}
+        plan.groups = survivor_aware_overlap_groups(
+            plan.initial_members, lost)
     return plan
 
 
@@ -316,11 +514,19 @@ def execute_plan(
     artifacts from it; callers own ``cluster.stop()``.
     """
     cfg = config if config is not None else default_chaos_config()
-    cluster = make_cluster(plan.initial_members, config=cfg, seed=plan.seed,
-                           topology=plan_topology(plan), scheduler=scheduler)
+    if plan.groups:
+        cluster = make_multigroup_cluster(
+            plan.initial_members, plan.groups, config=cfg, seed=plan.seed,
+            topology=plan_topology(plan), scheduler=scheduler,
+        )
+    else:
+        cluster = make_cluster(plan.initial_members, config=cfg,
+                               seed=plan.seed, topology=plan_topology(plan),
+                               scheduler=scheduler)
     injector = FaultInjector(cluster.net)
     plan.apply(cluster, injector, cfg)
-    _schedule_traffic(cluster, plan)
+    _schedule_traffic(cluster, plan, cfg)
+    group_ids = sorted(plan.groups) if plan.groups else [cluster.group]
 
     # buffer-GC safety is a *live* invariant: check it while faults and
     # traffic are still in flight, not just at the end
@@ -328,9 +534,10 @@ def execute_plan(
 
     def gc_check() -> None:
         crashed = [p for p in cluster.stacks if cluster.net.is_crashed(p)]
-        live_violations.extend(
-            check_buffer_gc_safety(cluster.stacks, cluster.group, crashed=crashed)
-        )
+        for gid in group_ids:
+            live_violations.extend(
+                check_buffer_gc_safety(cluster.stacks, gid, crashed=crashed)
+            )
 
     t = plan.traffic_start
     while t < plan.duration:
@@ -344,11 +551,15 @@ def execute_plan(
     final = cluster.listeners[PROTECTED_PID].current_membership(cluster.group) or ()
 
     if inject_ordering_bug:
-        _inject_ordering_bug(cluster, final)
+        if plan.groups:
+            _inject_crossgroup_bug(cluster, plan)
+        else:
+            _inject_ordering_bug(cluster, final)
     result = ChaosResult(seed=plan.seed, scenario=plan.scenario,
                          final_members=final)
     result.deliveries = sum(
-        len(lst.payloads(cluster.group)) for lst in cluster.listeners.values()
+        len(lst.payloads(gid))
+        for lst in cluster.listeners.values() for gid in group_ids
     )
     result.violations += live_violations
     history = cluster.listeners
@@ -362,11 +573,31 @@ def execute_plan(
         # binds over the final membership only in llft mode.
         history = {p: lst for p, lst in cluster.listeners.items()
                    if p in final}
-    result.violations += run_history_oracles(
-        history, cluster.group, final_members=final
-    )
-    result.violations += check_quiescence(cluster.stacks, cluster.group, final)
+    for gid in group_ids:
+        final_g = final if gid == cluster.group else _final_members_of(
+            cluster, plan, gid)
+        result.violations += run_history_oracles(
+            history, gid, final_members=final_g
+        )
+        result.violations += check_quiescence(cluster.stacks, gid, final_g)
+    if plan.groups:
+        result.violations += check_multigroup_acyclicity(
+            cluster.listeners,
+            {gid: [p for p in plan.groups[gid] if p in cluster.listeners]
+             for gid in plan.groups},
+        )
     return result, cluster, injector
+
+
+def _final_members_of(cluster: Cluster, plan: ChaosPlan,
+                      gid: int) -> Tuple[int, ...]:
+    """A subset group's surviving membership (its smallest live member's
+    view — the anchor may not belong to every group)."""
+    live = [p for p in plan.groups.get(gid, ())
+            if p in cluster.listeners and not cluster.net.is_crashed(p)]
+    if not live:
+        return ()
+    return cluster.listeners[min(live)].current_membership(gid) or ()
 
 
 def run_chaos_scenario(
@@ -414,11 +645,11 @@ def run_campaign(
 ) -> List[ChaosResult]:
     """Sweep seeds × scenario classes; return one result per run.
 
-    ``scenarios=None`` selects the mode's full sweep: every class for
-    ``active``, :data:`LLFT_SCENARIOS` for ``llft``.
+    ``scenarios=None`` selects the mode's full sweep
+    (:func:`default_scenarios_for`).
     """
     if scenarios is None:
-        scenarios = LLFT_SCENARIOS if mode == "llft" else SCENARIOS
+        scenarios = default_scenarios_for(mode)
     results: List[ChaosResult] = []
     for scenario in scenarios:
         for seed in seeds:
@@ -475,8 +706,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     run_p.add_argument("--mode", choices=list(MODES), default="active",
                        help="replication mode: legacy active stability "
                             "(default), the LLFT leader-follower fast "
-                            "path, or overlay tree dissemination with "
-                            "aggregated stability")
+                            "path, overlay tree dissemination with "
+                            "aggregated stability, or genuine multi-group "
+                            "atomic multicast over overlapping groups")
     run_p.add_argument("--artifact-dir", default="chaos-artifacts",
                        help="where violation artifacts are written")
     run_p.add_argument("--inject-ordering-bug", action="store_true",
@@ -491,9 +723,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "run":
         seeds = args.seed if args.seed else list(range(args.seeds))
-        scenarios = args.scenarios or (
-            LLFT_SCENARIOS if args.mode == "llft" else SCENARIOS
-        )
+        scenarios = args.scenarios or default_scenarios_for(args.mode)
         print(f"chaos campaign: mode={args.mode} seeds={seeds} "
               f"scenarios={list(scenarios)}")
         results = run_campaign(

@@ -57,6 +57,7 @@ __all__ = [
     "DEFAULT_SCENARIOS",
     "DEFAULT_LLFT_SCENARIOS",
     "DEFAULT_OVERLAY_SCENARIOS",
+    "DEFAULT_MULTIGROUP_SCENARIOS",
     "ExploreOutcome",
     "ShrinkStats",
     "run_schedule",
@@ -83,6 +84,14 @@ DEFAULT_LLFT_SCENARIOS = ("churn", "partition", "crash", "overload",
 #: same-time orders a schedule policy exists to permute
 DEFAULT_OVERLAY_SCENARIOS = ("churn", "partition", "crash", "overload",
                              "relay_crash")
+
+#: the ``--mode multigroup`` mix: the overlapping-membership class plus
+#: the classes whose faults interleave proposes, commits and membership
+#: actions — a commit racing the RemoveProcessor of its origin, or a
+#: join barrier landing between a propose and its commit, is precisely a
+#: same-time order worth permuting (no ``overload``: multi-group sends
+#: bypass the flow controller, breaking that scenario's premise)
+DEFAULT_MULTIGROUP_SCENARIOS = ("churn", "partition", "crash", "overlap")
 
 
 # ----------------------------------------------------------------------
@@ -305,6 +314,14 @@ class ExploreOutcome:
         return not self.violations
 
 
+def _default_scenarios(mode: str) -> Tuple[str, ...]:
+    return {
+        "llft": DEFAULT_LLFT_SCENARIOS,
+        "overlay": DEFAULT_OVERLAY_SCENARIOS,
+        "multigroup": DEFAULT_MULTIGROUP_SCENARIOS,
+    }.get(mode, DEFAULT_SCENARIOS)
+
+
 def _schedule_seed(plan_seed: int, k: int) -> int:
     return plan_seed * 1000 + k
 
@@ -331,9 +348,7 @@ def explore(
     ``config`` wins over ``mode`` (as in the chaos campaign).
     """
     if scenarios is None:
-        scenarios = (DEFAULT_LLFT_SCENARIOS if mode == "llft"
-                     else DEFAULT_OVERLAY_SCENARIOS if mode == "overlay"
-                     else DEFAULT_SCENARIOS)
+        scenarios = _default_scenarios(mode)
     outcomes: List[ExploreOutcome] = []
     for scenario in scenarios:
         cfg = (config if config is not None
@@ -490,11 +505,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help=f"scenario classes (default: "
                             f"{', '.join(DEFAULT_SCENARIOS)}; --mode llft "
                             f"adds leader_crash, --mode overlay adds "
-                            f"relay_crash)")
+                            f"relay_crash, --mode multigroup swaps in the "
+                            f"overlap class)")
     run_p.add_argument("--mode", choices=list(MODES), default="active",
                        help="replication mode: legacy active stability "
                             "(default), the LLFT leader-follower fast "
-                            "path, or overlay tree dissemination")
+                            "path, overlay tree dissemination, or genuine "
+                            "multi-group atomic multicast")
     run_p.add_argument("--plan-seeds", type=int, default=1,
                        help="chaos-plan seeds per scenario (0..N-1)")
     run_p.add_argument("--plan-seed", type=int, action="append", default=None,
@@ -524,11 +541,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "run":
         plan_seeds = (args.plan_seed if args.plan_seed
                       else list(range(args.plan_seeds)))
-        scenarios = args.scenarios or (
-            DEFAULT_LLFT_SCENARIOS if args.mode == "llft"
-            else DEFAULT_OVERLAY_SCENARIOS if args.mode == "overlay"
-            else DEFAULT_SCENARIOS
-        )
+        scenarios = args.scenarios or _default_scenarios(args.mode)
         print(f"schedule exploration: mode={args.mode} "
               f"scenarios={list(scenarios)} "
               f"plan_seeds={plan_seeds} schedules={args.schedules} "

@@ -13,8 +13,8 @@ from typing import Dict, List, Optional, Tuple
 from ..core import FTMPConfig, FTMPStack, RecordingListener
 from ..simnet import Network, Topology, lan
 
-__all__ = ["Cluster", "make_cluster", "SendRecord", "TimedWorkload",
-           "run_wallclock_sweep"]
+__all__ = ["Cluster", "make_cluster", "make_multigroup_cluster", "SendRecord",
+           "TimedWorkload", "run_wallclock_sweep"]
 
 
 @dataclass
@@ -123,6 +123,40 @@ def make_cluster(
         stacks[pid] = st
         listeners[pid] = lst
     return Cluster(net=net, stacks=stacks, listeners=listeners, group=group)
+
+
+def make_multigroup_cluster(
+    pids: Tuple[int, ...],
+    groups: Dict[int, Tuple[int, ...]],
+    topology: Optional[Topology] = None,
+    config: Optional[FTMPConfig] = None,
+    seed: int = 0,
+    scheduler=None,
+    base_address: int = 5000,
+) -> Cluster:
+    """Build a cluster hosting several (typically overlapping) groups.
+
+    ``groups`` maps group id -> membership; every member bootstraps its
+    groups statically (same membership everywhere, as the FT
+    infrastructure would).  Group ``gid`` listens on ``base_address +
+    gid``.  The returned cluster's default ``group`` is the smallest
+    group id.  Used by the multi-group chaos/explore modes and E23.
+    """
+    net = Network(topology if topology is not None else lan(), seed=seed,
+                  scheduler=scheduler)
+    cfg = config if config is not None else FTMPConfig(multigroup_mode=True)
+    stacks: Dict[int, FTMPStack] = {}
+    listeners: Dict[int, RecordingListener] = {}
+    for pid in pids:
+        lst = RecordingListener()
+        stacks[pid] = FTMPStack(net.endpoint(pid), cfg, lst)
+        listeners[pid] = lst
+    for gid in sorted(groups):
+        members = tuple(sorted(groups[gid]))
+        for pid in members:
+            stacks[pid].create_group(gid, base_address + gid, members)
+    return Cluster(net=net, stacks=stacks, listeners=listeners,
+                   group=min(groups))
 
 
 @dataclass

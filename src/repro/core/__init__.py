@@ -54,8 +54,19 @@ from .messages import (
     RegularMessage,
     RemoveProcessorMessage,
     RetransmitRequestMessage,
+    MultiGroupCommitMessage,
+    MultiGroupProposeMessage,
     SuspectMessage,
     order_key,
+)
+from .multigroup import (
+    MULTI_GROUP_CID,
+    MULTI_GROUP_COMMUTATIVE_CID,
+    MultiGroupEngine,
+    MultiGroupStats,
+    is_multigroup_delivery,
+    is_total_multigroup_delivery,
+    mg_request_num,
 )
 from .overlay import OverlayDissemination, OverlayStats, unicast_address
 from .stack import FTMPStack, ProcessorGroup
@@ -98,6 +109,15 @@ __all__ = [
     "RemoveProcessorMessage",
     "SuspectMessage",
     "MembershipMessage",
+    "MultiGroupProposeMessage",
+    "MultiGroupCommitMessage",
+    "MultiGroupEngine",
+    "MultiGroupStats",
+    "MULTI_GROUP_CID",
+    "MULTI_GROUP_COMMUTATIVE_CID",
+    "mg_request_num",
+    "is_multigroup_delivery",
+    "is_total_multigroup_delivery",
     "order_key",
     "encode",
     "decode",

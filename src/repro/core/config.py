@@ -173,6 +173,22 @@ class FTMPConfig:
     #: end-to-end stability latency is about 2 * depth * interval.
     overlay_summary_interval: float = 0.005
 
+    # --- multi-group atomic multicast (extension, arXiv 1904.07171) ------
+    #: Enable genuine multi-group atomic multicast: a message addressed
+    #: to a *set* of groups collects one Lamport position from each
+    #: addressed group's ordering core (a MultiGroupPropose riding that
+    #: group's totally-ordered stream), commits at the max over the
+    #: groups, and is delivered in every addressed group at the committed
+    #: timestamp — so any two multi-group messages are delivered in the
+    #: same relative order everywhere they are both delivered.  Only the
+    #: addressed groups exchange messages (genuineness): uninvolved
+    #: groups take zero ordering steps, preserving per-group sharding.
+    #: Messages declaring a non-zero conflict class commute with
+    #: different classes and skip the commit wait (Generic Multicast,
+    #: arXiv 2410.01901).  False = legacy single-group ordering,
+    #: bit-identical.
+    multigroup_mode: bool = False
+
     # --- delivery guarantee ----------------------------------------------
     #: "agreed" (default): deliver as soon as the total order is decided.
     #: "safe": additionally wait until the message is *stable* — the ack
@@ -200,6 +216,18 @@ class FTMPConfig:
                 "llft_mode and overlay_mode are mutually exclusive: the "
                 "leader fast path assumes flat dissemination of the "
                 "leader stream"
+            )
+        if self.multigroup_mode and (self.llft_mode or self.overlay_mode):
+            raise ValueError(
+                "multigroup_mode is mutually exclusive with llft_mode and "
+                "overlay_mode: multi-group commit positions are defined in "
+                "terms of the symmetric Lamport order"
+            )
+        if self.multigroup_mode and self.delivery_mode == "safe":
+            raise ValueError(
+                "multigroup_mode requires delivery_mode='agreed': the "
+                "commit wait already spans groups and safe delivery would "
+                "deadlock against it"
             )
 
     def with_(self, **kwargs) -> "FTMPConfig":

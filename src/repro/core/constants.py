@@ -46,6 +46,16 @@ class MessageType(enum.IntEnum):
     MEMBERSHIP = 9
     BATCH = 10
     ACK_SUMMARY = 11
+    #: Multi-group atomic multicast (extension): a Propose rides each
+    #: addressed group's totally-ordered stream to pick up that group's
+    #: Lamport position; a Commit announces the max over all groups.
+    #: Both are totally ordered: the commit's own release position (its
+    #: header timestamp exceeds the announced commit timestamp, since
+    #: the origin's clock ticked between the sends) is the proof that
+    #: nothing with a smaller ordering key can still arrive, so the
+    #: delivery stage needs no extra stability wait.
+    MULTI_GROUP_PROPOSE = 12
+    MULTI_GROUP_COMMIT = 13
 
 
 #: Message types that RMP delivers reliably and in source order (Figure 3).
@@ -59,6 +69,8 @@ RELIABLE_TYPES = frozenset(
         MessageType.REMOVE_PROCESSOR,
         MessageType.SUSPECT,
         MessageType.MEMBERSHIP,
+        MessageType.MULTI_GROUP_PROPOSE,
+        MessageType.MULTI_GROUP_COMMIT,
     }
 )
 
@@ -71,5 +83,7 @@ TOTALLY_ORDERED_TYPES = frozenset(
         MessageType.CONNECT,
         MessageType.ADD_PROCESSOR,
         MessageType.REMOVE_PROCESSOR,
+        MessageType.MULTI_GROUP_PROPOSE,
+        MessageType.MULTI_GROUP_COMMIT,
     }
 )

@@ -55,6 +55,8 @@ from .messages import (
     FTMPMessage,
     HeartbeatMessage,
     MembershipMessage,
+    MultiGroupCommitMessage,
+    MultiGroupProposeMessage,
     RegularMessage,
     RemoveProcessorMessage,
     RetransmitRequestMessage,
@@ -731,6 +733,8 @@ class ProcessorGroup:
             reg.register(f"{prefix}.llft", self.romp.llft.stats)
         if self.romp.overlay is not None:
             reg.register(f"{prefix}.overlay", self.romp.overlay.stats)
+        if self.romp.multigroup is not None:
+            reg.register(f"{prefix}.multigroup", self.romp.multigroup.stats)
         reg.register(
             f"{prefix}.gauges",
             lambda: {
@@ -1051,6 +1055,37 @@ class ProcessorGroup:
         self.send_path.send(msg)
         self._note_own_ordered(msg)
 
+    def send_multigroup_propose(self, mg_seq: int, conflict_class: int,
+                                group_ids: Tuple[int, ...], payload: bytes) -> int:
+        """Multicast one multi-group proposal copy into this group's
+        totally-ordered stream; returns the copy's header timestamp —
+        this group's proposal in the timestamp-collection protocol."""
+        msg = MultiGroupProposeMessage(
+            header=self._header(MessageType.MULTI_GROUP_PROPOSE, reliable=True),
+            mg_seq=mg_seq,
+            conflict_class=conflict_class,
+            groups=group_ids,
+            payload=payload,
+        )
+        mg = self.romp.multigroup
+        if mg is not None:
+            mg.stats.proposes_sent += 1
+        self.send_path.send(msg)
+        return msg.header.timestamp
+
+    def send_multigroup_commit(self, origin: int, mg_seq: int, commit_ts: int) -> None:
+        """Announce the committed (max) timestamp into this group's stream."""
+        msg = MultiGroupCommitMessage(
+            header=self._header(MessageType.MULTI_GROUP_COMMIT, reliable=True),
+            origin=origin,
+            mg_seq=mg_seq,
+            commit_ts=commit_ts,
+        )
+        mg = self.romp.multigroup
+        if mg is not None:
+            mg.stats.commits_sent += 1
+        self.send_path.send(msg)
+
     def send_suspect(self, membership_timestamp: int, suspects: Tuple[int, ...]) -> None:
         msg = SuspectMessage(
             header=self._header(MessageType.SUSPECT, reliable=True),
@@ -1140,6 +1175,13 @@ class ProcessorGroup:
             self.rmp.drop_source(r)
             self.romp.purge_source(r)
             self._heard.discard(r)
+        if self.romp.multigroup is not None:
+            # The §7.2 sync equalised the release prefix across survivors,
+            # so "still uncommitted" is the same fact everywhere: abort the
+            # convicted origins' dangling proposals consistently (their
+            # commits, if ever sent, did not reach any survivor).
+            for r in removed:
+                self.romp.multigroup.abort_origin(r)
         self.install_view(membership, view_timestamp, added=(), removed=removed,
                           reason="fault")
         if self.traced:

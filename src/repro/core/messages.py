@@ -31,6 +31,8 @@ __all__ = [
     "RemoveProcessorMessage",
     "SuspectMessage",
     "MembershipMessage",
+    "MultiGroupProposeMessage",
+    "MultiGroupCommitMessage",
     "FTMPMessage",
     "order_key",
 ]
@@ -246,6 +248,48 @@ class AckSummaryMessage:
     entries: Tuple[Tuple[int, int, int], ...] = ()
 
 
+@dataclass(slots=True)
+class MultiGroupProposeMessage:
+    """Phase 1 of multi-group atomic multicast (extension).
+
+    One copy is multicast into each addressed group's totally-ordered
+    stream.  The position this message reaches in group ``g``'s total
+    order *is* ``g``'s proposed timestamp — identical at every member of
+    ``g`` with no extra round.  ``(header.source, mg_seq)`` is the
+    message's global identity across all its copies; ``groups`` is the
+    full addressed group-set (needed by members spanning several of the
+    groups to know when all proposals are in); ``conflict_class`` 0
+    means totally ordered, any other value delivers commutatively
+    against different classes (Generic Multicast relaxation).
+    """
+
+    header: FTMPHeader
+    mg_seq: int
+    conflict_class: int
+    groups: Tuple[int, ...]
+    payload: bytes
+
+
+@dataclass(slots=True)
+class MultiGroupCommitMessage:
+    """Phase 2 of multi-group atomic multicast (extension).
+
+    Announces ``commit_ts`` = max of the per-group proposals for the
+    multicast identified by ``(origin, mg_seq)``.  Totally ordered like
+    the Propose: riding the same stream makes the multi-group delivery
+    stage a deterministic function of the group's release sequence (the
+    key consistency argument), and since the origin's clock ticked
+    between stamping the proposals and stamping this commit, the
+    commit's own ordered position already proves that nothing with an
+    ordering key below ``commit_ts`` can still arrive.
+    """
+
+    header: FTMPHeader
+    origin: int
+    mg_seq: int
+    commit_ts: int
+
+
 FTMPMessage = Union[
     RegularMessage,
     BatchMessage,
@@ -258,6 +302,8 @@ FTMPMessage = Union[
     RemoveProcessorMessage,
     SuspectMessage,
     MembershipMessage,
+    MultiGroupProposeMessage,
+    MultiGroupCommitMessage,
 ]
 
 

@@ -47,6 +47,7 @@ from typing import TYPE_CHECKING, Deque, Dict, FrozenSet, List, Optional, Tuple
 from .constants import TOTALLY_ORDERED_TYPES, MessageType
 from .llft import LeaderOrdering
 from .messages import FTMPHeader, FTMPMessage, HeartbeatMessage
+from .multigroup import MultiGroupEngine
 from .overlay import OverlayDissemination
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -120,6 +121,12 @@ class ROMP:
         #: = legacy flat dissemination (never constructed, bit-identical).
         self.overlay: Optional[OverlayDissemination] = (
             OverlayDissemination(group) if group.config.overlay_mode else None  # type: ignore[arg-type]
+        )
+        #: multi-group atomic-multicast delivery stage; interposes on the
+        #: ordered dispatch when ``multigroup_mode`` is on.  None = legacy
+        #: (never constructed, bit-identical).
+        self.multigroup: Optional[MultiGroupEngine] = (
+            MultiGroupEngine(group) if group.config.multigroup_mode else None  # type: ignore[arg-type]
         )
 
     # ------------------------------------------------------------------
@@ -315,6 +322,13 @@ class ROMP:
         self._check_send_barrier()
 
     def _dispatch(self, msg: FTMPMessage) -> None:
+        if self.multigroup is not None:
+            # Multi-group mode: every released message enters the
+            # extended-key delivery stage (uncommitted multi-group
+            # proposals hold back larger keys until their commit).  The
+            # config layer forbids combining this with safe delivery.
+            self.multigroup.on_ordered(msg)
+            return
         t = msg.header.message_type
         if t == MessageType.REGULAR:
             if self._g.config.delivery_mode == "safe":
@@ -592,6 +606,8 @@ class ROMP:
         depth = len(self._queue)
         if self.llft is not None:
             depth += self.llft.backlog()
+        if self.multigroup is not None:
+            depth += self.multigroup.backlog()
         return depth
 
     def queued_from(self, src: int) -> int:

@@ -84,6 +84,7 @@ class FTMPStack:
         self.tracer: Optional[Tracer] = None
         self._allocator = allocator
         self._groups: Dict[int, ProcessorGroup] = {}
+        self._mg_seq = 0  #: multi-group multicast sequence, per origin stack
         self._stopped = False
         endpoint.set_receiver(self._on_datagram)
 
@@ -156,6 +157,52 @@ class FTMPStack:
         """
         return self._require_group(group_id).multicast(payload, connection_id,
                                                        request_num)
+
+    def multicast_groups(self, group_ids: Tuple[int, ...], payload: bytes,
+                         conflict_class: int = 0) -> int:
+        """Genuine multi-group atomic multicast (``multigroup_mode``).
+
+        Delivers ``payload`` in every group of ``group_ids`` such that any
+        two multi-group multicasts are delivered in the same relative
+        order in every group where both are delivered; only the addressed
+        groups exchange messages (genuineness).  This processor must be a
+        member of every addressed group (White-Box AM's initiator rule) —
+        one propose copy rides each group's totally-ordered stream, and
+        since one Lamport clock stamps all the copies, the commit (the
+        max of the proposals) is known at send time and follows at once.
+
+        ``conflict_class != 0`` declares the message commutative: it is
+        delivered at its per-group propose position with no commit wait
+        (Generic Multicast), totally ordered within each group but not
+        across groups.  Returns the multicast's ``mg_seq`` —
+        ``(pid, mg_seq)`` identifies it across all its groups.
+        """
+        if not self.config.multigroup_mode:
+            raise RuntimeError("multicast_groups requires multigroup_mode")
+        gids = tuple(sorted(set(group_ids)))
+        if not gids:
+            raise ValueError("empty group set")
+        groups = []
+        for gid in gids:
+            g = self._require_group(gid)
+            if g.joining:
+                raise RuntimeError(f"cannot multicast before joining group {gid}")
+            groups.append(g)
+        self._mg_seq += 1
+        mg_seq = self._mg_seq
+        # Stamp+send all proposals first: every commit header is then
+        # stamped later on the same clock, so its timestamp exceeds the
+        # committed maximum — the property that lets the delivery stage
+        # treat the commit's own ordered position as the stability proof.
+        commit_ts = 0
+        for g in groups:
+            ts = g.send_multigroup_propose(mg_seq, conflict_class, gids, payload)
+            if ts > commit_ts:
+                commit_ts = ts
+        if conflict_class == 0:
+            for g in groups:
+                g.send_multigroup_commit(self.pid, mg_seq, commit_ts)
+        return mg_seq
 
     def add_processor(self, group_id: int, new_pid: int) -> None:
         """Add a non-faulty processor to a group (§7.1)."""

@@ -74,6 +74,8 @@ from .messages import (
     FTMPMessage,
     HeartbeatMessage,
     MembershipMessage,
+    MultiGroupCommitMessage,
+    MultiGroupProposeMessage,
     RegularMessage,
     RemoveProcessorMessage,
     RetransmitRequestMessage,
@@ -541,6 +543,15 @@ def _encode_body(msg: FTMPMessage, w: _Writer) -> None:
         w.pid_list(msg.current_membership)
         w.seq_vector(msg.sequence_numbers)
         w.pid_list(msg.new_membership)
+    elif isinstance(msg, MultiGroupProposeMessage):
+        w.u64(msg.mg_seq)
+        w.u32(msg.conflict_class)
+        w.pid_list(msg.groups)
+        w.blob(msg.payload)
+    elif isinstance(msg, MultiGroupCommitMessage):
+        w.u32(msg.origin)
+        w.u64(msg.mg_seq)
+        w.u64(msg.commit_ts)
     elif isinstance(msg, BatchMessage):
         for chunk in _encode_batch_body(msg, msg.header.little_endian):
             w.raw(chunk)
@@ -690,6 +701,10 @@ def decode(data: _Buffer) -> FTMPMessage:
         return SuspectMessage(h, r.u64(), r.pid_list())
     if t == MessageType.MEMBERSHIP:
         return MembershipMessage(h, r.u64(), r.pid_list(), r.seq_vector(), r.pid_list())
+    if t == MessageType.MULTI_GROUP_PROPOSE:
+        return MultiGroupProposeMessage(h, r.u64(), r.u32(), r.pid_list(), r.blob())
+    if t == MessageType.MULTI_GROUP_COMMIT:
+        return MultiGroupCommitMessage(h, r.u32(), r.u64(), r.u64())
     raise CodecError(f"unhandled message type {t}")  # pragma: no cover
 
 

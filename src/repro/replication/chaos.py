@@ -24,16 +24,17 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..core import FTMPConfig, FTMPStack, RecordingListener
 from .fault_injection import FaultInjector
 
-__all__ = ["ChaosEvent", "ChaosPlan", "SCENARIOS", "PROTECTED_PID"]
+__all__ = ["ChaosEvent", "ChaosPlan", "SCENARIOS", "PROTECTED_PID",
+           "default_overlap_groups", "survivor_aware_overlap_groups"]
 
 #: scenario classes the campaign sweeps (ISSUE acceptance: >= 4)
 SCENARIOS = ("loss", "reorder", "partition", "crash", "churn", "combo",
-             "overload", "leader_crash", "relay_crash")
+             "overload", "leader_crash", "relay_crash", "overlap")
 
 #: the sponsor/anchor processor a plan never harms
 PROTECTED_PID = 1
@@ -48,6 +49,57 @@ _TRAFFIC_STOP = 1.15
 _FAULT_START = 0.15
 _FAULT_STOP = 1.05
 _DURATION = 2.2
+
+
+def default_overlap_groups(pids: Tuple[int, ...]) -> Dict[int, Tuple[int, ...]]:
+    """The standard overlapping-membership layout over ``pids``.
+
+    Group 1 spans everyone (so the legacy traffic, churn sponsorship and
+    single-group oracles keep their meaning), and two subset groups share
+    a bridge member — the shape a multi-group multicast needs to say
+    anything about cross-group ordering.  For the default 5-member
+    roster: ``1 -> (1..5)``, ``2 -> (1, 2, 3)``, ``3 -> (3, 4, 5)`` with
+    pid 3 bridging groups 2 and 3.
+    """
+    pids = tuple(sorted(pids))
+    mid = len(pids) // 2
+    return {
+        1: pids,
+        2: pids[: mid + 1],
+        3: pids[mid:],
+    }
+
+
+def survivor_aware_overlap_groups(
+    pids: Tuple[int, ...], lost: Iterable[int],
+) -> Dict[int, Tuple[int, ...]]:
+    """Overlapping layout that keeps >= 2 survivors in every subgroup.
+
+    The fault-membership protocol cannot form a singleton view: a group
+    whose permanent losses leave a single live member wedges (the same
+    limitation behind the plan-wide 3-survivor floor).  When a generic
+    scenario's crash/leave schedule is combined with an overlapping
+    topology, the subset groups must therefore be drawn so that each
+    keeps at least two members the plan never removes — the bridge plus
+    one survivor per side, with the doomed pids spread across the sides
+    so their pre-fault traffic still exercises both subgroups.
+    """
+    pids = tuple(sorted(pids))
+    doomed = sorted(set(lost) & set(pids))
+    alive = [p for p in pids if p not in doomed]
+    if len(alive) < 3:
+        # below the viability floor no overlapping split can work;
+        # degenerate to the single spanning group
+        return {1: pids}
+    mid = len(alive) // 2
+    bridge = alive[mid]
+    left = alive[: mid] + doomed[0::2] + [bridge]
+    right = alive[mid + 1:] + doomed[1::2] + [bridge]
+    return {
+        1: pids,
+        2: tuple(sorted(left)),
+        3: tuple(sorted(right)),
+    }
 
 
 @dataclass(frozen=True)
@@ -87,6 +139,10 @@ class ChaosPlan:
     #: can exceed the drain rate — the "overload" scenario sets these
     egress_bandwidth: float = 0.0
     packet_overhead: int = 0
+    #: non-empty = host these (overlapping) groups instead of one group
+    #: spanning ``initial_members``; the campaign runner then mixes
+    #: multi-group multicasts into the traffic (``multigroup_mode``)
+    groups: Dict[int, Tuple[int, ...]] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # generation
@@ -124,6 +180,8 @@ class ChaosPlan:
             budget = plan._gen_leader_crash(rng, others, budget)
         elif scenario == "relay_crash":
             budget = plan._gen_relay_crash(rng, others, budget)
+        elif scenario == "overlap":
+            budget = plan._gen_overlap(rng, others, budget, pids)
         else:  # combo: one helping of each ingredient the budget allows
             plan._gen_loss(rng, bursts=1)
             plan._gen_reorder(rng, bursts=1)
@@ -297,6 +355,34 @@ class ChaosPlan:
             )
         return budget
 
+    def _gen_overlap(self, rng: random.Random, others: List[int],
+                     budget: int, pids: Tuple[int, ...]) -> int:
+        """Overlapping-membership class: three groups with a shared
+        bridge member, mild environment faults on top.
+
+        The point of the class is the multi-group delivery stage itself —
+        proposals and commits interleaving with ordinary traffic, losses
+        forcing NACK recovery of both, and (half the time) a crash or
+        omission window hitting a member that sits in several groups at
+        once, so each group's conviction/abort of the same origin runs
+        independently.  Under a single-group mode the same plan is just
+        light combo chaos and must stay clean there too.
+        """
+        self.groups = default_overlap_groups(pids)
+        # the bridge (a member of every group) always sends: it is the
+        # only origin that can address the two subset groups together
+        bridge = next(p for p in sorted(pids)
+                      if all(p in m for m in self.groups.values()))
+        self.senders = tuple(sorted(set(self.senders) | {bridge}))
+        self._gen_loss(rng, bursts=1)
+        if rng.random() < 0.5:
+            self._gen_reorder(rng, bursts=1)
+        if rng.random() < 0.6:
+            budget = self._gen_crash(rng, others, budget, at_most_one=True)
+        if rng.random() < 0.5:
+            self._gen_join(rng)
+        return budget
+
     def _gen_join(self, rng: random.Random) -> None:
         joiner = max(self.initial_members) + 1 + sum(1 for e in self.events if e.kind == "join")
         at = rng.uniform(_FAULT_START, _FAULT_STOP - 0.1)
@@ -380,6 +466,8 @@ class ChaosPlan:
             duration=float(d.get("duration", _DURATION)),
             egress_bandwidth=float(d.get("egress_bandwidth", 0.0)),
             packet_overhead=int(d.get("packet_overhead", 0)),
+            groups={int(g): tuple(m)
+                    for g, m in d.get("groups", {}).items()},
         )
         plan.events = [
             ChaosEvent(kind=e["kind"], at=float(e["at"]),
@@ -402,5 +490,6 @@ class ChaosPlan:
             "duration": self.duration,
             "egress_bandwidth": self.egress_bandwidth,
             "packet_overhead": self.packet_overhead,
+            "groups": {str(g): list(m) for g, m in self.groups.items()},
             "events": [e.as_dict() for e in self.events],
         }

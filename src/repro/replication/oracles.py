@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.events import Delivery, RecordingListener, ViewChange
+from ..core.multigroup import is_multigroup_delivery, is_total_multigroup_delivery
 
 __all__ = [
     "Violation",
@@ -44,6 +45,7 @@ __all__ = [
     "check_membership_agreement",
     "check_buffer_gc_safety",
     "check_quiescence",
+    "check_multigroup_acyclicity",
     "run_history_oracles",
 ]
 
@@ -66,6 +68,9 @@ class Violation:
     #: deliberately exclude run-size-dependent detail (counts, indices,
     #: timestamps) that legitimate reductions would perturb.
     key: Tuple[object, ...] = ()
+    #: for the acyclicity oracle: the offending cycle as a closed walk of
+    #: ``(origin, mg_seq)`` multicast ids (first id repeated at the end)
+    cycle: Tuple[Tuple[int, int], ...] = ()
 
     @property
     def signature(self) -> Tuple[object, ...]:
@@ -73,9 +78,12 @@ class Violation:
         return self.key if self.key else (self.oracle,)
 
     def as_dict(self) -> Dict[str, object]:
-        return {"oracle": self.oracle, "detail": self.detail,
-                "members": list(self.members),
-                "key": list(self.signature)}
+        out: Dict[str, object] = {"oracle": self.oracle, "detail": self.detail,
+                                  "members": list(self.members),
+                                  "key": list(self.signature)}
+        if self.cycle:
+            out["cycle"] = [list(m) for m in self.cycle]
+        return out
 
 
 def _ids(listener: RecordingListener, group: int) -> List[MessageId]:
@@ -253,20 +261,41 @@ def _view_epochs(listener: RecordingListener, group: int):
 def check_virtual_synchrony(listeners: Dict[int, RecordingListener],
                             group: int) -> List[Violation]:
     """Members that pass through the same (view, successor) transition
-    must have delivered the same message set in the earlier view."""
-    transitions: Dict[tuple, List[Tuple[int, Tuple[int, ...], frozenset]]] = {}
+    must have delivered the same message set in the earlier view.
+
+    Multi-group deliveries get one relaxation: a member in its *first*
+    epoch of the group may be missing multi-group sentinel deliveries
+    that incumbents made.  A multicast whose Propose was ordered before
+    the joiner's AddProcessor but whose Commit landed after it is
+    delivered by every incumbent yet never by the joiner — its replay of
+    the group's stream starts at the join barrier, so the Propose (and
+    hence the pending entry the Commit completes) does not exist there.
+    That is the documented non-uniform window of the multi-group
+    protocol, not an ordering bug, so it must not trip the oracle.
+    """
+    mg_ids = {
+        (d.source, d.sequence_number)
+        for lst in listeners.values()
+        for d in lst.deliveries
+        if d.group == group and d.connection_id is not None
+        and is_multigroup_delivery(d.connection_id)
+    }
+    transitions: Dict[
+        tuple, List[Tuple[int, Tuple[int, ...], frozenset, bool]]
+    ] = {}
     for pid, lst in sorted(listeners.items()):
-        for epoch in _view_epochs(lst, group):
+        for index, epoch in enumerate(_view_epochs(lst, group)):
             if epoch["succ_ts"] is None:
                 continue  # open epoch: no virtual-synchrony obligation
             transitions.setdefault((epoch["key"], epoch["succ_ts"]), []).append(
-                (pid, epoch["succ_members"], frozenset(epoch["ids"]))
+                (pid, epoch["succ_members"], frozenset(epoch["ids"]),
+                 index == 0)
             )
     violations: List[Violation] = []
     for (key, succ_ts), entries in sorted(transitions.items()):
         # an evicted member reports successor membership (); every other
         # member must name the same successor view for sets to be comparable
-        real_succs = {m for _p, m, _s in entries if m != ()}
+        real_succs = {m for _p, m, _s, _f in entries if m != ()}
         if len(real_succs) > 1:
             continue  # concurrent successor views (split): no obligation
         # virtual synchrony binds only processors that *survive* into the
@@ -276,22 +305,27 @@ def check_virtual_synchrony(listeners: Dict[int, RecordingListener],
         entries = [e for e in entries if e[1] != ()]
         if len(entries) < 2:
             continue
-        sets = {s for _p, _m, s in entries}
+        sets = {s for _p, _m, s, _f in entries}
         if len(sets) > 1:
             reference = max(sets, key=len)
             diffs = []
-            for pid, _m, s in entries:
-                if s != reference:
-                    missing = sorted(reference - s)[:5]
-                    extra = sorted(s - reference)[:5]
-                    diffs.append(f"member {pid} missing={missing} extra={extra}")
-            violations.append(Violation(
-                "virtual-synchrony",
-                f"view {key} -> ts {succ_ts}: delivery sets diverge "
-                f"({'; '.join(diffs)})",
-                tuple(p for p, _m, _s in entries),
-                key=("virtual-synchrony",),
-            ))
+            for pid, _m, s, first in entries:
+                missing = reference - s
+                if first:
+                    missing -= mg_ids  # join-window gap, see docstring
+                extra = s - reference
+                if missing or extra:
+                    diffs.append(f"member {pid} "
+                                 f"missing={sorted(missing)[:5]} "
+                                 f"extra={sorted(extra)[:5]}")
+            if diffs:
+                violations.append(Violation(
+                    "virtual-synchrony",
+                    f"view {key} -> ts {succ_ts}: delivery sets diverge "
+                    f"({'; '.join(diffs)})",
+                    tuple(p for p, _m, _s, _f in entries),
+                    key=("virtual-synchrony",),
+                ))
     return violations
 
 
@@ -447,6 +481,94 @@ def check_quiescence(stacks: Dict[int, object], group: int,
                 key=("quiescence", "safe-hold"),
             ))
     return violations
+
+
+# ----------------------------------------------------------------------
+# cross-group acyclicity (multi-group atomic multicast)
+# ----------------------------------------------------------------------
+def check_multigroup_acyclicity(
+    listeners: Dict[int, RecordingListener],
+    groups: Dict[int, Iterable[int]],
+) -> List[Violation]:
+    """The union of per-group delivery orders of totally ordered
+    multi-group multicasts contains no cycle.
+
+    Within one group every member delivers the same sequence (the
+    total-order oracle checks that), but two multicasts addressed to
+    overlapping group sets could in principle be delivered as A<B in one
+    group and B<A in another — the classic non-atomic interleaving the
+    timestamp-commit protocol exists to rule out.  We build the directed
+    graph whose nodes are multicast ids ``(origin, mg_seq)`` and whose
+    edges are the consecutive-delivery pairs observed at every
+    ``(member, group)`` projection restricted to conflict-class-0
+    (sentinel-CID) deliveries, then look for a cycle.  Commutative
+    (non-zero conflict class) deliveries are excluded: they carry no
+    cross-group ordering promise.  The returned violation carries the
+    offending cycle in its ``cycle`` field, with edge provenance in the
+    detail text.
+
+    ``groups`` maps each group id to the member pids whose histories
+    should be projected (typically the group's final membership).
+    """
+    edges: Dict[int, set] = {}
+    provenance: Dict[Tuple[int, int], Tuple[int, int]] = {}
+    for gid in sorted(groups):
+        for pid in sorted(groups[gid]):
+            lst = listeners.get(pid)
+            if lst is None:
+                continue
+            seq = [d.request_num for d in lst.deliveries
+                   if d.group == gid and d.connection_id is not None
+                   and is_total_multigroup_delivery(d.connection_id)]
+            for a, b in zip(seq, seq[1:]):
+                edges.setdefault(a, set())
+                edges.setdefault(b, set())
+                if b not in edges[a]:
+                    edges[a].add(b)
+                    provenance.setdefault((a, b), (pid, gid))
+    # iterative coloured DFS; report the first cycle found
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {n: WHITE for n in edges}
+    for root in sorted(edges):
+        if color[root] != WHITE:
+            continue
+        color[root] = GRAY
+        path = [root]
+        stack = [(root, iter(sorted(edges[root])))]
+        while stack:
+            node, it = stack[-1]
+            nxt = next(it, None)
+            if nxt is None:
+                stack.pop()
+                path.pop()
+                color[node] = BLACK
+                continue
+            if color[nxt] == GRAY:
+                walk = path[path.index(nxt):] + [nxt]
+                cycle = tuple((r >> 32, r & 0xFFFFFFFF) for r in walk)
+                hops = []
+                pids = set()
+                for a, b in zip(walk, walk[1:]):
+                    wpid, wgid = provenance[(a, b)]
+                    pids.add(wpid)
+                    hops.append(
+                        f"({a >> 32},{a & 0xFFFFFFFF})<"
+                        f"({b >> 32},{b & 0xFFFFFFFF}) at member {wpid} "
+                        f"in group {wgid}"
+                    )
+                return [Violation(
+                    "multigroup-acyclicity",
+                    "cross-group delivery orders form a cycle: "
+                    + "; ".join(hops),
+                    tuple(sorted(pids)),
+                    key=("multigroup-acyclicity",),
+                    cycle=cycle,
+                )]
+            if color[nxt] == WHITE:
+                color[nxt] = GRAY
+                path.append(nxt)
+                stack.append((nxt, iter(sorted(edges[nxt]))))
+    return []
 
 
 def run_history_oracles(listeners: Dict[int, RecordingListener],

@@ -25,6 +25,8 @@ from repro.core import (
     HeartbeatMessage,
     MembershipMessage,
     MessageType,
+    MultiGroupCommitMessage,
+    MultiGroupProposeMessage,
     RegularMessage,
     RemoveProcessorMessage,
     RetransmitRequestMessage,
@@ -83,6 +85,11 @@ MESSAGES = st.one_of(
                                AckSummaryMessage.KIND_DOWN]),
               U64, U64,
               st.lists(st.tuples(U32, U32, U64), max_size=6).map(tuple)),
+    st.builds(MultiGroupProposeMessage,
+              _header(MessageType.MULTI_GROUP_PROPOSE),
+              U64, U32, PIDS, PAYLOAD),
+    st.builds(MultiGroupCommitMessage,
+              _header(MessageType.MULTI_GROUP_COMMIT), U32, U64, U64),
 )
 
 # Batch parts are complete encodings of other messages; randomized parts

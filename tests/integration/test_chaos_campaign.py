@@ -27,6 +27,7 @@ from repro.replication.chaos import PROTECTED_PID, SCENARIOS, ChaosPlan
 
 SMOKE_SCENARIOS = ("loss", "reorder", "crash", "churn")
 LLFT_SMOKE_SCENARIOS = ("loss", "leader_crash")
+MULTIGROUP_SMOKE_SCENARIOS = ("loss", "overlap")
 
 
 def test_plan_generation_is_deterministic():
@@ -135,6 +136,38 @@ def test_llft_forced_violation_artifact_replays(tmp_path):
     assert artifact["config"]["llft_leader_pid"] == LLFT_LEADER_PID
     replayed = replay_artifact(result.artifact_path)
     assert not replayed.ok
+
+
+def test_multigroup_smoke_matrix_runs_clean():
+    results = run_campaign(seeds=(0,), scenarios=MULTIGROUP_SMOKE_SCENARIOS,
+                           mode="multigroup", verbose=False)
+    assert len(results) == len(MULTIGROUP_SMOKE_SCENARIOS)
+    for r in results:
+        assert r.ok, f"multigroup {r.scenario} seed={r.seed}: {r.violations}"
+        assert r.deliveries > 0
+        assert PROTECTED_PID in r.final_members
+
+
+def test_multigroup_forced_violation_artifact_replays(tmp_path):
+    # the targeted cross-group inversion must trip exactly the acyclicity
+    # oracle, and the artifact must carry the multigroup config plus the
+    # overlapping-group topology so a replay needs no mode
+    result = run_chaos_scenario(0, "overlap", mode="multigroup",
+                                artifact_dir=str(tmp_path),
+                                inject_ordering_bug=True)
+    assert not result.ok
+    assert [v.oracle for v in result.violations] == ["multigroup-acyclicity"]
+    (v,) = result.violations
+    assert v.cycle and v.cycle[0] == v.cycle[-1]
+    assert result.artifact_path and os.path.exists(result.artifact_path)
+    with open(result.artifact_path, encoding="utf-8") as fh:
+        artifact = json.load(fh)
+    assert artifact["config"]["multigroup_mode"] is True
+    assert artifact["plan"]["groups"]
+    replayed = replay_artifact(result.artifact_path)
+    assert not replayed.ok
+    assert any(v.oracle == "multigroup-acyclicity"
+               for v in replayed.violations)
 
 
 def test_clean_run_writes_no_artifact(tmp_path):

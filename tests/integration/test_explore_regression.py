@@ -26,6 +26,7 @@ import pytest
 
 from repro.analysis.explore import (
     DEFAULT_LLFT_SCENARIOS,
+    DEFAULT_MULTIGROUP_SCENARIOS,
     explore,
     replay_explore_artifact,
 )
@@ -88,6 +89,20 @@ def test_llft_mode_explore_smoke():
     assert "leader_crash" in DEFAULT_LLFT_SCENARIOS
     outcomes = explore(scenarios=("leader_crash",), plan_seeds=(0,),
                        n_schedules=2, mode="llft", verbose=False)
+    assert outcomes
+    for out in outcomes:
+        assert out.ok, [v.as_dict() for v in out.violations]
+        assert out.schedules_run == 2
+        assert out.deliveries > 0
+
+
+def test_multigroup_mode_explore_smoke():
+    # the explorer drives the multi-group stack on the overlapping-
+    # membership class: propose/commit interleavings across three
+    # overlapping groups stay clean under adversarial PCT schedules
+    assert "overlap" in DEFAULT_MULTIGROUP_SCENARIOS
+    outcomes = explore(scenarios=("overlap",), plan_seeds=(0,),
+                       n_schedules=2, mode="multigroup", verbose=False)
     assert outcomes
     for out in outcomes:
         assert out.ok, [v.as_dict() for v in out.violations]

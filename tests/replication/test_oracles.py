@@ -7,10 +7,16 @@ something (an oracle that never fires checks nothing).
 
 from repro.core.events import Delivery, RecordingListener, ViewChange
 from repro.core.messages import ConnectionId
+from repro.core.multigroup import (
+    MULTI_GROUP_CID,
+    MULTI_GROUP_COMMUTATIVE_CID,
+    mg_request_num,
+)
 from repro.replication.oracles import (
     check_convergence,
     check_fifo,
     check_membership_agreement,
+    check_multigroup_acyclicity,
     check_no_duplicates,
     check_total_order,
     check_virtual_synchrony,
@@ -20,9 +26,9 @@ from repro.replication.oracles import (
 GROUP = 1
 
 
-def deliver(lst, source, seq, ts, payload=None, cid=None, req=0):
+def deliver(lst, source, seq, ts, payload=None, cid=None, req=0, group=GROUP):
     lst.on_deliver(Delivery(
-        group=GROUP, source=source, sequence_number=seq, timestamp=ts,
+        group=group, source=source, sequence_number=seq, timestamp=ts,
         connection_id=cid if cid is not None else ConnectionId.none(),
         request_num=req,
         payload=payload if payload is not None else f"{source}:{seq}".encode(),
@@ -153,3 +159,115 @@ def test_membership_agreement_flags_divergent_views():
     violations = check_membership_agreement(listeners, GROUP, (1, 2),
                                             expected=(1, 2))
     assert oracles_of(violations) == {"membership-agreement"}
+
+
+# ----------------------------------------------------------------------
+# cross-group acyclicity (multi-group atomic multicast)
+# ----------------------------------------------------------------------
+A = mg_request_num(5, 1)  # multicast A = (origin 5, mg_seq 1)
+B = mg_request_num(6, 1)  # multicast B = (origin 6, mg_seq 1)
+
+
+def mg_deliver(lst, group, req, ts, cid=MULTI_GROUP_CID):
+    origin, mg_seq = req >> 32, req & 0xFFFFFFFF
+    deliver(lst, origin, mg_seq, ts, payload=b"mg", cid=cid, req=req,
+            group=group)
+
+
+def test_acyclicity_flags_a_known_cross_group_cycle():
+    # A<B in group 1 (at member 1), B<A in group 2 (at member 2)
+    listeners = {1: RecordingListener(), 2: RecordingListener()}
+    mg_deliver(listeners[1], 1, A, 10)
+    mg_deliver(listeners[1], 1, B, 12)
+    mg_deliver(listeners[2], 2, B, 11)
+    mg_deliver(listeners[2], 2, A, 13)
+    violations = check_multigroup_acyclicity(listeners, {1: (1,), 2: (2,)})
+    assert oracles_of(violations) == {"multigroup-acyclicity"}
+    (v,) = violations
+    # the result carries the offending cycle as a closed (origin, mg_seq) walk
+    assert v.cycle[0] == v.cycle[-1]
+    assert {(5, 1), (6, 1)} <= set(v.cycle)
+    assert set(v.members) == {1, 2}
+    assert v.signature == ("multigroup-acyclicity",)
+    assert v.as_dict()["cycle"] == [list(m) for m in v.cycle]
+
+
+def test_acyclicity_accepts_consistent_overlapping_histories():
+    # same relative order A<B in both groups, several members per group
+    listeners = {p: RecordingListener() for p in (1, 2, 3)}
+    for pid in (1, 2):
+        mg_deliver(listeners[pid], 1, A, 10)
+        mg_deliver(listeners[pid], 1, B, 12)
+    for pid in (2, 3):
+        mg_deliver(listeners[pid], 2, A, 10)
+        mg_deliver(listeners[pid], 2, B, 12)
+    assert check_multigroup_acyclicity(
+        listeners, {1: (1, 2), 2: (2, 3)}) == []
+
+
+def test_acyclicity_ignores_commutative_and_ordinary_deliveries():
+    # conflicting orders, but only via commutative sentinels and plain
+    # GIOP traffic — neither carries a cross-group ordering promise
+    listeners = {1: RecordingListener(), 2: RecordingListener()}
+    mg_deliver(listeners[1], 1, A, 10, cid=MULTI_GROUP_COMMUTATIVE_CID)
+    mg_deliver(listeners[1], 1, B, 12, cid=MULTI_GROUP_COMMUTATIVE_CID)
+    mg_deliver(listeners[2], 2, B, 11, cid=MULTI_GROUP_COMMUTATIVE_CID)
+    mg_deliver(listeners[2], 2, A, 13, cid=MULTI_GROUP_COMMUTATIVE_CID)
+    deliver(listeners[1], 7, 1, 20, group=1)
+    deliver(listeners[2], 7, 1, 20, group=2)
+    assert check_multigroup_acyclicity(listeners, {1: (1,), 2: (2,)}) == []
+
+
+def test_acyclicity_flags_a_three_group_rotation():
+    # A<B in g1, B<C in g2, C<A in g3: cycle spans three projections
+    C = mg_request_num(7, 1)
+    listeners = {p: RecordingListener() for p in (1, 2, 3)}
+    mg_deliver(listeners[1], 1, A, 10)
+    mg_deliver(listeners[1], 1, B, 12)
+    mg_deliver(listeners[2], 2, B, 10)
+    mg_deliver(listeners[2], 2, C, 12)
+    mg_deliver(listeners[3], 3, C, 10)
+    mg_deliver(listeners[3], 3, A, 12)
+    violations = check_multigroup_acyclicity(
+        listeners, {1: (1,), 2: (2,), 3: (3,)})
+    (v,) = violations
+    assert {(5, 1), (6, 1), (7, 1)} <= set(v.cycle)
+
+
+def _join_epoch_listeners(joiner_gap_req=None, joiner_gap_ordinary=False):
+    """Members 1, 2 incumbent; 9 joins at ts 50; member 3 joins at ts 100.
+
+    In the epoch between the two joins the incumbents deliver multicast A
+    and one ordinary message; ``joiner_gap_req``/``joiner_gap_ordinary``
+    select which of the two member 9 misses.
+    """
+    listeners = {p: RecordingListener() for p in (1, 2, 9)}
+    for pid in (1, 2):
+        view(listeners[pid], (1, 2), 0, reason="connect")
+    view(listeners[9], (1, 2, 9), 50, added=(9,), reason="add")
+    for pid in (1, 2):
+        view(listeners[pid], (1, 2, 9), 50, added=(9,), reason="add")
+    for pid, lst in listeners.items():
+        if not (pid == 9 and joiner_gap_req is not None):
+            mg_deliver(lst, GROUP, A, 60)
+        if not (pid == 9 and joiner_gap_ordinary):
+            deliver(lst, 1, 5, 70)
+    for lst in listeners.values():
+        view(lst, (1, 2, 3, 9), 100, added=(3,), reason="add")
+    return listeners
+
+
+def test_virtual_synchrony_exempts_mg_gap_in_a_joiners_first_epoch():
+    # the joiner's replay starts at its join barrier: a multicast whose
+    # Propose predates the barrier but whose Commit landed after it is
+    # delivered by incumbents only — documented window, not a breach
+    listeners = _join_epoch_listeners(joiner_gap_req=A)
+    assert check_virtual_synchrony(listeners, GROUP) == []
+
+
+def test_virtual_synchrony_still_flags_ordinary_gap_in_first_epoch():
+    # the exemption is mg-sentinel-specific: a joiner missing a plain
+    # ordered message in its first epoch is a real breach
+    listeners = _join_epoch_listeners(joiner_gap_ordinary=True)
+    violations = check_virtual_synchrony(listeners, GROUP)
+    assert oracles_of(violations) == {"virtual-synchrony"}
